@@ -1,0 +1,154 @@
+// Microbenchmarks (google-benchmark) for the construction-time pieces:
+// topology generation, coordinated-tree construction, direction
+// classification, the ADDG-based turn rule, the release and repair passes,
+// routing-table construction, and raw simulator cycle throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/downup_routing.hpp"
+#include "routing/cdg.hpp"
+#include "routing/path_analysis.hpp"
+#include "routing/verify.hpp"
+#include "sim/network.hpp"
+#include "topology/generate.hpp"
+
+namespace {
+
+using namespace downup;
+
+topo::Topology makeTopology(std::int64_t switches, unsigned ports,
+                            std::uint64_t seed = 7) {
+  util::Rng rng(seed);
+  return topo::randomIrregular(static_cast<topo::NodeId>(switches),
+                               {.maxPorts = ports}, rng);
+}
+
+void BM_RandomIrregular(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Rng rng(11);
+    benchmark::DoNotOptimize(
+        topo::randomIrregular(static_cast<topo::NodeId>(state.range(0)),
+                              {.maxPorts = 4}, rng));
+  }
+}
+BENCHMARK(BM_RandomIrregular)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CoordinatedTree(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 4);
+  for (auto _ : state) {
+    util::Rng rng(3);
+    benchmark::DoNotOptimize(tree::CoordinatedTree::build(
+        topo, tree::TreePolicy::kM1SmallestFirst, rng));
+  }
+}
+BENCHMARK(BM_CoordinatedTree)->Arg(128)->Arg(512);
+
+void BM_ClassifyDownUp(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 8);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::classifyDownUp(topo, ct));
+  }
+}
+BENCHMARK(BM_ClassifyDownUp)->Arg(128)->Arg(512);
+
+void BM_BuildDownUpComplete(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::buildDownUp(topo, ct));
+  }
+}
+BENCHMARK(BM_BuildDownUpComplete)->Arg(32)->Arg(128);
+
+void BM_ReleasePass(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  const routing::DirectionMap dirs = routing::classifyDownUp(topo, ct);
+  for (auto _ : state) {
+    routing::TurnPermissions perms(topo, dirs, core::downUpTurnSet());
+    core::repairTurnCycles(perms);
+    benchmark::DoNotOptimize(core::releaseRedundantProhibitions(perms));
+  }
+}
+BENCHMARK(BM_ReleasePass)->Arg(32)->Arg(128);
+
+void BM_RoutingTable(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  routing::TurnPermissions perms(topo, routing::classifyDownUp(topo, ct),
+                                 core::downUpTurnSet());
+  core::repairTurnCycles(perms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::RoutingTable::build(perms));
+  }
+}
+BENCHMARK(BM_RoutingTable)->Arg(32)->Arg(128);
+
+void BM_CdgAcyclicityCheck(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  routing::TurnPermissions perms(topo, routing::classifyDownUp(topo, ct),
+                                 core::downUpTurnSet());
+  core::repairTurnCycles(perms);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::checkChannelDependencies(perms));
+  }
+}
+BENCHMARK(BM_CdgAcyclicityCheck)->Arg(128)->Arg(512);
+
+void BM_PathAnalysis(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::analyzePaths(routing.table()));
+  }
+}
+BENCHMARK(BM_PathAnalysis)->Arg(64)->Arg(128);
+
+void BM_VerifyRouting(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(state.range(0), 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::verifyRouting(routing));
+  }
+}
+BENCHMARK(BM_VerifyRouting)->Arg(64)->Arg(128);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  const topo::Topology topo = makeTopology(128, 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+  const sim::UniformTraffic traffic(topo.nodeCount());
+  sim::SimConfig config;
+  config.packetLengthFlits = 128;
+  config.warmupCycles = 0;
+  config.measureCycles = 1u << 30;  // run() is not used; we step manually
+  sim::WormholeNetwork net(routing.table(), traffic, 0.1, config);
+  for (auto _ : state) {
+    net.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorCycles);
+
+}  // namespace
+
+BENCHMARK_MAIN();

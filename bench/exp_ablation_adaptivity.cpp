@@ -1,0 +1,71 @@
+// Ablation: adaptive vs deterministic path selection.  The paper's
+// algorithms are adaptive — at each hop any minimal legal output may be
+// taken, chosen at random among free ones.  This bench quantifies what that
+// adaptivity is worth by re-running the same routings with a fixed
+// (lowest-numbered) choice per hop.
+#include <iomanip>
+#include <iostream>
+
+#include "core/downup_routing.hpp"
+#include "sim/engine.hpp"
+#include "stats/sweep.hpp"
+#include "topology/generate.hpp"
+#include "util/cli.hpp"
+#include "util/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  util::Cli cli("exp_ablation_adaptivity",
+                "adaptive vs deterministic output selection");
+  auto switches = cli.option<int>("switches", 32, "number of switches");
+  auto ports = cli.option<int>("ports", 4, "ports per switch");
+  auto samples = cli.option<int>("samples", 3, "random topologies");
+  auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
+  cli.parse(argc, argv);
+
+  std::cout << std::left << std::setw(12) << "algorithm" << std::setw(14)
+            << "adaptive" << std::setw(16) << "deterministic" << std::setw(10)
+            << "gain" << "\n";
+
+  for (core::Algorithm algorithm :
+       {core::Algorithm::kLTurn, core::Algorithm::kDownUp}) {
+    util::RunningStat adaptive;
+    util::RunningStat deterministic;
+    for (int sample = 0; sample < *samples; ++sample) {
+      util::Rng rng(*seed + static_cast<std::uint64_t>(sample));
+      const topo::Topology topo = topo::randomIrregular(
+          static_cast<topo::NodeId>(*switches),
+          {.maxPorts = static_cast<unsigned>(*ports)}, rng);
+      util::Rng treeRng(*seed + 100 + static_cast<std::uint64_t>(sample));
+      const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+          topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+      const routing::Routing routing = core::buildRouting(algorithm, topo, ct);
+      const sim::UniformTraffic traffic(topo.nodeCount());
+
+      sim::SimConfig config;
+      config.packetLengthFlits = 64;
+      config.warmupCycles = 2000;
+      config.measureCycles = 8000;
+      config.seed = *seed + 300 + static_cast<std::uint64_t>(sample);
+
+      for (const bool useAdaptive : {true, false}) {
+        config.adaptiveSelection = useAdaptive;
+        const double probed =
+            stats::probeSaturationLoad(routing.table(), traffic, config);
+        const auto loads = stats::loadGrid(std::min(1.0, 1.8 * probed), 6);
+        const auto sweep =
+            stats::runSweep(routing.table(), traffic, loads, config);
+        (useAdaptive ? adaptive : deterministic)
+            .add(stats::findSaturation(sweep).maxAccepted);
+      }
+    }
+    std::cout << std::left << std::setw(12) << core::toString(algorithm)
+              << std::setw(14) << std::fixed << std::setprecision(5)
+              << adaptive.mean() << std::setw(16) << deterministic.mean()
+              << std::setw(10) << std::setprecision(3)
+              << adaptive.mean() / deterministic.mean() << "\n";
+  }
+  std::cout << "\n(saturation throughput in flits/clock/node; gain = "
+               "adaptive/deterministic)\n";
+  return 0;
+}

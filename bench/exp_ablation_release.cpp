@@ -1,0 +1,63 @@
+// Ablation: how much do the Phase-3 released turns buy DOWN/UP, and how
+// many per-node repairs does the published turn set need (DESIGN.md §4.4)?
+// Compares downup vs downup-norelease on identical topologies and reports
+// release / repair-block counts, average path length and saturation
+// throughput.
+#include <iomanip>
+#include <iostream>
+
+#include "core/downup_routing.hpp"
+#include "exp_common.hpp"
+#include "topology/generate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  bench::ExperimentCli cli(
+      "exp_ablation_release",
+      "Ablation: Phase-3 turn release on/off + repair-pass statistics");
+  stats::ExperimentConfig config = cli.parse(argc, argv);
+  config.algorithms = {core::Algorithm::kDownUp,
+                       core::Algorithm::kDownUpNoRelease};
+
+  // Structural statistics on the same samples the experiment will use.
+  std::cout << "Structural statistics per sample (DOWN/UP):\n"
+            << std::left << std::setw(8) << "ports" << std::setw(8)
+            << "sample" << std::setw(12) << "releases" << std::setw(14)
+            << "repairBlocks" << std::setw(14) << "avgPath" << "\n";
+  for (unsigned ports : config.portConfigs) {
+    for (unsigned sample = 0; sample < config.samples; ++sample) {
+      util::Rng rng(config.baseSeed + ports * 1000 + sample);
+      const topo::Topology topo =
+          topo::randomIrregular(config.switches, {.maxPorts = ports}, rng);
+      util::Rng treeRng(config.baseSeed + sample);
+      const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+          topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+
+      routing::TurnPermissions perms(
+          topo, routing::classifyDownUp(topo, ct), core::downUpTurnSet());
+      const core::RepairStats repair = core::repairTurnCycles(perms);
+      const core::ReleaseStats release =
+          core::releaseRedundantProhibitions(perms);
+      const routing::Routing routing = core::buildDownUp(topo, ct);
+      std::cout << std::left << std::setw(8) << ports << std::setw(8)
+                << sample << std::setw(12) << release.releasedTurns
+                << std::setw(14) << repair.blockedTurns << std::setw(14)
+                << std::fixed << std::setprecision(4)
+                << routing.table().averagePathLength() << "\n";
+    }
+  }
+
+  const stats::ExperimentResults results = stats::runExperiment(config);
+  std::cout << "\nSaturation throughput (flits/clock/node):\n";
+  stats::printPaperTable(
+      std::cout, "", results,
+      [](const stats::Cell& cell) { return cell.maxAccepted.mean(); },
+      /*precision=*/5);
+  std::cout << "\nAverage legal path length:\n";
+  stats::printPaperTable(
+      std::cout, "", results,
+      [](const stats::Cell& cell) { return cell.avgPathLength.mean(); },
+      /*precision=*/4);
+  cli.maybeWriteCsv(results);
+  return 0;
+}

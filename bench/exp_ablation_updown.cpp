@@ -1,0 +1,37 @@
+// Ablation: anchor both turn-model routings against the classic baselines —
+// BFS up*/down* (Autonet) and DFS up*/down* (Robles et al.) — on the same
+// topologies, trees and traffic.
+#include <iostream>
+
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  bench::ExperimentCli cli(
+      "exp_ablation_updown",
+      "Ablation: up*/down* baselines vs L-turn vs DOWN/UP");
+  stats::ExperimentConfig config = cli.parse(argc, argv);
+  config.policies = {tree::TreePolicy::kM1SmallestFirst};
+  config.algorithms = {core::Algorithm::kUpDownBfs,
+                       core::Algorithm::kUpDownDfs, core::Algorithm::kLTurn,
+                       core::Algorithm::kDownUp};
+
+  const stats::ExperimentResults results = stats::runExperiment(config);
+  std::cout << "Saturation throughput (flits/clock/node):\n";
+  stats::printPaperTable(
+      std::cout, "", results,
+      [](const stats::Cell& cell) { return cell.maxAccepted.mean(); },
+      /*precision=*/5);
+  std::cout << "\nDegree of hot spots (%):\n";
+  stats::printPaperTable(
+      std::cout, "", results,
+      [](const stats::Cell& cell) { return cell.hotspotPercent.mean(); },
+      /*precision=*/2, " %");
+  std::cout << "\nAverage legal path length (hops):\n";
+  stats::printPaperTable(
+      std::cout, "", results,
+      [](const stats::Cell& cell) { return cell.avgPathLength.mean(); },
+      /*precision=*/4);
+  cli.maybeWriteCsv(results);
+  return 0;
+}

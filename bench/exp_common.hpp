@@ -1,0 +1,116 @@
+// Shared command-line plumbing for the experiment benches.  Every bench
+// runs a reduced-but-representative configuration by default (finishes in
+// seconds on one core) and switches to the paper's 128-switch / 10-sample
+// setup with --full.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "stats/experiment.hpp"
+#include "stats/report.hpp"
+#include "util/cli.hpp"
+
+namespace downup::bench {
+
+class ExperimentCli {
+ public:
+  ExperimentCli(std::string program, std::string description)
+      : cli_(std::move(program), std::move(description)) {
+    switches_ = cli_.option<int>("switches", 32, "number of switches (paper: 128)");
+    samples_ = cli_.option<int>("samples", 3,
+                                "random topologies per configuration (paper: 10)");
+    ports_ = cli_.option<int>("ports", 0,
+                              "restrict to one port count (4 or 8); 0 = both");
+    loadPoints_ = cli_.option<int>("load-points", 8, "offered-load sweep points");
+    maxLoadPerPort_ = cli_.option<double>(
+        "max-load-per-port", 0.06,
+        "sweep upper bound = this x ports (flits/node/clk)");
+    packetLen_ = cli_.option<int>("packet-flits", 128, "packet length in flits");
+    warmup_ = cli_.option<int>("warmup", 3000, "warm-up cycles");
+    measure_ = cli_.option<int>("measure", 12000, "measured cycles");
+    seed_ = cli_.option<std::uint64_t>("seed", 2004, "base RNG seed");
+    csv_ = cli_.option<std::string>(
+        "csv", "", "CSV output path prefix (empty = no CSV files)");
+    threads_ = cli_.option<int>(
+        "threads", 1, "simulation worker threads (0 = hardware concurrency)");
+    full_ = cli_.flag("full",
+                      "run the paper-scale configuration "
+                      "(128 switches, 10 samples, long windows)");
+    quiet_ = cli_.flag("quiet", "suppress progress lines on stderr");
+  }
+
+  util::Cli& cli() { return cli_; }
+
+  stats::ExperimentConfig parse(int argc, const char* const* argv) {
+    cli_.parse(argc, argv);
+    stats::ExperimentConfig config;
+    if (*full_) {
+      config = stats::ExperimentConfig::paperScale();
+    } else {
+      config.switches = static_cast<topo::NodeId>(*switches_);
+      config.samples = static_cast<unsigned>(*samples_);
+      config.loadPoints = static_cast<unsigned>(*loadPoints_);
+      config.sim.warmupCycles = static_cast<std::uint32_t>(*warmup_);
+      config.sim.measureCycles = static_cast<std::uint32_t>(*measure_);
+      config.sim.packetLengthFlits = static_cast<std::uint32_t>(*packetLen_);
+    }
+    config.maxLoadPerPort = *maxLoadPerPort_;
+    config.baseSeed = *seed_;
+    config.verbose = !*quiet_;
+    config.threads = static_cast<unsigned>(*threads_ < 0 ? 1 : *threads_);
+    if (*ports_ == 4 || *ports_ == 8) {
+      config.portConfigs = {static_cast<unsigned>(*ports_)};
+    }
+    return config;
+  }
+
+  const std::string& csvPrefix() const { return *csv_; }
+
+  /// Emits the standard CSV pair when --csv was given.
+  void maybeWriteCsv(const stats::ExperimentResults& results) const {
+    if (csv_->empty()) return;
+    stats::writeMetricsCsv(results, *csv_ + "_metrics.csv");
+    stats::writeCurvesCsv(results, *csv_ + "_curves.csv");
+  }
+
+ private:
+  util::Cli cli_;
+  std::shared_ptr<int> switches_;
+  std::shared_ptr<int> samples_;
+  std::shared_ptr<int> ports_;
+  std::shared_ptr<int> loadPoints_;
+  std::shared_ptr<double> maxLoadPerPort_;
+  std::shared_ptr<int> packetLen_;
+  std::shared_ptr<int> warmup_;
+  std::shared_ptr<int> measure_;
+  std::shared_ptr<std::uint64_t> seed_;
+  std::shared_ptr<std::string> csv_;
+  std::shared_ptr<int> threads_;
+  std::shared_ptr<bool> full_;
+  std::shared_ptr<bool> quiet_;
+};
+
+/// Prints the paper's published numbers next to ours for one table, so the
+/// shape comparison is immediate.  `paper` is row-major over
+/// (policy M1..M3) x (lturn 4p, lturn 8p, downup 4p, downup 8p).
+inline void printPaperReference(std::ostream& out, std::string_view caption,
+                                const double (&paper)[3][4],
+                                std::string_view suffix = "") {
+  out << "\npaper reference (" << caption << "):\n";
+  static constexpr const char* kRows[3] = {"M1", "M2", "M3"};
+  static constexpr const char* kCols[4] = {"lturn 4p", "lturn 8p",
+                                           "downup 4p", "downup 8p"};
+  out << "      ";
+  for (const char* col : kCols) out << col << "\t";
+  out << "\n";
+  for (int r = 0; r < 3; ++r) {
+    out << kRows[r] << "    ";
+    for (int c = 0; c < 4; ++c) out << paper[r][c] << suffix << "\t";
+    out << "\n";
+  }
+}
+
+}  // namespace downup::bench

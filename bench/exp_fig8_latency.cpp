@@ -1,0 +1,47 @@
+// Reproduces Figure 8 of the paper: average message latency and accepted
+// traffic under increasing offered load, for L-turn and DOWN/UP over trees
+// M1/M2/M3 on 4-port (Fig. 8a) and 8-port (Fig. 8b) irregular networks.
+// Prints one series per (ports, tree, algorithm) plus the saturation
+// summary (max accepted traffic = the paper's throughput).
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+#include "exp_common.hpp"
+#include "stats/compare.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  bench::ExperimentCli cli(
+      "exp_fig8_latency",
+      "Figure 8: average message latency vs accepted traffic");
+  const stats::ExperimentConfig config = cli.parse(argc, argv);
+  const stats::ExperimentResults results = stats::runExperiment(config);
+
+  std::cout << "Figure 8. Average message latency and accepted traffic\n"
+            << "(latency in clocks; traffic in flits/clock/node)\n\n";
+  stats::printLatencyCurves(std::cout, results);
+
+  std::cout << "\nSaturation summary (max accepted traffic, higher is "
+               "better):\n";
+  stats::printPaperTable(
+      std::cout, "", results,
+      [](const stats::Cell& cell) { return cell.maxAccepted.mean(); },
+      /*precision=*/5);
+  std::cout << "\nZero-load latency (clocks):\n";
+  stats::printPaperTable(
+      std::cout, "", results,
+      [](const stats::Cell& cell) { return cell.zeroLoadLatency.mean(); },
+      /*precision=*/1);
+  std::cout << "\nShape verdicts (DOWN/UP vs L-turn, per paper claims):\n";
+  stats::printShapeVerdicts(
+      std::cout, stats::compareAlgorithms(results, core::Algorithm::kDownUp,
+                                          core::Algorithm::kLTurn,
+                                          stats::paperShapeChecks()));
+  cli.maybeWriteCsv(results);
+  if (!cli.csvPrefix().empty()) {
+    std::ofstream md(cli.csvPrefix() + "_report.md");
+    stats::writeMarkdownReport(results, md);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Table 1 of the paper: average node utilization at each
+// algorithm's peak throughput, for L-turn vs DOWN/UP over trees M1/M2/M3
+// and 4-/8-port irregular 128-switch networks.
+#include <iostream>
+
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  bench::ExperimentCli cli(
+      "exp_table1_node_util",
+      "Table 1: average node utilization at peak throughput");
+  const stats::ExperimentConfig config = cli.parse(argc, argv);
+  const stats::ExperimentResults results = stats::runExperiment(config);
+
+  stats::printPaperTable(
+      std::cout, "Table 1. Average node utilization (flits/clock/port)",
+      results,
+      [](const stats::Cell& cell) { return cell.nodeUtilization.mean(); });
+
+  // Paper Table 1 values: higher is better; DOWN/UP > L-turn everywhere.
+  static constexpr double kPaper[3][4] = {
+      {0.115772, 0.123159, 0.123295, 0.147124},
+      {0.108101, 0.111653, 0.121793, 0.139588},
+      {0.095841, 0.092198, 0.120955, 0.126071},
+  };
+  bench::printPaperReference(std::cout, "Table 1, node utilization", kPaper);
+  cli.maybeWriteCsv(results);
+  return 0;
+}

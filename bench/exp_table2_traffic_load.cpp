@@ -1,0 +1,29 @@
+// Reproduces Table 2 of the paper: traffic load (the standard deviation of
+// node utilization over all switches) at peak throughput — lower means a
+// better-balanced network.
+#include <iostream>
+
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  bench::ExperimentCli cli("exp_table2_traffic_load",
+                           "Table 2: traffic load (std-dev of node "
+                           "utilization) at peak throughput");
+  const stats::ExperimentConfig config = cli.parse(argc, argv);
+  const stats::ExperimentResults results = stats::runExperiment(config);
+
+  stats::printPaperTable(
+      std::cout, "Table 2. Traffic load (std-dev of node utilization)",
+      results,
+      [](const stats::Cell& cell) { return cell.trafficLoad.mean(); });
+
+  static constexpr double kPaper[3][4] = {
+      {0.078314, 0.048727, 0.077657, 0.043990},
+      {0.081115, 0.050460, 0.078501, 0.047316},
+      {0.083969, 0.053392, 0.078047, 0.049796},
+  };
+  bench::printPaperReference(std::cout, "Table 2, traffic load", kPaper);
+  cli.maybeWriteCsv(results);
+  return 0;
+}

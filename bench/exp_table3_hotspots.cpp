@@ -1,0 +1,30 @@
+// Reproduces Table 3 of the paper: the degree of hot spots — the share of
+// total node utilization carried by switches in coordinated-tree levels 0
+// and 1 — at peak throughput.  DOWN/UP's whole point is to push this down.
+#include <iostream>
+
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  bench::ExperimentCli cli(
+      "exp_table3_hotspots",
+      "Table 3: degree of hot spots (levels 0-1 utilization share)");
+  const stats::ExperimentConfig config = cli.parse(argc, argv);
+  const stats::ExperimentResults results = stats::runExperiment(config);
+
+  stats::printPaperTable(
+      std::cout, "Table 3. Degree of hot spots (%)", results,
+      [](const stats::Cell& cell) { return cell.hotspotPercent.mean(); },
+      /*precision=*/2, /*suffix=*/" %");
+
+  static constexpr double kPaper[3][4] = {
+      {12.85, 13.26, 12.00, 9.93},
+      {14.15, 14.90, 12.13, 10.56},
+      {16.18, 18.43, 12.16, 11.25},
+  };
+  bench::printPaperReference(std::cout, "Table 3, degree of hot spots",
+                             kPaper, " %");
+  cli.maybeWriteCsv(results);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Table 4 of the paper: leaf utilization — the mean node
+// utilization over the leaves of the coordinated tree at peak throughput.
+// Higher means more traffic successfully pushed away from the root.
+#include <iostream>
+
+#include "exp_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  bench::ExperimentCli cli("exp_table4_leaf_util",
+                           "Table 4: leaf utilization at peak throughput");
+  const stats::ExperimentConfig config = cli.parse(argc, argv);
+  const stats::ExperimentResults results = stats::runExperiment(config);
+
+  stats::printPaperTable(
+      std::cout, "Table 4. Leaf utilization (flits/clock/port)", results,
+      [](const stats::Cell& cell) { return cell.leafUtilization.mean(); });
+
+  static constexpr double kPaper[3][4] = {
+      {0.07336, 0.1065, 0.082897, 0.13807},
+      {0.063953, 0.093437, 0.080773, 0.131578},
+      {0.050633, 0.072627, 0.078453, 0.111609},
+  };
+  bench::printPaperReference(std::cout, "Table 4, leaf utilization", kPaper);
+  cli.maybeWriteCsv(results);
+  return 0;
+}

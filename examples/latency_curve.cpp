@@ -1,0 +1,95 @@
+// Latency curve: sweep offered load on one generated network and print the
+// latency / accepted-traffic series for L-turn and DOWN/UP side by side —
+// a single-sample version of the paper's Figure 8 that finishes in seconds.
+//
+//   ./latency_curve --switches 32 --ports 4 --traffic uniform
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/downup_routing.hpp"
+#include "sim/engine.hpp"
+#include "stats/sweep.hpp"
+#include "topology/generate.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace downup;
+  util::Cli cli("latency_curve",
+                "latency vs accepted traffic on one irregular network");
+  auto switches = cli.option<int>("switches", 32, "number of switches");
+  auto ports = cli.option<int>("ports", 4, "inter-switch ports per switch");
+  auto seed = cli.option<std::uint64_t>("seed", 1, "topology + traffic seed");
+  auto packet = cli.option<int>("packet-flits", 128, "packet length (flits)");
+  auto points = cli.option<int>("points", 8, "sweep points");
+  auto trafficName = cli.option<std::string>(
+      "traffic", "uniform", "traffic pattern: uniform | hotspot | permutation");
+  cli.parse(argc, argv);
+
+  util::Rng rng(*seed);
+  const topo::Topology topo = topo::randomIrregular(
+      static_cast<topo::NodeId>(*switches),
+      {.maxPorts = static_cast<unsigned>(*ports)}, rng);
+  util::Rng treeRng(*seed + 1);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+
+  std::unique_ptr<sim::TrafficPattern> pattern;
+  util::Rng patternRng(*seed + 2);
+  if (*trafficName == "uniform") {
+    pattern = std::make_unique<sim::UniformTraffic>(topo.nodeCount());
+  } else if (*trafficName == "hotspot") {
+    pattern =
+        std::make_unique<sim::HotspotTraffic>(topo.nodeCount(), 0, 0.2);
+  } else if (*trafficName == "permutation") {
+    pattern = std::make_unique<sim::PermutationTraffic>(
+        sim::PermutationTraffic::random(topo.nodeCount(), patternRng));
+  } else {
+    std::cerr << "unknown traffic pattern '" << *trafficName << "'\n";
+    return 2;
+  }
+
+  sim::SimConfig config;
+  config.packetLengthFlits = static_cast<std::uint32_t>(*packet);
+  config.warmupCycles = 3000;
+  config.measureCycles = 12000;
+  config.seed = *seed + 3;
+  const auto loads =
+      stats::loadGrid(0.06 * *ports, static_cast<unsigned>(*points));
+
+  std::cout << "network: " << topo.nodeCount() << " switches / "
+            << topo.linkCount() << " links, traffic: " << pattern->name()
+            << ", packets: " << *packet << " flits\n\n";
+  std::cout << std::left << std::setw(10) << "offered" << std::setw(22)
+            << "lturn acc / latency" << std::setw(22)
+            << "downup acc / latency" << "\n";
+
+  const routing::Routing lturn =
+      core::buildRouting(core::Algorithm::kLTurn, topo, ct);
+  const routing::Routing downup =
+      core::buildRouting(core::Algorithm::kDownUp, topo, ct);
+  const auto lturnSweep = stats::runSweep(lturn.table(), *pattern, loads,
+                                          config, {.stopAtSaturation = false});
+  const auto downupSweep = stats::runSweep(
+      downup.table(), *pattern, loads, config, {.stopAtSaturation = false});
+
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    std::ostringstream lcell;
+    std::ostringstream dcell;
+    lcell << std::fixed << std::setprecision(4)
+          << lturnSweep[i].stats.acceptedFlitsPerNodePerCycle << " / "
+          << std::setprecision(0) << lturnSweep[i].stats.avgLatency;
+    dcell << std::fixed << std::setprecision(4)
+          << downupSweep[i].stats.acceptedFlitsPerNodePerCycle << " / "
+          << std::setprecision(0) << downupSweep[i].stats.avgLatency;
+    std::cout << std::left << std::setw(10) << std::setprecision(4)
+              << std::fixed << loads[i] << std::setw(22) << lcell.str()
+              << std::setw(22) << dcell.str() << "\n";
+  }
+  std::cout << "\npeak accepted: lturn "
+            << stats::findSaturation(lturnSweep).maxAccepted << ", downup "
+            << stats::findSaturation(downupSweep).maxAccepted
+            << " flits/clock/node\n";
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "core/ddg.hpp"
+
+#include <bit>
+#include <functional>
+#include <stdexcept>
+
+namespace downup::core {
+
+using routing::index;
+using routing::kDirCount;
+
+Ddg Ddg::completePair(Dir a, Dir b) {
+  Ddg ddg;
+  ddg.members_ = static_cast<std::uint8_t>((1u << index(a)) | (1u << index(b)));
+  ddg.edges_[index(a)][index(b)] = true;
+  ddg.edges_[index(b)][index(a)] = true;
+  return ddg;
+}
+
+Ddg Ddg::combine(const Ddg& a, const Ddg& b) {
+  if ((a.members_ & b.members_) != 0) {
+    throw std::invalid_argument("Ddg::combine: member sets must be disjoint");
+  }
+  Ddg ddg;
+  ddg.members_ = a.members_ | b.members_;
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    for (std::size_t j = 0; j < kDirCount; ++j) {
+      ddg.edges_[i][j] = a.edges_[i][j] || b.edges_[i][j];
+    }
+  }
+  // All edges between the two member sets, both orientations.
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    if ((a.members_ & (1u << i)) == 0) continue;
+    for (std::size_t j = 0; j < kDirCount; ++j) {
+      if ((b.members_ & (1u << j)) == 0) continue;
+      ddg.edges_[i][j] = true;
+      ddg.edges_[j][i] = true;
+    }
+  }
+  return ddg;
+}
+
+void Ddg::removeEdge(Dir from, Dir to) noexcept {
+  edges_[index(from)][index(to)] = false;
+}
+
+bool Ddg::hasEdge(Dir from, Dir to) const noexcept {
+  return edges_[index(from)][index(to)];
+}
+
+bool Ddg::hasMember(Dir d) const noexcept {
+  return (members_ & (1u << index(d))) != 0;
+}
+
+unsigned Ddg::memberCount() const noexcept {
+  return static_cast<unsigned>(std::popcount(members_));
+}
+
+unsigned Ddg::edgeCount() const noexcept {
+  unsigned count = 0;
+  for (const auto& row : edges_) {
+    for (bool edge : row) count += edge ? 1 : 0;
+  }
+  return count;
+}
+
+TurnSet Ddg::toTurnSet() const {
+  TurnSet set = TurnSet::allAllowed();
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    for (std::size_t j = 0; j < kDirCount; ++j) {
+      if (i == j) continue;
+      if (!edges_[i][j]) {
+        set.prohibit(static_cast<Dir>(i), static_cast<Dir>(j));
+      }
+    }
+  }
+  return set;
+}
+
+AddgDerivation deriveMaximalAddg() {
+  AddgDerivation d;
+
+  // Step 1 — break the four opposite-direction 2-cycles.  In each pair we
+  // drop the edge that would let traffic go up before down (or, for the
+  // tree pair, toward the root after having descended).
+  d.addg1 = Ddg::completePair(Dir::kLuCross, Dir::kRdCross);
+  d.addg1.removeEdge(Dir::kLuCross, Dir::kRdCross);  // up-before-down
+
+  d.addg2 = Ddg::completePair(Dir::kLdCross, Dir::kRuCross);
+  d.addg2.removeEdge(Dir::kRuCross, Dir::kLdCross);  // up-before-down
+
+  d.addg3 = Ddg::completePair(Dir::kLCross, Dir::kRCross);
+  d.addg3.removeEdge(Dir::kLCross, Dir::kRCross);  // arbitrary (paper: random)
+
+  d.addg4 = Ddg::completePair(Dir::kLuTree, Dir::kRdTree);
+  d.addg4.removeEdge(Dir::kRdTree, Dir::kLuTree);  // keep traffic off the root
+
+  // Step 2 — combine the diagonal cross pairs; the cycles C1 and C2 of
+  // Figure 4 are broken by removing the two up-before-down turns.
+  d.addg5 = Ddg::combine(d.addg1, d.addg2);
+  d.addg5.removeEdge(Dir::kRuCross, Dir::kRdCross);
+  d.addg5.removeEdge(Dir::kLuCross, Dir::kLdCross);
+
+  // Step 3 — add the horizontal pair.  Per Observation 5 either the edges
+  // from the descending region into {L,R} or the edges from {L,R} into the
+  // ascending region must go; pushing traffic downward keeps
+  // horizontal->down and drops horizontal->up (these four are in PT).
+  d.addg6 = Ddg::combine(d.addg3, d.addg5);
+  for (Dir horiz : {Dir::kLCross, Dir::kRCross}) {
+    for (Dir up : {Dir::kLuCross, Dir::kRuCross}) {
+      d.addg6.removeEdge(horiz, up);
+    }
+  }
+
+  // Step 4 — add the tree pair.  Figures 6(c)/6(d): up-cross -> RD_TREE can
+  // close cycles through the horizontal directions, so both such turns are
+  // dropped (they are the two per-node *releasable* prohibitions); finally
+  // every turn into LU_TREE is dropped so no traffic is ever steered back
+  // toward the root.
+  d.addg7 = Ddg::combine(d.addg4, d.addg6);
+  d.addg7.removeEdge(Dir::kLuCross, Dir::kRdTree);
+  d.addg7.removeEdge(Dir::kRuCross, Dir::kRdTree);
+  for (Dir from : {Dir::kRdTree, Dir::kLuCross, Dir::kLdCross, Dir::kRuCross,
+                   Dir::kRdCross, Dir::kRCross, Dir::kLCross}) {
+    d.addg7.removeEdge(from, Dir::kLuTree);
+  }
+  return d;
+}
+
+TurnSet downUpTurnSet() {
+  static const TurnSet set = deriveMaximalAddg().addg7.toTurnSet();
+  return set;
+}
+
+bool isDirectionGraphAcyclic(const TurnSet& set,
+                             std::initializer_list<Dir> directions) {
+  // Tiny graph (<= 8 nodes): three-color DFS over allowed turns.
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::array<Mark, kDirCount> mark{};
+  mark.fill(Mark::kBlack);  // directions not in use can never participate
+  for (Dir d : directions) mark[index(d)] = Mark::kWhite;
+
+  // Recursive lambda via explicit stack is overkill for 8 nodes; plain
+  // recursion depth is bounded by kDirCount.
+  const std::function<bool(Dir)> visit = [&](Dir d) -> bool {
+    mark[index(d)] = Mark::kGray;
+    for (Dir next : directions) {
+      if (next == d || !set.isAllowed(d, next)) continue;
+      if (mark[index(next)] == Mark::kGray) return false;
+      if (mark[index(next)] == Mark::kWhite && !visit(next)) return false;
+    }
+    mark[index(d)] = Mark::kBlack;
+    return true;
+  };
+  for (Dir d : directions) {
+    if (mark[index(d)] == Mark::kWhite && !visit(d)) return false;
+  }
+  return true;
+}
+
+const std::array<std::pair<Dir, Dir>, 18>& downUpProhibitedTurns() {
+  // Listing order of §4.3.
+  static const std::array<std::pair<Dir, Dir>, 18> turns = {{
+      {Dir::kRdTree, Dir::kLuTree},
+      {Dir::kRdCross, Dir::kLuTree},
+      {Dir::kLCross, Dir::kLuTree},
+      {Dir::kRCross, Dir::kLuTree},
+      {Dir::kLuCross, Dir::kLuTree},
+      {Dir::kLdCross, Dir::kLuTree},
+      {Dir::kRuCross, Dir::kLuTree},
+      {Dir::kRuCross, Dir::kLdCross},
+      {Dir::kRuCross, Dir::kRdCross},
+      {Dir::kLuCross, Dir::kLdCross},
+      {Dir::kLuCross, Dir::kRdCross},
+      {Dir::kLuCross, Dir::kRdTree},
+      {Dir::kRuCross, Dir::kRdTree},
+      {Dir::kLCross, Dir::kRCross},
+      {Dir::kRCross, Dir::kRuCross},
+      {Dir::kRCross, Dir::kLuCross},
+      {Dir::kLCross, Dir::kRuCross},
+      {Dir::kLCross, Dir::kLuCross},
+  }};
+  return turns;
+}
+
+}  // namespace downup::core

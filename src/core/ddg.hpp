@@ -1,0 +1,79 @@
+// Phase 2 of the paper: deriving the maximal acyclic direction-dependency
+// graph (ADDG) of the complete 8-direction graph by the prescribed 4-step
+// pairwise combination, and the resulting DOWN/UP turn rule.
+//
+// Directions are nodes; an edge (d1 -> d2) means the turn "arrive on a
+// d1 channel, continue on a d2 channel" is allowed.  The derivation removes
+// exactly the 18 edges the paper lists in §4.3 (the prohibited-turn set PT);
+// every removal is motivated by either pushing traffic down toward leaves or
+// keeping it away from the root.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+
+#include "routing/turns.hpp"
+
+namespace downup::core {
+
+using routing::Dir;
+using routing::TurnSet;
+
+/// An explicit direction-dependency graph over a subset of the 8 directions.
+class Ddg {
+ public:
+  /// The complete DG of a direction pair (both edges present).
+  static Ddg completePair(Dir a, Dir b);
+
+  /// Union of members plus *all* edges between the two member sets (the
+  /// paper's "combine by adding edges between nodes of A and B"); the member
+  /// sets must be disjoint.
+  static Ddg combine(const Ddg& a, const Ddg& b);
+
+  void removeEdge(Dir from, Dir to) noexcept;
+  bool hasEdge(Dir from, Dir to) const noexcept;
+  bool hasMember(Dir d) const noexcept;
+  unsigned memberCount() const noexcept;
+  unsigned edgeCount() const noexcept;
+
+  /// Interprets this DDG over the full direction set as a TurnSet: edges are
+  /// allowed turns, every absent distinct-direction pair is prohibited.
+  TurnSet toTurnSet() const;
+
+ private:
+  std::uint8_t members_ = 0;  // bit i <=> Dir(i) is a member
+  std::array<std::array<bool, routing::kDirCount>, routing::kDirCount>
+      edges_{};
+};
+
+/// Intermediate results of the paper's 4-step derivation, for inspection
+/// and tests (numbering follows the paper: ADDG1..ADDG7).
+struct AddgDerivation {
+  Ddg addg1, addg2, addg3, addg4;  // step 1 (per direction pair)
+  Ddg addg5;                       // step 2: addg1 (+) addg2
+  Ddg addg6;                       // step 3: addg3 (+) addg5
+  Ddg addg7;                       // step 4: addg4 (+) addg6 (the result)
+};
+
+/// Runs the derivation.
+AddgDerivation deriveMaximalAddg();
+
+/// The DOWN/UP turn rule: allowed turns = ADDG7 edges.
+TurnSet downUpTurnSet();
+
+/// The 18 prohibited turns of §4.3 (complement of ADDG7), in the paper's
+/// listing order.
+const std::array<std::pair<Dir, Dir>, 18>& downUpProhibitedTurns();
+
+/// Lemma 1: if the direction-level dependency graph (nodes = directions,
+/// edges = allowed distinct-direction turns) is acyclic, then no turn cycle
+/// can form in any communication graph.  This checks that premise for a
+/// turn set over the directions that actually occur.  The converse fails —
+/// Figure 1(f)'s point — so a cyclic DDG (e.g. the L-turn or DOWN/UP rules)
+/// still demands the channel-level check in routing/cdg.hpp.
+bool isDirectionGraphAcyclic(const TurnSet& set,
+                             std::initializer_list<Dir> directions);
+
+}  // namespace downup::core

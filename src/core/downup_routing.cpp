@@ -1,0 +1,56 @@
+#include "core/downup_routing.hpp"
+
+#include <stdexcept>
+
+namespace downup::core {
+
+routing::Routing buildDownUp(const routing::Topology& topo,
+                             const tree::CoordinatedTree& ct,
+                             const DownUpOptions& options) {
+  routing::TurnPermissions perms(topo, routing::classifyDownUp(topo, ct),
+                                 downUpTurnSet());
+  // Repair before release: releases are checked against (and must remain
+  // consistent with) the final acyclic permission set.
+  if (options.repairCycles) {
+    repairTurnCycles(perms);
+  }
+  if (options.releaseRedundant) {
+    releaseRedundantProhibitions(perms);
+  }
+  return routing::Routing(options.releaseRedundant ? "downup" : "downup-norelease",
+                          std::move(perms));
+}
+
+std::string_view toString(Algorithm algorithm) noexcept {
+  switch (algorithm) {
+    case Algorithm::kUpDownBfs: return "updown-bfs";
+    case Algorithm::kUpDownDfs: return "updown-dfs";
+    case Algorithm::kLTurn: return "lturn";
+    case Algorithm::kLeftRight: return "leftright";
+    case Algorithm::kDownUp: return "downup";
+    case Algorithm::kDownUpNoRelease: return "downup-norelease";
+  }
+  return "?";
+}
+
+routing::Routing buildRouting(Algorithm algorithm,
+                              const routing::Topology& topo,
+                              const tree::CoordinatedTree& ct) {
+  switch (algorithm) {
+    case Algorithm::kUpDownBfs:
+      return routing::buildUpDown(topo, ct);
+    case Algorithm::kUpDownDfs:
+      return routing::buildUpDownDfs(topo, ct.root());
+    case Algorithm::kLTurn:
+      return routing::buildLTurn(topo, ct);
+    case Algorithm::kLeftRight:
+      return routing::buildLeftRight(topo, ct);
+    case Algorithm::kDownUp:
+      return buildDownUp(topo, ct, {.releaseRedundant = true});
+    case Algorithm::kDownUpNoRelease:
+      return buildDownUp(topo, ct, {.releaseRedundant = false});
+  }
+  throw std::invalid_argument("buildRouting: unknown algorithm");
+}
+
+}  // namespace downup::core

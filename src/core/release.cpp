@@ -1,0 +1,92 @@
+#include "core/release.hpp"
+
+#include <vector>
+
+#include "routing/cdg.hpp"
+
+namespace downup::core {
+
+using routing::ChannelId;
+using routing::Dir;
+using routing::NodeId;
+using routing::Topology;
+using routing::TurnPermissions;
+
+namespace {
+
+/// Would releasing (d1 -> RD_TREE) at v close a turn cycle?  `perms` must
+/// already carry the tentative release.  A new channel-dependency edge is
+/// (e1 -> e2) for every input e1 of v with direction d1 and output e2 with
+/// direction RD_TREE; a new cycle exists iff some e2 reaches some e1.
+bool releaseClosesCycle(const TurnPermissions& perms, NodeId v, Dir d1) {
+  const Topology& topo = perms.topology();
+  std::vector<ChannelId> inputs;
+  std::vector<ChannelId> outputs;
+  for (ChannelId out : topo.outputChannels(v)) {
+    if (perms.dir(out) == Dir::kRdTree) outputs.push_back(out);
+    const ChannelId in = Topology::reverseChannel(out);
+    if (perms.dir(in) == d1) inputs.push_back(in);
+  }
+  if (inputs.empty() || outputs.empty()) return false;
+
+  std::vector<bool> isTarget(topo.channelCount(), false);
+  for (ChannelId in : inputs) isTarget[in] = true;
+
+  // One DFS per output channel over the post-release dependency graph.
+  std::vector<bool> seen(topo.channelCount(), false);
+  std::vector<ChannelId> stack;
+  for (ChannelId e2 : outputs) {
+    if (seen[e2]) continue;
+    seen[e2] = true;
+    stack.push_back(e2);
+    while (!stack.empty()) {
+      const ChannelId c = stack.back();
+      stack.pop_back();
+      const NodeId via = topo.channelDst(c);
+      for (ChannelId next : topo.outputChannels(via)) {
+        if (!perms.allowed(via, c, next)) continue;
+        if (isTarget[next]) return true;
+        if (!seen[next]) {
+          seen[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// Does node v have at least one input with direction d1 and one output
+/// with direction RD_TREE (i.e. is the release meaningful there)?
+bool hasCandidatePair(const TurnPermissions& perms, NodeId v, Dir d1) {
+  const Topology& topo = perms.topology();
+  bool haveIn = false;
+  bool haveOut = false;
+  for (ChannelId out : topo.outputChannels(v)) {
+    haveOut = haveOut || perms.dir(out) == Dir::kRdTree;
+    haveIn = haveIn || perms.dir(Topology::reverseChannel(out)) == d1;
+  }
+  return haveIn && haveOut;
+}
+
+}  // namespace
+
+ReleaseStats releaseRedundantProhibitions(TurnPermissions& perms) {
+  ReleaseStats stats;
+  const NodeId n = perms.topology().nodeCount();
+  for (NodeId v = 0; v < n; ++v) {
+    for (Dir d1 : {Dir::kLuCross, Dir::kRuCross}) {
+      if (!hasCandidatePair(perms, v, d1)) continue;
+      ++stats.candidateTurns;
+      perms.releaseAt(v, d1, Dir::kRdTree);
+      if (releaseClosesCycle(perms, v, d1)) {
+        perms.revokeReleaseAt(v, d1, Dir::kRdTree);
+      } else {
+        ++stats.releasedTurns;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace downup::core

@@ -1,0 +1,56 @@
+#include "core/repair.hpp"
+
+#include <stdexcept>
+
+#include "routing/cdg.hpp"
+
+namespace downup::core {
+
+using routing::ChannelId;
+using routing::Dir;
+using routing::NodeId;
+using routing::Topology;
+using routing::TurnPermissions;
+
+namespace {
+
+/// Picks the turn to block on a witness cycle: prefer a turn entering an
+/// up-cross run from outside; fall back to any distinct-direction turn that
+/// is not the connectivity-critical LU_TREE -> RD_TREE.
+std::size_t pickTurnIndex(const TurnPermissions& perms,
+                          const std::vector<ChannelId>& cycle) {
+  const std::size_t k = cycle.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const Dir d1 = perms.dir(cycle[i]);
+    const Dir d2 = perms.dir(cycle[(i + 1) % k]);
+    if (routing::isUpCross(d2) && !routing::isUpCross(d1)) return i;
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const Dir d1 = perms.dir(cycle[i]);
+    const Dir d2 = perms.dir(cycle[(i + 1) % k]);
+    if (d1 != d2 && !(d1 == Dir::kLuTree && d2 == Dir::kRdTree)) return i;
+  }
+  throw std::logic_error(
+      "repairTurnCycles: cycle with no safely blockable turn");
+}
+
+}  // namespace
+
+RepairStats repairTurnCycles(TurnPermissions& perms) {
+  RepairStats stats;
+  for (;;) {
+    const routing::CdgResult result =
+        routing::checkChannelDependencies(perms);
+    if (result.acyclic) return stats;
+
+    const std::size_t i = pickTurnIndex(perms, result.cycle);
+    const ChannelId in = result.cycle[i];
+    const ChannelId out = result.cycle[(i + 1) % result.cycle.size()];
+    const NodeId via = perms.topology().channelDst(in);
+    perms.blockAt(via, perms.dir(in), perms.dir(out));
+    ++stats.blockedTurns;
+    ++stats.cyclesBroken;
+  }
+}
+
+}  // namespace downup::core

@@ -1,0 +1,38 @@
+// Cycle-repair pass for the DOWN/UP turn rule.
+//
+// Reproduction finding (see DESIGN.md §4.4): the 18-turn prohibited set the
+// paper derives in Phase 2 is *not* sufficient for deadlock freedom.  The
+// direction-dependency cycle
+//
+//     RD_CROSS -> LU_CROSS -> L_CROSS -> RD_CROSS        (all three allowed)
+//
+// is realizable as a genuine turn cycle in a communication graph — an
+// 8-node witness is constructed in tests/core/downup_test.cpp.  The paper's
+// Step-3/Step-4 case analysis breaks up->flat->down orderings but misses
+// down->up->flat->down phase loops (down->up turns are the essence of
+// DOWN/UP routing and stay allowed).
+//
+// The repair keeps the published rule intact globally and breaks each
+// residual channel-dependency cycle locally: every turn cycle must enter an
+// up-cross run via a turn (d1 -> d2) with d2 in {LU_CROSS, RU_CROSS} and
+// d1 outside it (a cycle containing LU_TREE would have to be all-LU_TREE,
+// which is impossible), so we block exactly such a turn at one node per
+// detected cycle until the channel-dependency graph is acyclic.  Blocked
+// turns are never on a coordinated-tree path (tree paths use only LU_TREE /
+// RD_TREE), so all-pairs connectivity is preserved.
+#pragma once
+
+#include "routing/turns.hpp"
+
+namespace downup::core {
+
+struct RepairStats {
+  unsigned blockedTurns = 0;  // (node, direction-pair) blocks added
+  unsigned cyclesBroken = 0;  // repair iterations (>= blockedTurns batches)
+};
+
+/// Blocks per-node turns until the channel-dependency graph induced by
+/// `perms` is acyclic.  Idempotent; a no-op when already acyclic.
+RepairStats repairTurnCycles(routing::TurnPermissions& perms);
+
+}  // namespace downup::core

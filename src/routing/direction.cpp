@@ -1,0 +1,84 @@
+#include "routing/direction.hpp"
+
+#include <cassert>
+
+namespace downup::routing {
+
+std::string_view toString(Dir d) noexcept {
+  switch (d) {
+    case Dir::kLuTree: return "LU_TREE";
+    case Dir::kRdTree: return "RD_TREE";
+    case Dir::kLuCross: return "LU_CROSS";
+    case Dir::kLdCross: return "LD_CROSS";
+    case Dir::kRuCross: return "RU_CROSS";
+    case Dir::kRdCross: return "RD_CROSS";
+    case Dir::kRCross: return "R_CROSS";
+    case Dir::kLCross: return "L_CROSS";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Definition 4 applied to a channel <v1, v2>: compares coordinates and
+/// returns the cross-style direction value.
+Dir coordinateDirection(const tree::CoordinatedTree& ct, NodeId v1, NodeId v2) {
+  const auto x1 = ct.x(v1);
+  const auto x2 = ct.x(v2);
+  const auto y1 = ct.y(v1);
+  const auto y2 = ct.y(v2);
+  assert(x1 != x2 && "preorder indices are unique");
+  if (y2 < y1) return x2 < x1 ? Dir::kLuCross : Dir::kRuCross;
+  if (y2 > y1) return x2 < x1 ? Dir::kLdCross : Dir::kRdCross;
+  return x2 < x1 ? Dir::kLCross : Dir::kRCross;
+}
+
+}  // namespace
+
+DirectionMap classifyDownUp(const Topology& topo,
+                            const tree::CoordinatedTree& ct) {
+  DirectionMap dirs(topo.channelCount());
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    const NodeId v1 = topo.channelSrc(c);
+    const NodeId v2 = topo.channelDst(c);
+    if (ct.isTreeLink(v1, v2)) {
+      // Parent has strictly smaller preorder X and level Y: left-up.
+      dirs[c] = ct.parent(v1) == v2 ? Dir::kLuTree : Dir::kRdTree;
+    } else {
+      dirs[c] = coordinateDirection(ct, v1, v2);
+    }
+  }
+  return dirs;
+}
+
+DirectionMap classifyCoordinate(const Topology& topo,
+                                const tree::CoordinatedTree& ct) {
+  DirectionMap dirs(topo.channelCount());
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    dirs[c] = coordinateDirection(ct, topo.channelSrc(c), topo.channelDst(c));
+  }
+  return dirs;
+}
+
+DirectionMap classifyUpDown(const Topology& topo,
+                            const tree::CoordinatedTree& ct) {
+  DirectionMap dirs(topo.channelCount());
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    const NodeId v1 = topo.channelSrc(c);
+    const NodeId v2 = topo.channelDst(c);
+    const bool up = ct.y(v2) < ct.y(v1) || (ct.y(v2) == ct.y(v1) && v2 < v1);
+    dirs[c] = up ? Dir::kLuTree : Dir::kRdTree;
+  }
+  return dirs;
+}
+
+DirectionMap classifyUpDownDfs(const Topology& topo, const tree::DfsTree& dt) {
+  DirectionMap dirs(topo.channelCount());
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    const bool up = dt.order(topo.channelDst(c)) < dt.order(topo.channelSrc(c));
+    dirs[c] = up ? Dir::kLuTree : Dir::kRdTree;
+  }
+  return dirs;
+}
+
+}  // namespace downup::routing

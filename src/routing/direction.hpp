@@ -1,0 +1,77 @@
+// Channel directions (Definition 5) and the classifiers that map every
+// communication channel of a topology onto a direction, given a spanning
+// tree.  One 8-value enum serves all four routing algorithms:
+//
+//   DOWN/UP     uses all 8 values (tree and cross links are distinct);
+//   L-turn      uses the 6 *_CROSS values for every link (its defining
+//               property — tree and cross links share direction definitions);
+//   up*/down*   uses only LU_TREE ("up") and RD_TREE ("down").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "tree/coordinated_tree.hpp"
+#include "tree/dfs_tree.hpp"
+
+namespace downup::routing {
+
+using topo::ChannelId;
+using topo::kInvalidChannel;
+using topo::NodeId;
+using topo::Topology;
+
+enum class Dir : std::uint8_t {
+  kLuTree,   // tree channel toward the parent (left-up)
+  kRdTree,   // tree channel toward a child (right-down)
+  kLuCross,  // cross channel, sink is left-up of source
+  kLdCross,  // cross channel, sink is left-down of source
+  kRuCross,  // cross channel, sink is right-up of source
+  kRdCross,  // cross channel, sink is right-down of source
+  kRCross,   // cross channel, sink is right of source (same level)
+  kLCross,   // cross channel, sink is left of source (same level)
+};
+
+inline constexpr std::size_t kDirCount = 8;
+
+inline constexpr std::size_t index(Dir d) noexcept {
+  return static_cast<std::size_t>(d);
+}
+
+std::string_view toString(Dir d) noexcept;
+
+/// True for the two directions whose sink is closer to the root via a
+/// cross link (used by the release pass).
+inline constexpr bool isUpCross(Dir d) noexcept {
+  return d == Dir::kLuCross || d == Dir::kRuCross;
+}
+
+/// Per-channel direction assignment, indexed by ChannelId.
+using DirectionMap = std::vector<Dir>;
+
+/// DOWN/UP classification (Definition 5): tree channels become
+/// LU_TREE/RD_TREE, cross channels one of the six cross directions based on
+/// the coordinated tree's (X, Y) coordinates.
+DirectionMap classifyDownUp(const Topology& topo,
+                            const tree::CoordinatedTree& ct);
+
+/// L-turn classification: identical coordinate comparison but tree links are
+/// *not* distinguished — every channel gets one of the six cross values
+/// (a tree channel toward the parent is LU_CROSS, toward a child RD_CROSS).
+DirectionMap classifyCoordinate(const Topology& topo,
+                                const tree::CoordinatedTree& ct);
+
+/// Classic BFS up*/down*: a channel is "up" (LU_TREE) when it points to a
+/// node at a lower tree level, or to a lower node id within the same level;
+/// otherwise "down" (RD_TREE).
+DirectionMap classifyUpDown(const Topology& topo,
+                            const tree::CoordinatedTree& ct);
+
+/// DFS up*/down* (Robles et al.): "up" when the sink has a smaller DFS
+/// visit index.
+DirectionMap classifyUpDownDfs(const Topology& topo, const tree::DfsTree& dt);
+
+}  // namespace downup::routing

@@ -1,0 +1,21 @@
+#include "routing/leftright.hpp"
+
+namespace downup::routing {
+
+TurnSet leftRightTurnSet() noexcept {
+  TurnSet set = TurnSet::allAllowed();
+  for (Dir right : {Dir::kRuCross, Dir::kRCross, Dir::kRdCross}) {
+    for (Dir left : {Dir::kLuCross, Dir::kLCross, Dir::kLdCross}) {
+      set.prohibit(right, left);
+    }
+  }
+  return set;
+}
+
+Routing buildLeftRight(const Topology& topo, const tree::CoordinatedTree& ct) {
+  TurnPermissions perms(topo, classifyCoordinate(topo, ct),
+                        leftRightTurnSet());
+  return Routing("leftright", std::move(perms));
+}
+
+}  // namespace downup::routing

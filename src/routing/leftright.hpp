@@ -1,0 +1,26 @@
+// Reconstructed Left/Right routing — the second routing algorithm proposed
+// on the 2D turn model (Jouraku, Funahashi, Amano, Koibuchi, I-SPAN 2002).
+//
+// Reconstruction (the original text is unavailable here; see DESIGN.md §5):
+// with the six coordinate directions shared by tree and cross links, every
+// turn from a rightward direction {RU, R, RD} onto a leftward direction
+// {LU, L, LD} is prohibited (9 turns).  Deadlock-freedom argument: around
+// any channel cycle the number of left->right and right->left class
+// transitions is equal, so a cycle containing both classes needs a
+// prohibited right->left turn; a single-class cycle is monotone in X.
+// Connectivity: tree-up channels are leftward (LU), tree-down channels
+// rightward (RD), and left->right turns stay legal, so every up*/down*
+// tree path survives.
+#pragma once
+
+#include "routing/algorithm.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::routing {
+
+/// The Left/Right turn rule (9 prohibitions on the 6 coordinate directions).
+TurnSet leftRightTurnSet() noexcept;
+
+Routing buildLeftRight(const Topology& topo, const tree::CoordinatedTree& ct);
+
+}  // namespace downup::routing

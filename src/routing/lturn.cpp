@@ -1,0 +1,10 @@
+#include "routing/lturn.hpp"
+
+namespace downup::routing {
+
+Routing buildLTurn(const Topology& topo, const tree::CoordinatedTree& ct) {
+  TurnPermissions perms(topo, classifyCoordinate(topo, ct), lturnTurnSet());
+  return Routing("lturn", std::move(perms));
+}
+
+}  // namespace downup::routing

@@ -1,0 +1,15 @@
+// Reconstructed L-turn routing (Jouraku, Funahashi, Amano, Koibuchi,
+// ICPP 2001) — the paper's primary baseline.  See DESIGN.md §5 for the
+// reconstruction and its deadlock-freedom argument: six coordinate
+// directions shared by tree and cross links; prohibited turns are all
+// down->up, all horizontal->up, and L->R.
+#pragma once
+
+#include "routing/algorithm.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::routing {
+
+Routing buildLTurn(const Topology& topo, const tree::CoordinatedTree& ct);
+
+}  // namespace downup::routing

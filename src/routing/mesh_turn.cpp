@@ -1,0 +1,88 @@
+#include "routing/mesh_turn.hpp"
+
+#include <stdexcept>
+
+namespace downup::routing {
+
+namespace {
+// Geographic aliases for the shared direction enum.
+constexpr Dir kWest = Dir::kLCross;
+constexpr Dir kEast = Dir::kRCross;
+constexpr Dir kNorth = Dir::kLuCross;
+constexpr Dir kSouth = Dir::kRdCross;
+}  // namespace
+
+std::string_view toString(MeshTurnModel model) noexcept {
+  switch (model) {
+    case MeshTurnModel::kWestFirst: return "west-first";
+    case MeshTurnModel::kNorthLast: return "north-last";
+    case MeshTurnModel::kNegativeFirst: return "negative-first";
+    case MeshTurnModel::kXY: return "xy";
+  }
+  return "?";
+}
+
+DirectionMap classifyMesh(const Topology& topo, NodeId width, NodeId height) {
+  if (width == 0 || height == 0 ||
+      topo.nodeCount() != width * height) {
+    throw std::invalid_argument("classifyMesh: node count != width * height");
+  }
+  DirectionMap dirs(topo.channelCount());
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    const NodeId src = topo.channelSrc(c);
+    const NodeId dst = topo.channelDst(c);
+    const auto x1 = static_cast<std::int64_t>(src % width);
+    const auto y1 = static_cast<std::int64_t>(src / width);
+    const auto x2 = static_cast<std::int64_t>(dst % width);
+    const auto y2 = static_cast<std::int64_t>(dst / width);
+    const std::int64_t dx = x2 - x1;
+    const std::int64_t dy = y2 - y1;
+    if (dx == 1 && dy == 0) {
+      dirs[c] = kEast;
+    } else if (dx == -1 && dy == 0) {
+      dirs[c] = kWest;
+    } else if (dx == 0 && dy == 1) {
+      dirs[c] = kSouth;
+    } else if (dx == 0 && dy == -1) {
+      dirs[c] = kNorth;
+    } else {
+      throw std::invalid_argument(
+          "classifyMesh: link is not a unit mesh link");
+    }
+  }
+  return dirs;
+}
+
+TurnSet meshTurnSet(MeshTurnModel model) noexcept {
+  TurnSet set = TurnSet::allAllowed();
+  switch (model) {
+    case MeshTurnModel::kWestFirst:
+      set.prohibit(kNorth, kWest);
+      set.prohibit(kSouth, kWest);
+      break;
+    case MeshTurnModel::kNorthLast:
+      set.prohibit(kNorth, kEast);
+      set.prohibit(kNorth, kWest);
+      break;
+    case MeshTurnModel::kNegativeFirst:
+      set.prohibit(kEast, kNorth);
+      set.prohibit(kSouth, kWest);
+      break;
+    case MeshTurnModel::kXY:
+      set.prohibit(kNorth, kEast);
+      set.prohibit(kNorth, kWest);
+      set.prohibit(kSouth, kEast);
+      set.prohibit(kSouth, kWest);
+      break;
+  }
+  return set;
+}
+
+Routing buildMeshRouting(const Topology& topo, NodeId width, NodeId height,
+                         MeshTurnModel model) {
+  TurnPermissions perms(topo, classifyMesh(topo, width, height),
+                        meshTurnSet(model));
+  return Routing(std::string(toString(model)), std::move(perms));
+}
+
+}  // namespace downup::routing

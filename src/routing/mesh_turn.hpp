@@ -1,0 +1,47 @@
+// The original 2D-mesh turn model (Glass & Ni, reference [1] of the paper):
+// the foundation the 2D tree-based turn models generalise.  Implemented on
+// the same machinery as the irregular-network routings — mesh channels are
+// classified into the four geographic directions and each algorithm is a
+// TurnSet — so the identical CDG checker, routing tables and simulator
+// apply.
+//
+// Direction mapping (reverse pairs must match Dir's reverse pairs):
+//   west  (x decreases) -> L_CROSS      east  (x increases) -> R_CROSS
+//   north (y decreases) -> LU_CROSS     south (y increases) -> RD_CROSS
+//
+// Prohibited turns (2 of the 8 mesh turns each, one per rotational sense;
+// Glass & Ni's analysis, re-verified here by the CDG checker):
+//   west-first      {N->W, S->W}   — all west hops happen first
+//   north-last      {N->E, N->W}   — once heading north, stay north
+//   negative-first  {E->N, S->W}   — negative hops (west, north) first
+//   xy              {N->E, N->W, S->E, S->W} — dimension order (x then y),
+//                                    the deterministic baseline
+#pragma once
+
+#include "routing/algorithm.hpp"
+
+namespace downup::routing {
+
+enum class MeshTurnModel : std::uint8_t {
+  kWestFirst,
+  kNorthLast,
+  kNegativeFirst,
+  kXY,
+};
+
+std::string_view toString(MeshTurnModel model) noexcept;
+
+/// Classifies the channels of a `topo::mesh(width, height)`-shaped topology
+/// (node id == y * width + x) into the four mesh directions.  Throws
+/// std::invalid_argument on any link that is not a unit horizontal or
+/// vertical mesh link.
+DirectionMap classifyMesh(const Topology& topo, NodeId width, NodeId height);
+
+/// The prohibited-turn set of each algorithm.
+TurnSet meshTurnSet(MeshTurnModel model) noexcept;
+
+/// Builds the routing (classifier + turn set + shortest-path table).
+Routing buildMeshRouting(const Topology& topo, NodeId width, NodeId height,
+                         MeshTurnModel model);
+
+}  // namespace downup::routing

@@ -1,0 +1,117 @@
+#include "routing/routing_table.hpp"
+
+#include <algorithm>
+
+namespace downup::routing {
+
+RoutingTable RoutingTable::build(const TurnPermissions& perms) {
+  RoutingTable table;
+  table.perms_ = &perms;
+  const Topology& topo = perms.topology();
+  const NodeId n = topo.nodeCount();
+  table.channelCount_ = topo.channelCount();
+  table.steps_.assign(static_cast<std::size_t>(n) * table.channelCount_,
+                      kNoPath);
+
+  // Reverse adjacency is implicit: the predecessors of channel c are the
+  // input channels of src(c) whose turn onto c is allowed.
+  std::vector<ChannelId> queue;
+  queue.reserve(table.channelCount_);
+  for (NodeId dst = 0; dst < n; ++dst) {
+    auto* steps = &table.steps_[static_cast<std::size_t>(dst) *
+                                table.channelCount_];
+    queue.clear();
+    for (ChannelId c = 0; c < table.channelCount_; ++c) {
+      if (topo.channelDst(c) == dst) {
+        steps[c] = 1;
+        queue.push_back(c);
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const ChannelId c = queue[head];
+      const NodeId via = topo.channelSrc(c);
+      const std::uint16_t nextSteps = static_cast<std::uint16_t>(steps[c] + 1);
+      // Predecessor channels: inputs of `via` = reverses of its outputs.
+      for (ChannelId out : topo.outputChannels(via)) {
+        const ChannelId in = Topology::reverseChannel(out);
+        if (steps[in] != kNoPath) continue;
+        if (!perms.allowed(via, in, c)) continue;
+        steps[in] = nextSteps;
+        queue.push_back(in);
+      }
+    }
+  }
+  return table;
+}
+
+std::uint16_t RoutingTable::distance(NodeId src, NodeId dst) const noexcept {
+  if (src == dst) return 0;
+  std::uint16_t best = kNoPath;
+  for (ChannelId c : perms_->topology().outputChannels(src)) {
+    best = std::min(best, channelSteps(dst, c));
+  }
+  return best;
+}
+
+void RoutingTable::firstChannels(NodeId src, NodeId dst,
+                                 std::vector<ChannelId>& out) const {
+  const std::uint16_t best = distance(src, dst);
+  if (best == kNoPath || best == 0) return;
+  for (ChannelId c : perms_->topology().outputChannels(src)) {
+    if (channelSteps(dst, c) == best) out.push_back(c);
+  }
+}
+
+void RoutingTable::nextChannels(ChannelId in, NodeId dst,
+                                std::vector<ChannelId>& out) const {
+  const Topology& topo = perms_->topology();
+  const NodeId via = topo.channelDst(in);
+  const std::uint16_t remaining = channelSteps(dst, in);
+  if (remaining == kNoPath || remaining <= 1) return;  // <=1: v == dst
+  for (ChannelId next : topo.outputChannels(via)) {
+    if (channelSteps(dst, next) == remaining - 1 &&
+        perms_->allowed(via, in, next)) {
+      out.push_back(next);
+    }
+  }
+}
+
+void RoutingTable::nextChannelsAnyTurn(ChannelId in, NodeId dst,
+                                       std::vector<ChannelId>& out) const {
+  const Topology& topo = perms_->topology();
+  const NodeId via = topo.channelDst(in);
+  const std::uint16_t remaining = channelSteps(dst, in);
+  if (remaining == kNoPath || remaining <= 1) return;
+  for (ChannelId next : topo.outputChannels(via)) {
+    if (next == Topology::reverseChannel(in)) continue;
+    if (channelSteps(dst, next) == remaining - 1) out.push_back(next);
+  }
+}
+
+bool RoutingTable::allPairsConnected() const noexcept {
+  const NodeId n = perms_->topology().nodeCount();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s != d && distance(s, d) == kNoPath) return false;
+    }
+  }
+  return true;
+}
+
+double RoutingTable::averagePathLength() const {
+  const NodeId n = perms_->topology().nodeCount();
+  double sum = 0.0;
+  std::uint64_t pairs = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const std::uint16_t dist = distance(s, d);
+      if (dist == kNoPath) continue;
+      sum += dist;
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace downup::routing

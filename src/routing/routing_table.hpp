@@ -1,0 +1,77 @@
+// Turn-restricted shortest-path routing tables.
+//
+// Because legality of a hop depends on the direction of the channel a packet
+// arrived on, shortest paths are computed on the *channel graph*: vertices
+// are channels, and channel c may be followed by channel c' when
+// dst(c) == src(c') and the turn (dir(c) -> dir(c')) is allowed at that
+// node.  For every destination d we run one reverse BFS over that graph,
+// yielding steps(d, c) = minimal number of channels on an allowed path that
+// starts by traversing c and ends at d.
+//
+// The adaptive routing relation the simulator consumes falls out directly:
+// at node v (arrived via `in`, heading to d) every allowed output channel o
+// with steps(d, o) == steps(d, in) - 1 lies on a globally minimal legal
+// path, and all such channels are candidates (Section 5 of the paper routes
+// on "the shortest possible paths", choosing among them at random).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/turns.hpp"
+
+namespace downup::routing {
+
+inline constexpr std::uint16_t kNoPath = 0xffff;
+
+class RoutingTable {
+ public:
+  /// Builds the table; O(destinations x channels x avg-degree).
+  static RoutingTable build(const TurnPermissions& perms);
+
+  const TurnPermissions& permissions() const noexcept { return *perms_; }
+  const Topology& topology() const noexcept { return perms_->topology(); }
+
+  /// Channels on a minimal legal path to dst whose first hop is c
+  /// (kNoPath if dst is unreachable through c).
+  std::uint16_t channelSteps(NodeId dst, ChannelId c) const noexcept {
+    return steps_[static_cast<std::size_t>(dst) * channelCount_ + c];
+  }
+
+  /// Minimal legal hop count from src to dst; kNoPath if unreachable,
+  /// 0 when src == dst.
+  std::uint16_t distance(NodeId src, NodeId dst) const noexcept;
+
+  /// Appends to `out` every output channel of src that starts a minimal
+  /// legal path to dst (injection: no input-channel constraint).
+  void firstChannels(NodeId src, NodeId dst, std::vector<ChannelId>& out) const;
+
+  /// Appends to `out` every output channel at v == dst(in) that continues a
+  /// minimal legal path to dst, honouring the turn constraint against `in`.
+  void nextChannels(ChannelId in, NodeId dst, std::vector<ChannelId>& out) const;
+
+  /// Like nextChannels but ignoring the turn rule (U-turns still excluded):
+  /// every output whose legal-steps potential is exactly one less than
+  /// `in`'s.  This is the adaptive-class candidate set of the
+  /// escape-channel routing scheme (sim/config.hpp): because steps(d, c) is
+  /// defined over *legal* continuations, a turn-legal escape successor
+  /// always exists from any channel this relation can reach.
+  void nextChannelsAnyTurn(ChannelId in, NodeId dst,
+                           std::vector<ChannelId>& out) const;
+
+  /// True when distance(s, d) is finite for every ordered pair.
+  bool allPairsConnected() const noexcept;
+
+  /// Mean legal hop count over ordered pairs (src != dst); unreachable
+  /// pairs are skipped (and counted by verify()).
+  double averagePathLength() const;
+
+ private:
+  RoutingTable() = default;
+
+  const TurnPermissions* perms_ = nullptr;
+  std::uint32_t channelCount_ = 0;
+  std::vector<std::uint16_t> steps_;  // [dst * channelCount_ + channel]
+};
+
+}  // namespace downup::routing

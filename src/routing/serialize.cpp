@@ -1,0 +1,175 @@
+#include "routing/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace downup::routing {
+
+namespace {
+[[noreturn]] void fail(std::size_t lineNo, const std::string& message) {
+  throw std::runtime_error("routing load: line " + std::to_string(lineNo) +
+                           ": " + message);
+}
+}  // namespace
+
+Dir dirFromString(std::string_view name) {
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    const Dir d = static_cast<Dir>(i);
+    if (toString(d) == name) return d;
+  }
+  throw std::invalid_argument("unknown direction name '" + std::string(name) +
+                              "'");
+}
+
+void saveRouting(const Routing& routing, std::ostream& out) {
+  const TurnPermissions& perms = routing.permissions();
+  const Topology& topo = perms.topology();
+  out << "downup-routing v1\n";
+  out << "name " << routing.name() << "\n";
+  out << "channels " << topo.channelCount() << "\n";
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    out << "dir " << c << " " << toString(perms.dir(c)) << "\n";
+  }
+  for (const auto& [from, to] : perms.global().prohibitedList()) {
+    out << "prohibit " << toString(from) << " " << toString(to) << "\n";
+  }
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+    for (std::size_t i = 0; i < kDirCount; ++i) {
+      for (std::size_t j = 0; j < kDirCount; ++j) {
+        const Dir d1 = static_cast<Dir>(i);
+        const Dir d2 = static_cast<Dir>(j);
+        if (perms.isReleasedAt(v, d1, d2)) {
+          out << "release " << v << " " << toString(d1) << " " << toString(d2)
+              << "\n";
+        }
+        if (perms.isBlockedAt(v, d1, d2)) {
+          out << "block " << v << " " << toString(d1) << " " << toString(d2)
+              << "\n";
+        }
+      }
+    }
+  }
+}
+
+void saveRoutingFile(const Routing& routing, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("routing save: cannot open " + path);
+  saveRouting(routing, out);
+}
+
+Routing loadRouting(const Topology& topo, std::istream& in) {
+  std::string lineText;
+  std::size_t lineNo = 0;
+  bool sawMagic = false;
+  std::string name = "loaded";
+  std::optional<DirectionMap> dirs;
+  TurnSet global = TurnSet::allAllowed();
+  struct Override {
+    bool isBlock;
+    NodeId node;
+    Dir from;
+    Dir to;
+  };
+  std::vector<Override> overrides;
+
+  const auto parseDir = [&lineNo](std::istringstream& line) {
+    std::string word;
+    if (!(line >> word)) fail(lineNo, "expected a direction name");
+    try {
+      return dirFromString(word);
+    } catch (const std::invalid_argument& e) {
+      fail(lineNo, e.what());
+    }
+  };
+
+  while (std::getline(in, lineText)) {
+    ++lineNo;
+    std::istringstream line(lineText);
+    std::string keyword;
+    if (!(line >> keyword) || keyword.starts_with('#')) continue;
+    if (!sawMagic) {
+      std::string version;
+      if (keyword != "downup-routing" || !(line >> version) || version != "v1") {
+        fail(lineNo, "expected header 'downup-routing v1'");
+      }
+      sawMagic = true;
+      continue;
+    }
+    if (keyword == "name") {
+      line >> name;
+    } else if (keyword == "channels") {
+      std::uint32_t count = 0;
+      if (!(line >> count)) fail(lineNo, "bad channel count");
+      if (count != topo.channelCount()) {
+        fail(lineNo, "channel count does not match the topology");
+      }
+      dirs.emplace(count, Dir::kLuTree);
+    } else if (keyword == "dir") {
+      if (!dirs) fail(lineNo, "'dir' before 'channels'");
+      ChannelId c = 0;
+      if (!(line >> c) || c >= dirs->size()) fail(lineNo, "bad channel id");
+      (*dirs)[c] = parseDir(line);
+    } else if (keyword == "prohibit") {
+      const Dir from = parseDir(line);
+      const Dir to = parseDir(line);
+      global.prohibit(from, to);
+    } else if (keyword == "release" || keyword == "block") {
+      NodeId v = 0;
+      if (!(line >> v) || v >= topo.nodeCount()) fail(lineNo, "bad node id");
+      const Dir from = parseDir(line);
+      const Dir to = parseDir(line);
+      overrides.push_back({keyword == "block", v, from, to});
+    } else {
+      fail(lineNo, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!dirs) throw std::runtime_error("routing load: missing 'channels'");
+
+  TurnPermissions perms(topo, *std::move(dirs), global);
+  for (const Override& o : overrides) {
+    if (o.isBlock) {
+      perms.blockAt(o.node, o.from, o.to);
+    } else {
+      perms.releaseAt(o.node, o.from, o.to);
+    }
+  }
+  return Routing(name, std::move(perms));
+}
+
+Routing loadRoutingFile(const Topology& topo, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("routing load: cannot open " + path);
+  return loadRouting(topo, in);
+}
+
+void exportSwitchConfig(const Routing& routing, NodeId node,
+                        std::ostream& out) {
+  const TurnPermissions& perms = routing.permissions();
+  const Topology& topo = perms.topology();
+  const auto neighbors = topo.neighbors(node);
+  const auto outputs = topo.outputChannels(node);
+
+  out << "switch " << node << " (" << routing.name() << "), "
+      << neighbors.size() << " ports\n";
+  out << std::left << std::setw(14) << "in\\out";
+  for (NodeId peer : neighbors) {
+    out << std::setw(8) << ("->" + std::to_string(peer));
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    const ChannelId in = Topology::reverseChannel(outputs[i]);
+    std::ostringstream label;
+    label << "<-" << neighbors[i] << " " << toString(perms.dir(in));
+    out << std::setw(14) << label.str();
+    for (ChannelId candidate : outputs) {
+      out << std::setw(8)
+          << (perms.allowed(node, in, candidate) ? "yes" : "-");
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace downup::routing

@@ -1,0 +1,41 @@
+// Serialisation of a computed routing: the per-channel direction map, the
+// global turn set and every per-node release/block override — everything
+// needed to reproduce the routing relation on a known topology without
+// re-running the construction, or to ship it to switch firmware.
+//
+// Format (line oriented, '#' comments allowed):
+//   downup-routing v1
+//   name <routing-name>
+//   channels <C>
+//   dir <channel> <DIRECTION>
+//   prohibit <FROM> <TO>             # global turn rule
+//   release <node> <FROM> <TO>       # per-node override: re-allow
+//   block <node> <FROM> <TO>         # per-node override: prohibit
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "routing/algorithm.hpp"
+
+namespace downup::routing {
+
+void saveRouting(const Routing& routing, std::ostream& out);
+void saveRoutingFile(const Routing& routing, const std::string& path);
+
+/// Rebuilds the routing (including its table) against `topo`, which must be
+/// the topology the routing was computed on.  Throws std::runtime_error
+/// with a line number on malformed input or a channel-count mismatch.
+Routing loadRouting(const Topology& topo, std::istream& in);
+Routing loadRoutingFile(const Topology& topo, const std::string& path);
+
+/// Parses a direction name ("LU_TREE", ...); throws std::invalid_argument.
+Dir dirFromString(std::string_view name);
+
+/// Human-readable per-switch configuration: for every (input, output) port
+/// pair of `node`, whether the turn is permitted — the form a switch
+/// firmware table would take.
+void exportSwitchConfig(const Routing& routing, NodeId node,
+                        std::ostream& out);
+
+}  // namespace downup::routing

@@ -1,0 +1,76 @@
+#include "routing/turns.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace downup::routing {
+
+std::vector<std::pair<Dir, Dir>> TurnSet::prohibitedList() const {
+  std::vector<std::pair<Dir, Dir>> list;
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    for (std::size_t j = 0; j < kDirCount; ++j) {
+      if (i != j && !allowed_[i][j]) {
+        list.emplace_back(static_cast<Dir>(i), static_cast<Dir>(j));
+      }
+    }
+  }
+  return list;
+}
+
+std::size_t TurnSet::prohibitedCount() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    for (std::size_t j = 0; j < kDirCount; ++j) {
+      if (i != j && !allowed_[i][j]) ++count;
+    }
+  }
+  return count;
+}
+
+TurnSet upDownTurnSet() noexcept {
+  TurnSet set = TurnSet::allAllowed();
+  set.prohibit(Dir::kRdTree, Dir::kLuTree);
+  return set;
+}
+
+TurnSet lturnTurnSet() noexcept {
+  TurnSet set = TurnSet::allAllowed();
+  // down -> up
+  for (Dir down : {Dir::kLdCross, Dir::kRdCross}) {
+    for (Dir up : {Dir::kLuCross, Dir::kRuCross}) set.prohibit(down, up);
+  }
+  // horizontal -> up
+  for (Dir horiz : {Dir::kLCross, Dir::kRCross}) {
+    for (Dir up : {Dir::kLuCross, Dir::kRuCross}) set.prohibit(horiz, up);
+  }
+  // break same-level cycles
+  set.prohibit(Dir::kLCross, Dir::kRCross);
+  return set;
+}
+
+TurnPermissions::TurnPermissions(const Topology& topo, DirectionMap channelDirs,
+                                 TurnSet global)
+    : topo_(&topo),
+      dirs_(std::move(channelDirs)),
+      global_(global),
+      released_(topo.nodeCount(), 0),
+      blocked_(topo.nodeCount(), 0) {
+  if (dirs_.size() != topo.channelCount()) {
+    throw std::invalid_argument(
+        "TurnPermissions: direction map size mismatch");
+  }
+}
+
+std::size_t TurnPermissions::releaseCount() const noexcept {
+  std::size_t count = 0;
+  for (std::uint64_t mask : released_) count += std::popcount(mask);
+  return count;
+}
+
+std::size_t TurnPermissions::blockCount() const noexcept {
+  std::size_t count = 0;
+  for (std::uint64_t mask : blocked_) count += std::popcount(mask);
+  return count;
+}
+
+}  // namespace downup::routing

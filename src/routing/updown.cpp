@@ -1,0 +1,18 @@
+#include "routing/updown.hpp"
+
+#include "tree/dfs_tree.hpp"
+
+namespace downup::routing {
+
+Routing buildUpDown(const Topology& topo, const tree::CoordinatedTree& ct) {
+  TurnPermissions perms(topo, classifyUpDown(topo, ct), upDownTurnSet());
+  return Routing("updown-bfs", std::move(perms));
+}
+
+Routing buildUpDownDfs(const Topology& topo, NodeId root) {
+  const tree::DfsTree dt = tree::DfsTree::build(topo, root);
+  TurnPermissions perms(topo, classifyUpDownDfs(topo, dt), upDownTurnSet());
+  return Routing("updown-dfs", std::move(perms));
+}
+
+}  // namespace downup::routing

@@ -1,0 +1,18 @@
+// The up*/down* baselines (Schroeder et al., Autonet; Robles et al. for the
+// DFS variant): every packet travels zero or more "up" channels followed by
+// zero or more "down" channels, enforced by the single prohibited turn
+// down -> up.
+#pragma once
+
+#include "routing/algorithm.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::routing {
+
+/// BFS up*/down* over the coordinated tree's levels (ties broken by id).
+Routing buildUpDown(const Topology& topo, const tree::CoordinatedTree& ct);
+
+/// DFS up*/down*: channels point "up" toward smaller DFS visit indices.
+Routing buildUpDownDfs(const Topology& topo, NodeId root = 0);
+
+}  // namespace downup::routing

@@ -1,0 +1,31 @@
+// One-call validation of a routing: deadlock freedom (acyclic channel
+// dependencies) and connectivity (every ordered pair reachable on legal
+// paths), plus path-quality diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "routing/algorithm.hpp"
+
+namespace downup::routing {
+
+struct VerifyReport {
+  bool deadlockFree = false;
+  bool connected = false;
+  /// Non-empty iff !deadlockFree: a witness channel cycle.
+  std::vector<ChannelId> cycleWitness;
+  std::uint64_t unreachablePairs = 0;
+  double averagePathLength = 0.0;
+  /// Mean over connected pairs of legal-distance / graph-distance (>= 1).
+  double averageStretch = 0.0;
+  double maxStretch = 0.0;
+
+  bool ok() const noexcept { return deadlockFree && connected; }
+  std::string describe() const;
+};
+
+VerifyReport verifyRouting(const Routing& routing);
+
+}  // namespace downup::routing

@@ -1,0 +1,56 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+
+namespace downup::sim {
+
+void SimConfig::validate() const {
+  if (packetLengthFlits == 0) {
+    throw std::invalid_argument("SimConfig: packet length must be positive");
+  }
+  if (bufferDepthFlits == 0) {
+    throw std::invalid_argument("SimConfig: buffer depth must be positive");
+  }
+  if (vcCount == 0 || vcCount > 16) {
+    throw std::invalid_argument("SimConfig: vcCount must be in [1, 16]");
+  }
+  if (ejectionPortsPerNode == 0) {
+    throw std::invalid_argument("SimConfig: need at least one ejection port");
+  }
+  if (sourceQueueCapPackets == 0) {
+    throw std::invalid_argument("SimConfig: source queue capacity must be > 0");
+  }
+  if (measureCycles == 0) {
+    throw std::invalid_argument("SimConfig: measurement window must be > 0");
+  }
+  if (deadlockThresholdCycles == 0) {
+    throw std::invalid_argument("SimConfig: deadlock threshold must be > 0");
+  }
+  if (misrouteProbability < 0.0 || misrouteProbability > 1.0) {
+    throw std::invalid_argument(
+        "SimConfig: misroute probability must be in [0, 1]");
+  }
+  if (burstFactor < 1.0) {
+    throw std::invalid_argument("SimConfig: burst factor must be >= 1");
+  }
+  if (escapeAdaptiveRouting) {
+    if (vcCount < 2) {
+      throw std::invalid_argument(
+          "SimConfig: escape-adaptive routing needs >= 2 virtual channels");
+    }
+    if (misrouteProbability > 0.0) {
+      throw std::invalid_argument(
+          "SimConfig: escape-adaptive routing is incompatible with "
+          "misrouting");
+    }
+    if (!adaptiveSelection) {
+      throw std::invalid_argument(
+          "SimConfig: escape-adaptive routing requires adaptive selection");
+    }
+  }
+  if (burstOnMeanCycles == 0) {
+    throw std::invalid_argument("SimConfig: burst ON mean must be > 0");
+  }
+}
+
+}  // namespace downup::sim

@@ -1,0 +1,104 @@
+// Simulation parameters and per-run results for the wormhole simulator.
+//
+// Timing model (matches the paper's IRFlexSim setup): a header flit takes
+// 1 clock to be routed/arbitrated, 1 clock to cross the switch, and 1 clock
+// on the link (3 clocks per hop); body flits pipeline behind it at one flit
+// per clock.  Flow control is credit-based with `bufferDepthFlits` slots per
+// virtual channel; a depth of >= 3 sustains full link bandwidth under the
+// 3-cycle credit round trip, so the default is 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace downup::sim {
+
+struct SimConfig {
+  std::uint32_t packetLengthFlits = 128;  // paper: 128
+  std::uint32_t bufferDepthFlits = 4;     // per input VC
+  std::uint32_t vcCount = 1;              // virtual channels per physical channel
+  std::uint32_t ejectionPortsPerNode = 1;
+  std::uint32_t sourceQueueCapPackets = 16;  // injection back-pressure bound
+  std::uint32_t warmupCycles = 5000;
+  std::uint32_t measureCycles = 20000;
+  /// Declare deadlock after this many cycles without any flit movement
+  /// while traffic is in flight (only reachable when turn rules are broken).
+  std::uint32_t deadlockThresholdCycles = 10000;
+  /// Probability that a header considers *every* legal output (any allowed
+  /// turn from which the destination stays reachable) instead of only the
+  /// minimal ones.  0 = shortest-path routing (the paper's evaluation
+  /// setting); > 0 exercises the full non-minimal adaptive relation.
+  double misrouteProbability = 0.0;
+  /// Bursty arrivals: a two-state ON/OFF Markov process per node.  In ON the
+  /// node generates at burstFactor x the Bernoulli rate, in OFF not at all;
+  /// duty cycle 1/burstFactor keeps the mean offered load unchanged.
+  /// burstFactor == 1 (default) is the plain Bernoulli process.
+  double burstFactor = 1.0;
+  std::uint32_t burstOnMeanCycles = 200;
+  /// Record every packet's channel path (memory ~ path length per packet;
+  /// for tests and the trace example).
+  bool tracePackets = false;
+  /// When false, every header waits for the *fixed* lowest-numbered minimal
+  /// candidate (VC 0 of the first legal output channel) instead of choosing
+  /// randomly among free candidates — deterministic single-path routing,
+  /// the ablation counterpart to the paper's adaptive mode.
+  bool adaptiveSelection = true;
+  /// When > 0, RunStats::acceptedTimeline records ejected flits per bucket
+  /// of this many cycles over the *whole* run (including warm-up), so
+  /// warm-up adequacy and stationarity can be checked.
+  std::uint32_t timelineBucketCycles = 0;
+  /// Escape-channel minimal-adaptive routing in the style of Silla & Duato
+  /// (the paper's reference [8]); requires vcCount >= 2.  VC 0 of every
+  /// physical channel is the *escape* class and obeys the turn rule; VCs
+  /// >= 1 are fully adaptive: any output one step closer to the destination
+  /// under the legal-steps potential may be taken regardless of turns.  A
+  /// packet that ever takes an escape VC stays in the escape class
+  /// ("sticky"), which gives the classic deadlock-freedom argument: escape
+  /// dependencies are exactly the (acyclic) turn-legal channel
+  /// dependencies, and a turn-legal escape successor exists from *every*
+  /// reachable channel because the potential counts legal continuations.
+  /// Every hop decreases the potential by one, so paths are exactly the
+  /// legal shortest length and livelock is impossible.  Incompatible with
+  /// misrouteProbability > 0 and with adaptiveSelection == false.
+  bool escapeAdaptiveRouting = false;
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+struct RunStats {
+  std::uint64_t cycles = 0;
+  bool deadlocked = false;
+
+  std::uint64_t packetsGenerated = 0;
+  std::uint64_t packetsEjectedMeasured = 0;
+  std::uint64_t flitsEjectedMeasured = 0;
+
+  /// Latency = generation -> tail ejection, over packets generated after
+  /// warm-up (cycles).
+  double avgLatency = 0.0;
+  double p50Latency = 0.0;
+  double p99Latency = 0.0;
+  /// avgLatency = avgQueueingDelay + avgNetworkLatency: time waiting in the
+  /// source queue before the first flit leaves vs time from first injection
+  /// to tail ejection.
+  double avgQueueingDelay = 0.0;
+  double avgNetworkLatency = 0.0;
+
+  /// Throughput actually delivered, flits/clock/node over the measurement
+  /// window (the paper's "accepted traffic").
+  double acceptedFlitsPerNodePerCycle = 0.0;
+  /// The offered injection rate the run was configured with.
+  double offeredLoad = 0.0;
+
+  /// Measured flits per clock on each switch-to-switch channel, indexed by
+  /// ChannelId (in [0, 1]; the basis of every Table 1-4 metric).
+  std::vector<double> channelUtilization;
+
+  /// Ejected flits per timelineBucketCycles bucket over the whole run
+  /// (empty unless SimConfig::timelineBucketCycles > 0).
+  std::vector<std::uint64_t> acceptedTimeline;
+};
+
+}  // namespace downup::sim

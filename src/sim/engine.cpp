@@ -1,0 +1,12 @@
+#include "sim/engine.hpp"
+
+namespace downup::sim {
+
+RunStats simulate(const routing::RoutingTable& table,
+                  const TrafficPattern& pattern, double injectionRate,
+                  const SimConfig& config) {
+  WormholeNetwork network(table, pattern, injectionRate, config);
+  return network.run();
+}
+
+}  // namespace downup::sim

@@ -1,0 +1,17 @@
+// One-call simulation entry point.
+#pragma once
+
+#include "routing/routing_table.hpp"
+#include "sim/config.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+
+namespace downup::sim {
+
+/// Simulates `table` under `pattern` at `injectionRate` flits/node/cycle
+/// with the given configuration and returns the run statistics.
+RunStats simulate(const routing::RoutingTable& table,
+                  const TrafficPattern& pattern, double injectionRate,
+                  const SimConfig& config);
+
+}  // namespace downup::sim

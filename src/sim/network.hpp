@@ -1,0 +1,208 @@
+// Cycle-accurate wormhole network simulator (the IRFlexSim0.5 substitute).
+//
+// Model per cycle (in phase order):
+//   1. arrivals  — flits that finished the 2-cycle switch+link pipeline
+//                  enter their target VC buffer;
+//   2. traffic   — each node Bernoulli-generates packets into its source
+//                  queue (blocked while the queue is at capacity);
+//   3. allocation— header flits that have sat in a buffer for >= 1 cycle
+//                  (the 1-clock routing/arbitration delay) claim a free
+//                  output VC among the minimal legal candidates given by the
+//                  RoutingTable (random choice = the paper's random pick
+//                  among shortest paths), or a free ejection port;
+//   4. transfer  — two-level arbitration (one flit per input channel, one
+//                  flit per output channel / ejection port per cycle) moves
+//                  flits; a flit sent at cycle t enters the downstream
+//                  buffer at t+2.  Credit-based flow control with
+//                  bufferDepthFlits credits per VC.
+//
+// Wormhole semantics: an output VC is owned by one packet from header
+// allocation until its tail flit leaves that VC's buffer; a blocked header
+// therefore stalls its whole chain of channels upstream, which is exactly
+// what makes channel-dependency cycles deadlock.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "routing/routing_table.hpp"
+#include "sim/config.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace downup::sim {
+
+using routing::ChannelId;
+using routing::RoutingTable;
+
+using PacketId = std::uint32_t;
+inline constexpr PacketId kNoPacket = static_cast<PacketId>(-1);
+inline constexpr std::uint32_t kNoOut = static_cast<std::uint32_t>(-1);
+
+class WormholeNetwork {
+ public:
+  /// `table`, `pattern` and the topology behind them must outlive the
+  /// network.  `injectionRate` is in flits/node/cycle.
+  WormholeNetwork(const RoutingTable& table, const TrafficPattern& pattern,
+                  double injectionRate, const SimConfig& config);
+
+  /// Advances one cycle.
+  void step();
+
+  /// Runs warmup + measurement (stopping early on deadlock) and returns the
+  /// collected statistics.
+  RunStats run();
+
+  // --- observation hooks (tests, examples) ---
+  static constexpr std::uint64_t kNeverEjected = ~std::uint64_t{0};
+
+  /// Enqueues one packet directly, bypassing the Bernoulli process and the
+  /// source-queue cap; returns its id.  Useful for deterministic tests.
+  PacketId injectPacket(topo::NodeId src, topo::NodeId dst);
+
+  /// Cycle the packet's tail flit was ejected, or kNeverEjected.
+  std::uint64_t packetEjectTime(PacketId pid) const {
+    return packets_[pid].ejectTime;
+  }
+  std::uint64_t packetGenTime(PacketId pid) const {
+    return packets_[pid].genTime;
+  }
+  /// Cycle the packet's first flit left the source queue, or kNeverEjected.
+  std::uint64_t packetInjectTime(PacketId pid) const {
+    return packets_[pid].injectTime;
+  }
+  /// The channel sequence the packet was routed over (requires
+  /// config.tracePackets; empty otherwise or while still queued).
+  const std::vector<ChannelId>& packetPath(PacketId pid) const {
+    static const std::vector<ChannelId> kEmpty;
+    return pid < tracedPaths_.size() ? tracedPaths_[pid] : kEmpty;
+  }
+
+  std::uint64_t now() const noexcept { return now_; }
+  bool deadlocked() const noexcept { return deadlocked_; }
+  std::uint64_t packetsGenerated() const noexcept { return packetsGenerated_; }
+  std::uint64_t packetsEjected() const noexcept { return packetsEjectedTotal_; }
+  std::uint64_t flitsInFlight() const noexcept;
+  std::size_t sourceQueueLength(topo::NodeId node) const {
+    return sources_[node].queue.size();
+  }
+  /// Latency of the i-th measured packet (test introspection).
+  const std::vector<double>& measuredLatencies() const noexcept {
+    return latencies_;
+  }
+
+  RunStats collectStats() const;
+
+ private:
+  struct Vc {
+    PacketId owner = kNoPacket;
+    std::uint32_t out = kNoOut;     // target VC id or ejection ref
+    std::uint32_t buffered = 0;     // flits currently in this buffer
+    std::uint32_t entered = 0;      // flits of `owner` ever entered
+    std::uint32_t sent = 0;         // flits of `owner` forwarded onward
+    std::uint64_t headReadyAt = 0;  // cycle the header entered the buffer
+  };
+
+  struct Source {
+    std::deque<PacketId> queue;
+    std::uint32_t sent = 0;      // flits of the front packet injected
+    std::uint32_t out = kNoOut;  // output VC of the front packet
+  };
+
+  struct Packet {
+    topo::NodeId src;
+    topo::NodeId dst;
+    std::uint64_t genTime;
+    std::uint64_t injectTime = kNeverEjected;
+    std::uint64_t ejectTime = kNeverEjected;
+    bool onEscape = false;  // escape-adaptive routing: committed to VC 0
+  };
+
+  // VC ids are channel * vcCount + v; ejection refs are
+  // ejectBase_ + node * ejectionPorts + port.
+  std::uint32_t vcChannel(std::uint32_t vc) const noexcept { return vc / vcCount_; }
+  bool isEject(std::uint32_t out) const noexcept { return out >= ejectBase_; }
+
+  void deliverArrivals();
+  void generateTraffic();
+  void allocateOutputs();
+  void routeHeader(std::uint32_t vcId);
+  void routeSource(topo::NodeId node);
+  /// Claims a free VC among the minimal legal output channels; returns the
+  /// VC id or kNoOut.  `in` is kNoOut for injection from `node`.
+  std::uint32_t claimOutputVc(PacketId pid, topo::NodeId node, ChannelId in,
+                              topo::NodeId dst);
+  /// Escape-adaptive variant: adaptive VCs (>= 1) over any
+  /// potential-decrementing output first, escape VC 0 over turn-legal
+  /// outputs as fallback (sticky once taken).
+  std::uint32_t claimEscapeAdaptive(PacketId pid, topo::NodeId node,
+                                    ChannelId in, topo::NodeId dst);
+  /// Claims `vcId` for `pid`, recording the trace hop; returns vcId.
+  std::uint32_t commitClaim(PacketId pid, std::uint32_t vcId);
+  std::uint32_t claimEjectPort(PacketId pid, topo::NodeId node);
+  void transferFlits();
+  void executeMove(bool fromSource, std::uint32_t index);
+
+  const RoutingTable* table_;
+  const topo::Topology* topo_;
+  const TrafficPattern* pattern_;
+  SimConfig config_;
+  double injectionRate_;
+  double genProbability_;  // per node per cycle
+  util::Rng rng_;
+
+  std::uint32_t vcCount_;
+  std::uint32_t totalVcs_;
+  std::uint32_t ejectBase_;
+  std::uint32_t outputResources_;  // channels + ejection ports
+
+  std::vector<Vc> vcs_;
+  std::vector<std::uint32_t> credit_;  // free slots per VC, upstream's view
+  std::vector<Source> sources_;
+  std::vector<PacketId> ejectOwner_;
+  std::vector<Packet> packets_;
+  std::vector<std::vector<ChannelId>> tracedPaths_;  // iff tracePackets
+  std::vector<bool> burstOn_;                        // iff burstFactor > 1
+
+  static constexpr std::uint32_t kPipelineCycles = 2;  // switch + link
+  std::array<std::vector<std::uint32_t>, kPipelineCycles + 1> arrivals_;
+
+  // Arbitration state.
+  std::uint32_t allocOffset_ = 0;                 // rotating header priority
+  std::vector<std::uint32_t> inputRoundRobin_;    // per physical channel
+  std::vector<std::uint32_t> outputRoundRobin_;   // per output resource
+
+  // Scratch buffers reused every cycle.
+  std::vector<ChannelId> candidateChannels_;
+  std::vector<std::uint32_t> candidateVcs_;
+  struct Move {
+    bool fromSource;
+    std::uint32_t index;  // vc id or node id
+    std::uint32_t out;
+  };
+  std::vector<Move> proposedMoves_;
+  std::vector<std::uint32_t> touchedResources_;
+  std::vector<std::vector<Move>> resourceRequests_;
+
+  // Clock and bookkeeping.
+  std::uint64_t now_ = 0;
+  std::uint64_t idleCycles_ = 0;
+  bool deadlocked_ = false;
+  bool movedThisCycle_ = false;
+
+  // Statistics.
+  std::uint64_t packetsGenerated_ = 0;
+  std::uint64_t packetsEjectedTotal_ = 0;
+  std::uint64_t packetsEjectedMeasured_ = 0;
+  std::uint64_t flitsEjectedMeasured_ = 0;
+  std::uint64_t measuredCycles_ = 0;
+  std::vector<std::uint64_t> channelFlits_;  // per physical channel
+  std::vector<double> latencies_;
+  std::vector<double> queueingDelays_;
+  std::vector<std::uint64_t> acceptedTimeline_;
+};
+
+}  // namespace downup::sim

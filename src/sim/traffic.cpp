@@ -1,0 +1,87 @@
+#include "sim/traffic.hpp"
+
+#include <stdexcept>
+
+#include "topology/properties.hpp"
+
+namespace downup::sim {
+
+UniformTraffic::UniformTraffic(NodeId nodeCount) : nodeCount_(nodeCount) {
+  if (nodeCount < 2) throw std::invalid_argument("UniformTraffic: need >= 2 nodes");
+}
+
+NodeId UniformTraffic::destination(NodeId src, util::Rng& rng) const {
+  // Uniform over the other n-1 nodes: draw from [0, n-1) and skip src.
+  const auto draw = static_cast<NodeId>(rng.below(nodeCount_ - 1));
+  return draw >= src ? draw + 1 : draw;
+}
+
+HotspotTraffic::HotspotTraffic(NodeId nodeCount, NodeId hotspot, double fraction)
+    : nodeCount_(nodeCount), hotspot_(hotspot), fraction_(fraction) {
+  if (nodeCount < 2 || hotspot >= nodeCount) {
+    throw std::invalid_argument("HotspotTraffic: bad arguments");
+  }
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("HotspotTraffic: fraction must be in [0,1]");
+  }
+}
+
+NodeId HotspotTraffic::destination(NodeId src, util::Rng& rng) const {
+  if (src != hotspot_ && rng.chance(fraction_)) return hotspot_;
+  const auto draw = static_cast<NodeId>(rng.below(nodeCount_ - 1));
+  return draw >= src ? draw + 1 : draw;
+}
+
+PermutationTraffic PermutationTraffic::random(NodeId nodeCount,
+                                              util::Rng& rng) {
+  if (nodeCount < 2) {
+    throw std::invalid_argument("PermutationTraffic: need >= 2 nodes");
+  }
+  // Sattolo's algorithm yields a uniformly random cyclic permutation, which
+  // is in particular fixed-point free.
+  std::vector<NodeId> partner(nodeCount);
+  for (NodeId i = 0; i < nodeCount; ++i) partner[i] = i;
+  for (NodeId i = nodeCount - 1; i > 0; --i) {
+    const auto j = static_cast<NodeId>(rng.below(i));
+    std::swap(partner[i], partner[j]);
+  }
+  return PermutationTraffic(std::move(partner));
+}
+
+PermutationTraffic::PermutationTraffic(std::vector<NodeId> partner)
+    : partner_(std::move(partner)) {
+  for (NodeId i = 0; i < partner_.size(); ++i) {
+    if (partner_[i] >= partner_.size() || partner_[i] == i) {
+      throw std::invalid_argument(
+          "PermutationTraffic: not a fixed-point-free permutation");
+    }
+  }
+}
+
+NodeId PermutationTraffic::destination(NodeId src, util::Rng&) const {
+  return partner_[src];
+}
+
+LocalTraffic::LocalTraffic(const topo::Topology& topo, std::uint32_t radius)
+    : candidates_(topo.nodeCount()) {
+  if (radius == 0) throw std::invalid_argument("LocalTraffic: radius must be > 0");
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+    const auto dist = topo::bfsDistances(topo, v);
+    for (NodeId u = 0; u < topo.nodeCount(); ++u) {
+      if (u != v && dist[u] != topo::kUnreachable && dist[u] <= radius) {
+        candidates_[v].push_back(u);
+      }
+    }
+    if (candidates_[v].empty()) {
+      throw std::invalid_argument(
+          "LocalTraffic: a node has no neighbor within the radius");
+    }
+  }
+}
+
+NodeId LocalTraffic::destination(NodeId src, util::Rng& rng) const {
+  const auto& options = candidates_[src];
+  return options[rng.below(options.size())];
+}
+
+}  // namespace downup::sim

@@ -1,0 +1,78 @@
+// Traffic patterns: given a source switch, choose a destination.  The paper
+// evaluates uniform traffic; hotspot, permutation and local patterns are
+// provided for the extension experiments and for stress tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace downup::sim {
+
+using topo::NodeId;
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  /// Must return a node != src.
+  virtual NodeId destination(NodeId src, util::Rng& rng) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Every other node equally likely (the paper's pattern).
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(NodeId nodeCount);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "uniform"; }
+
+ private:
+  NodeId nodeCount_;
+};
+
+/// With probability `fraction` the destination is the hotspot node,
+/// otherwise uniform.  Sources equal to the hotspot always draw uniform.
+class HotspotTraffic final : public TrafficPattern {
+ public:
+  HotspotTraffic(NodeId nodeCount, NodeId hotspot, double fraction);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "hotspot"; }
+
+ private:
+  NodeId nodeCount_;
+  NodeId hotspot_;
+  double fraction_;
+};
+
+/// Fixed random derangement: each source always sends to one partner.
+class PermutationTraffic final : public TrafficPattern {
+ public:
+  /// Builds a random fixed-point-free permutation.
+  static PermutationTraffic random(NodeId nodeCount, util::Rng& rng);
+
+  explicit PermutationTraffic(std::vector<NodeId> partner);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "permutation"; }
+
+ private:
+  std::vector<NodeId> partner_;
+};
+
+/// Destinations drawn uniformly from nodes within `radius` hops of the
+/// source (excluding the source itself); models spatial locality.
+class LocalTraffic final : public TrafficPattern {
+ public:
+  LocalTraffic(const topo::Topology& topo, std::uint32_t radius);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "local"; }
+
+ private:
+  std::vector<std::vector<NodeId>> candidates_;
+};
+
+}  // namespace downup::sim

@@ -1,0 +1,141 @@
+#include "stats/compare.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace downup::stats {
+
+std::vector<ShapeCheck> paperShapeChecks() {
+  return {
+      {"node utilization", true,
+       [](const Cell& c) { return c.nodeUtilization.mean(); }},
+      {"traffic load", false,
+       [](const Cell& c) { return c.trafficLoad.mean(); }},
+      {"degree of hot spots", false,
+       [](const Cell& c) { return c.hotspotPercent.mean(); }},
+      {"leaf utilization", true,
+       [](const Cell& c) { return c.leafUtilization.mean(); }},
+      {"saturation throughput", true,
+       [](const Cell& c) { return c.maxAccepted.mean(); }},
+  };
+}
+
+std::vector<ShapeVerdict> compareAlgorithms(
+    const ExperimentResults& results, core::Algorithm better,
+    core::Algorithm baseline, const std::vector<ShapeCheck>& checks) {
+  std::vector<ShapeVerdict> verdicts;
+  verdicts.reserve(checks.size());
+  for (const ShapeCheck& check : checks) {
+    ShapeVerdict verdict;
+    verdict.metric = check.metric;
+    double ratioSum = 0.0;
+    unsigned cells = 0;
+    for (unsigned ports : results.config.portConfigs) {
+      for (tree::TreePolicy policy : results.config.policies) {
+        const Cell* a = results.find(ports, policy, better);
+        const Cell* b = results.find(ports, policy, baseline);
+        if (a == nullptr || b == nullptr ||
+            a->nodeUtilization.count() == 0 ||
+            b->nodeUtilization.count() == 0) {
+          continue;
+        }
+        const double va = check.value(*a);
+        const double vb = check.value(*b);
+        const bool win = check.higherIsBetter ? va > vb : va < vb;
+        if (win) {
+          ++verdict.wins;
+        } else {
+          ++verdict.losses;
+        }
+        if (vb != 0.0) {
+          ratioSum += va / vb;
+          ++cells;
+        }
+      }
+    }
+    verdict.meanRatio = cells == 0 ? 0.0 : ratioSum / cells;
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
+}
+
+void printShapeVerdicts(std::ostream& out,
+                        const std::vector<ShapeVerdict>& verdicts) {
+  out << std::left << std::setw(26) << "metric" << std::setw(8) << "wins"
+      << std::setw(8) << "losses" << std::setw(12) << "meanRatio"
+      << "verdict\n";
+  for (const ShapeVerdict& verdict : verdicts) {
+    out << std::left << std::setw(26) << verdict.metric << std::setw(8)
+        << verdict.wins << std::setw(8) << verdict.losses << std::setw(12)
+        << std::fixed << std::setprecision(4) << verdict.meanRatio
+        << (verdict.holdsEverywhere() ? "HOLDS" : "mixed") << "\n";
+  }
+  out << std::flush;
+}
+
+void writeMarkdownReport(const ExperimentResults& results,
+                         std::ostream& out) {
+  const auto& config = results.config;
+  out << "# Experiment report\n\n"
+      << "- switches: " << config.switches << ", samples: " << config.samples
+      << ", packet: " << config.sim.packetLengthFlits << " flits\n"
+      << "- warm-up " << config.sim.warmupCycles << " + measured "
+      << config.sim.measureCycles << " clocks, base seed "
+      << config.baseSeed << "\n\n";
+
+  const struct {
+    const char* title;
+    CellValue value;
+    int precision;
+  } sections[] = {
+      {"Node utilization",
+       [](const Cell& c) { return c.nodeUtilization.mean(); }, 6},
+      {"Traffic load (stddev of node utilization)",
+       [](const Cell& c) { return c.trafficLoad.mean(); }, 6},
+      {"Degree of hot spots (%)",
+       [](const Cell& c) { return c.hotspotPercent.mean(); }, 2},
+      {"Leaf utilization",
+       [](const Cell& c) { return c.leafUtilization.mean(); }, 6},
+      {"Saturation throughput (flits/clock/node)",
+       [](const Cell& c) { return c.maxAccepted.mean(); }, 5},
+      {"Zero-load latency (clocks)",
+       [](const Cell& c) { return c.zeroLoadLatency.mean(); }, 1},
+      {"Average legal path length (hops)",
+       [](const Cell& c) { return c.avgPathLength.mean(); }, 4},
+  };
+
+  for (const auto& section : sections) {
+    out << "## " << section.title << "\n\n|  |";
+    for (core::Algorithm algorithm : config.algorithms) {
+      for (unsigned ports : config.portConfigs) {
+        out << " " << core::toString(algorithm) << " " << ports << "p |";
+      }
+    }
+    out << "\n|---|";
+    for (std::size_t i = 0;
+         i < config.algorithms.size() * config.portConfigs.size(); ++i) {
+      out << "---|";
+    }
+    out << "\n";
+    for (tree::TreePolicy policy : config.policies) {
+      out << "| " << tree::toString(policy) << " |";
+      for (core::Algorithm algorithm : config.algorithms) {
+        for (unsigned ports : config.portConfigs) {
+          const Cell* cell = results.find(ports, policy, algorithm);
+          if (cell == nullptr || cell->nodeUtilization.count() == 0) {
+            out << " - |";
+          } else {
+            out << " " << std::fixed << std::setprecision(section.precision)
+                << section.value(*cell) << " |";
+          }
+        }
+      }
+      out << "\n";
+    }
+    out << "\n";
+  }
+  out << std::flush;
+}
+
+}  // namespace downup::stats

@@ -1,0 +1,53 @@
+// Shape checking and report generation over experiment results: the paper's
+// claims are directional ("DOWN/UP outperforms L-turn for all test
+// samples"), so the harness can verify them mechanically and emit a
+// measured-vs-claim verdict table.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/experiment.hpp"
+#include "stats/report.hpp"  // CellValue
+
+namespace downup::stats {
+
+/// One directional claim: `better` beats `baseline` on a metric, for every
+/// (ports, policy) combination present in the results.
+struct ShapeCheck {
+  std::string metric;        // human-readable name
+  bool higherIsBetter;       // direction of "beats"
+  CellValue value;           // metric extractor
+};
+
+struct ShapeVerdict {
+  std::string metric;
+  unsigned wins = 0;      // cells where `better` beats `baseline`
+  unsigned losses = 0;
+  double meanRatio = 0.0;  // mean of better/baseline over cells
+  bool holdsEverywhere() const noexcept { return losses == 0 && wins > 0; }
+};
+
+/// Evaluates `better` vs `baseline` on every check, across all
+/// (ports, policy) cells where both algorithms have data.
+std::vector<ShapeVerdict> compareAlgorithms(const ExperimentResults& results,
+                                            core::Algorithm better,
+                                            core::Algorithm baseline,
+                                            const std::vector<ShapeCheck>& checks);
+
+/// The paper's five headline checks (node util up, traffic load down,
+/// hot spots down, leaf util up, throughput up).
+std::vector<ShapeCheck> paperShapeChecks();
+
+/// Prints one line per verdict: metric, wins/losses, mean ratio, HOLDS/FAILS.
+void printShapeVerdicts(std::ostream& out,
+                        const std::vector<ShapeVerdict>& verdicts);
+
+/// Writes the whole results object as a self-contained Markdown report
+/// (per-metric tables + shape verdicts), suitable for EXPERIMENTS.md
+/// appendices.
+void writeMarkdownReport(const ExperimentResults& results,
+                         std::ostream& out);
+
+}  // namespace downup::stats

@@ -1,0 +1,243 @@
+#include "stats/experiment.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "stats/metrics.hpp"
+#include "topology/generate.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace downup::stats {
+
+ExperimentConfig ExperimentConfig::quick() { return ExperimentConfig{}; }
+
+ExperimentConfig ExperimentConfig::paperScale() {
+  ExperimentConfig config;
+  config.switches = 128;
+  config.samples = 10;
+  config.sim.warmupCycles = 8000;
+  config.sim.measureCycles = 30000;
+  config.loadPoints = 10;
+  return config;
+}
+
+const Cell* ExperimentResults::find(unsigned ports, tree::TreePolicy policy,
+                                    core::Algorithm algorithm) const noexcept {
+  for (const Cell& cell : cells) {
+    if (cell.ports == ports && cell.policy == policy &&
+        cell.algorithm == algorithm) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::uint64_t mixSeed(std::uint64_t base, std::uint64_t a, std::uint64_t b,
+                      std::uint64_t c = 0, std::uint64_t d = 0) {
+  util::SplitMix64 sm(base ^ (a * 0x9e3779b97f4a7c15ULL) ^
+                      (b * 0xbf58476d1ce4e5b9ULL) ^
+                      (c * 0x94d049bb133111ebULL) ^ (d + 1));
+  return sm.next();
+}
+
+/// Everything one (ports, sample, policy, algorithm) combination
+/// contributes, computed inside a worker and folded deterministically.
+struct CellOutcome {
+  bool valid = false;
+  double avgPathLength = 0.0;
+  double zeroLoadLatency = 0.0;
+  double maxAccepted = 0.0;
+  double nodeUtilization = 0.0;
+  double trafficLoad = 0.0;
+  double hotspotPercent = 0.0;
+  double leafUtilization = 0.0;
+  struct Point {
+    double accepted = 0.0;
+    double latency = 0.0;
+  };
+  std::vector<Point> points;  // aligned with the shared load grid prefix
+};
+
+/// Simulates one sample of one port configuration across every policy and
+/// algorithm.  Outcome layout: [policyIdx * algorithms + algoIdx].
+std::vector<CellOutcome> runSample(const ExperimentConfig& config,
+                                   unsigned ports, unsigned sample,
+                                   const std::vector<double>& loads) {
+  std::vector<CellOutcome> outcomes(config.policies.size() *
+                                    config.algorithms.size());
+  util::Rng topoRng(mixSeed(config.baseSeed, ports, sample, 1));
+  const topo::Topology topo =
+      topo::randomIrregular(config.switches, {.maxPorts = ports}, topoRng);
+  const sim::UniformTraffic traffic(topo.nodeCount());
+
+  for (std::size_t policyIdx = 0; policyIdx < config.policies.size();
+       ++policyIdx) {
+    const tree::TreePolicy policy = config.policies[policyIdx];
+    util::Rng treeRng(mixSeed(config.baseSeed, ports, sample, 2,
+                              static_cast<std::uint64_t>(policy)));
+    const tree::CoordinatedTree ct =
+        tree::CoordinatedTree::build(topo, policy, treeRng);
+
+    for (std::size_t algoIdx = 0; algoIdx < config.algorithms.size();
+         ++algoIdx) {
+      const core::Algorithm algorithm = config.algorithms[algoIdx];
+      const routing::Routing routing = core::buildRouting(algorithm, topo, ct);
+
+      sim::SimConfig simConfig = config.sim;
+      simConfig.seed =
+          mixSeed(config.baseSeed, ports, sample, 3,
+                  static_cast<std::uint64_t>(policy) * 16 +
+                      static_cast<std::uint64_t>(algorithm));
+      const std::vector<SweepPoint> sweep =
+          runSweep(routing.table(), traffic, loads, simConfig);
+      if (sweep.empty()) continue;
+
+      CellOutcome& outcome =
+          outcomes[policyIdx * config.algorithms.size() + algoIdx];
+      outcome.valid = true;
+      outcome.avgPathLength = routing.table().averagePathLength();
+      outcome.zeroLoadLatency = sweep.front().stats.avgLatency;
+      outcome.points.reserve(sweep.size());
+      for (const SweepPoint& point : sweep) {
+        outcome.points.push_back(
+            {point.stats.acceptedFlitsPerNodePerCycle, point.stats.avgLatency});
+      }
+      const Saturation saturation = findSaturation(sweep);
+      outcome.maxAccepted = saturation.maxAccepted;
+      const sim::RunStats& peak = sweep[saturation.peakIndex].stats;
+      const PaperMetrics metrics =
+          computePaperMetrics(topo, ct, peak.channelUtilization);
+      outcome.nodeUtilization = metrics.meanNodeUtilization;
+      outcome.trafficLoad = metrics.trafficLoad;
+      outcome.hotspotPercent = metrics.hotspotDegreePercent;
+      outcome.leafUtilization = metrics.leafUtilization;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace
+
+ExperimentResults runExperiment(const ExperimentConfig& config) {
+  ExperimentResults results;
+  results.config = config;
+
+  // Pre-create every cell so aggregation order is stable.
+  for (unsigned ports : config.portConfigs) {
+    for (tree::TreePolicy policy : config.policies) {
+      for (core::Algorithm algorithm : config.algorithms) {
+        Cell cell;
+        cell.ports = ports;
+        cell.policy = policy;
+        cell.algorithm = algorithm;
+        results.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  const auto cellOf = [&results](unsigned ports, tree::TreePolicy policy,
+                                 core::Algorithm algorithm) -> Cell& {
+    return const_cast<Cell&>(*results.find(ports, policy, algorithm));
+  };
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config.threads != 1) {
+    pool = std::make_unique<util::ThreadPool>(config.threads);
+  }
+
+  for (unsigned ports : config.portConfigs) {
+    // Shared load grid for every cell of this port configuration.
+    double top = config.maxLoadPerPort * ports;
+    if (config.autoLoadRange) {
+      // Probe once on the first sample with the M1 DOWN/UP routing; 1.8x
+      // the best probed load comfortably brackets saturation for every
+      // cell sharing this grid.
+      util::Rng topoRng(mixSeed(config.baseSeed, ports, 0, 1));
+      const topo::Topology topo = topo::randomIrregular(
+          config.switches, {.maxPorts = ports}, topoRng);
+      const sim::UniformTraffic traffic(topo.nodeCount());
+      util::Rng probeTreeRng(mixSeed(config.baseSeed, ports, 0, 4));
+      const tree::CoordinatedTree probeTree = tree::CoordinatedTree::build(
+          topo, tree::TreePolicy::kM1SmallestFirst, probeTreeRng);
+      const routing::Routing probeRouting =
+          core::buildRouting(core::Algorithm::kDownUp, topo, probeTree);
+      sim::SimConfig probeConfig = config.sim;
+      probeConfig.seed = mixSeed(config.baseSeed, ports, 0, 5);
+      const double probed =
+          probeSaturationLoad(probeRouting.table(), traffic, probeConfig);
+      top = std::min(1.0, 1.8 * probed);
+      if (config.verbose) {
+        std::fprintf(stderr,
+                     "[experiment] ports=%u probed saturation ~%.3f, sweep "
+                     "grid top %.3f\n",
+                     ports, probed, top);
+      }
+    }
+    const std::vector<double> loads = loadGrid(top, config.loadPoints);
+
+    // Simulate samples (in parallel when configured), then fold in sample
+    // order so aggregation is identical at any thread count.
+    std::vector<std::vector<CellOutcome>> bySample(config.samples);
+    const auto task = [&config, &bySample, ports, &loads](std::size_t sample) {
+      bySample[sample] =
+          runSample(config, ports, static_cast<unsigned>(sample), loads);
+    };
+    if (pool) {
+      util::parallelFor(*pool, config.samples, task);
+    } else {
+      for (std::size_t sample = 0; sample < config.samples; ++sample) {
+        task(sample);
+      }
+    }
+
+    for (unsigned sample = 0; sample < config.samples; ++sample) {
+      for (std::size_t policyIdx = 0; policyIdx < config.policies.size();
+           ++policyIdx) {
+        for (std::size_t algoIdx = 0; algoIdx < config.algorithms.size();
+             ++algoIdx) {
+          const CellOutcome& outcome =
+              bySample[sample][policyIdx * config.algorithms.size() + algoIdx];
+          if (!outcome.valid) continue;
+          Cell& cell = cellOf(ports, config.policies[policyIdx],
+                              config.algorithms[algoIdx]);
+          cell.avgPathLength.add(outcome.avgPathLength);
+          cell.zeroLoadLatency.add(outcome.zeroLoadLatency);
+          cell.maxAccepted.add(outcome.maxAccepted);
+          cell.nodeUtilization.add(outcome.nodeUtilization);
+          cell.trafficLoad.add(outcome.trafficLoad);
+          cell.hotspotPercent.add(outcome.hotspotPercent);
+          cell.leafUtilization.add(outcome.leafUtilization);
+          if (cell.curve.empty()) {
+            cell.curve.resize(loads.size());
+            for (std::size_t i = 0; i < loads.size(); ++i) {
+              cell.curve[i].offeredLoad = loads[i];
+            }
+          }
+          for (std::size_t i = 0; i < outcome.points.size(); ++i) {
+            cell.curve[i].accepted.add(outcome.points[i].accepted);
+            cell.curve[i].latency.add(outcome.points[i].latency);
+          }
+          if (config.verbose) {
+            std::fprintf(
+                stderr,
+                "[experiment] ports=%u sample=%u tree=%.*s algo=%.*s "
+                "sat=%.4f flits/node/clk\n",
+                ports, sample,
+                static_cast<int>(
+                    tree::toString(config.policies[policyIdx]).size()),
+                tree::toString(config.policies[policyIdx]).data(),
+                static_cast<int>(
+                    core::toString(config.algorithms[algoIdx]).size()),
+                core::toString(config.algorithms[algoIdx]).data(),
+                outcome.maxAccepted);
+          }
+        }
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace downup::stats

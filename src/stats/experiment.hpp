@@ -1,0 +1,95 @@
+// The shared experiment driver behind every table/figure bench: it executes
+// the paper's methodology end to end —
+//
+//   for each port configuration (4, 8):
+//     for each of `samples` random irregular topologies:
+//       for each coordinated-tree policy (M1, M2, M3):
+//         for each routing algorithm (L-turn, DOWN/UP, ...):
+//           sweep offered load to saturation, record the latency /
+//           accepted-traffic curve, and compute the Table 1-4 metrics at the
+//           peak-throughput point;
+//
+// aggregating every quantity across samples.  The default configuration is
+// sized to finish quickly on one core; ExperimentConfig::paperScale() selects
+// the paper's 128-switch / 10-sample setup.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/downup_routing.hpp"
+#include "sim/config.hpp"
+#include "stats/sweep.hpp"
+#include "tree/coordinated_tree.hpp"
+#include "util/summary.hpp"
+
+namespace downup::stats {
+
+struct ExperimentConfig {
+  std::vector<unsigned> portConfigs = {4, 8};
+  topo::NodeId switches = 32;
+  unsigned samples = 3;
+  std::vector<tree::TreePolicy> policies = {
+      tree::TreePolicy::kM1SmallestFirst, tree::TreePolicy::kM2Random,
+      tree::TreePolicy::kM3LargestFirst};
+  std::vector<core::Algorithm> algorithms = {core::Algorithm::kLTurn,
+                                             core::Algorithm::kDownUp};
+  sim::SimConfig sim;
+  /// When true (default) the sweep grid top is sized per port-configuration
+  /// by a coarse saturation probe on the first sample (DOWN/UP, M1), so
+  /// networks of any scale actually reach saturation.  When false the top
+  /// is the fixed value maxLoadPerPort * ports.
+  bool autoLoadRange = true;
+  double maxLoadPerPort = 0.06;
+  unsigned loadPoints = 8;
+  std::uint64_t baseSeed = 2004;
+  bool verbose = false;  // progress lines on stderr
+  /// Worker threads for the per-sample simulations (0 = hardware
+  /// concurrency, 1 = serial).  Results are bit-identical at any width:
+  /// samples are simulated independently and reduced in a fixed order.
+  unsigned threads = 1;
+
+  /// The paper's setup: 128 switches, 10 samples, longer windows.
+  static ExperimentConfig paperScale();
+  /// A minutes-scale reduced setup (the default values above).
+  static ExperimentConfig quick();
+};
+
+struct CurvePoint {
+  double offeredLoad = 0.0;
+  util::RunningStat accepted;  // across samples, flits/node/cycle
+  util::RunningStat latency;   // across samples, cycles
+};
+
+/// Aggregated results for one (ports, policy, algorithm) combination.
+struct Cell {
+  unsigned ports = 0;
+  tree::TreePolicy policy = tree::TreePolicy::kM1SmallestFirst;
+  core::Algorithm algorithm = core::Algorithm::kDownUp;
+
+  // Table 1-4 metrics at each sample's peak-throughput point.
+  util::RunningStat nodeUtilization;
+  util::RunningStat trafficLoad;
+  util::RunningStat hotspotPercent;
+  util::RunningStat leafUtilization;
+
+  // Figure-8 scalars.
+  util::RunningStat maxAccepted;       // saturation throughput
+  util::RunningStat zeroLoadLatency;   // latency at the lowest sweep load
+  util::RunningStat avgPathLength;     // legal shortest-path mean
+
+  std::vector<CurvePoint> curve;  // latency & accepted vs offered load
+};
+
+struct ExperimentResults {
+  ExperimentConfig config;
+  std::vector<Cell> cells;
+
+  const Cell* find(unsigned ports, tree::TreePolicy policy,
+                   core::Algorithm algorithm) const noexcept;
+};
+
+ExperimentResults runExperiment(const ExperimentConfig& config);
+
+}  // namespace downup::stats

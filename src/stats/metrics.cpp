@@ -1,0 +1,52 @@
+#include "stats/metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/summary.hpp"
+
+namespace downup::stats {
+
+PaperMetrics computePaperMetrics(const topo::Topology& topo,
+                                 const tree::CoordinatedTree& ct,
+                                 std::span<const double> channelUtilization) {
+  if (channelUtilization.size() != topo.channelCount()) {
+    throw std::invalid_argument(
+        "computePaperMetrics: channel utilization size mismatch");
+  }
+  const topo::NodeId n = topo.nodeCount();
+  PaperMetrics metrics;
+  metrics.nodeUtilization.assign(n, 0.0);
+  for (topo::NodeId v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (topo::ChannelId c : topo.outputChannels(v)) {
+      sum += channelUtilization[c];
+    }
+    const unsigned ports = topo.degree(v);
+    metrics.nodeUtilization[v] = ports == 0 ? 0.0 : sum / ports;
+  }
+
+  metrics.meanNodeUtilization = util::mean(metrics.nodeUtilization);
+  metrics.trafficLoad = util::populationStddev(metrics.nodeUtilization);
+
+  double total = 0.0;
+  double nearRoot = 0.0;
+  for (topo::NodeId v = 0; v < n; ++v) {
+    total += metrics.nodeUtilization[v];
+    if (ct.y(v) <= 1) nearRoot += metrics.nodeUtilization[v];
+  }
+  metrics.hotspotDegreePercent = total <= 0.0 ? 0.0 : 100.0 * nearRoot / total;
+
+  double leafSum = 0.0;
+  std::size_t leafCount = 0;
+  for (topo::NodeId v = 0; v < n; ++v) {
+    if (ct.isLeaf(v)) {
+      leafSum += metrics.nodeUtilization[v];
+      ++leafCount;
+    }
+  }
+  metrics.leafUtilization =
+      leafCount == 0 ? 0.0 : leafSum / static_cast<double>(leafCount);
+  return metrics;
+}
+
+}  // namespace downup::stats

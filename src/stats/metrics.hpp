@@ -1,0 +1,36 @@
+// The paper's evaluation metrics (Section 5), computed from the per-channel
+// utilizations a simulation run reports:
+//
+//   node utilization   (Table 1) — per node: sum of its output-channel
+//                      utilizations divided by the number of ports connected
+//                      to other switches (its degree); reported averaged.
+//   traffic load       (Table 2) — the standard deviation of node
+//                      utilization over all nodes (lower = better balance).
+//   degree of hot spots(Table 3) — the percentage of total node utilization
+//                      contributed by nodes in coordinated-tree levels 0-1.
+//   leaf utilization   (Table 4) — mean node utilization over the leaves of
+//                      the coordinated tree.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::stats {
+
+struct PaperMetrics {
+  std::vector<double> nodeUtilization;
+  double meanNodeUtilization = 0.0;
+  double trafficLoad = 0.0;
+  double hotspotDegreePercent = 0.0;
+  double leafUtilization = 0.0;
+};
+
+/// `channelUtilization` is indexed by ChannelId (RunStats::channelUtilization).
+PaperMetrics computePaperMetrics(const topo::Topology& topo,
+                                 const tree::CoordinatedTree& ct,
+                                 std::span<const double> channelUtilization);
+
+}  // namespace downup::stats

@@ -1,0 +1,116 @@
+#include "stats/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace downup::stats {
+
+void printPaperTable(std::ostream& out, std::string_view title,
+                     const ExperimentResults& results, const CellValue& value,
+                     int precision, std::string_view suffix) {
+  const auto& config = results.config;
+  out << title << "\n";
+
+  out << std::left << std::setw(6) << "";
+  for (core::Algorithm algorithm : config.algorithms) {
+    for (unsigned ports : config.portConfigs) {
+      std::ostringstream header;
+      header << core::toString(algorithm) << " " << ports << "p";
+      out << std::setw(20) << header.str();
+    }
+  }
+  out << "\n";
+
+  for (tree::TreePolicy policy : config.policies) {
+    out << std::left << std::setw(6) << tree::toString(policy);
+    for (core::Algorithm algorithm : config.algorithms) {
+      for (unsigned ports : config.portConfigs) {
+        const Cell* cell = results.find(ports, policy, algorithm);
+        std::ostringstream text;
+        if (cell == nullptr || cell->nodeUtilization.count() == 0) {
+          text << "-";
+        } else {
+          text << std::fixed << std::setprecision(precision) << value(*cell)
+               << suffix;
+        }
+        out << std::setw(20) << text.str();
+      }
+    }
+    out << "\n";
+  }
+  out << std::flush;
+}
+
+void printLatencyCurves(std::ostream& out, const ExperimentResults& results) {
+  const auto& config = results.config;
+  for (unsigned ports : config.portConfigs) {
+    for (tree::TreePolicy policy : config.policies) {
+      for (core::Algorithm algorithm : config.algorithms) {
+        const Cell* cell = results.find(ports, policy, algorithm);
+        if (cell == nullptr || cell->curve.empty()) continue;
+        out << "# " << ports << "-port " << tree::toString(policy) << " "
+            << core::toString(algorithm) << "\n";
+        out << std::left << std::setw(14) << "offered" << std::setw(14)
+            << "accepted" << std::setw(14) << "latency" << "\n";
+        for (const CurvePoint& point : cell->curve) {
+          if (point.accepted.count() == 0) continue;
+          out << std::fixed << std::setprecision(5) << std::left
+              << std::setw(14) << point.offeredLoad << std::setw(14)
+              << point.accepted.mean() << std::setw(14) << std::setprecision(1)
+              << point.latency.mean() << "\n";
+        }
+      }
+    }
+  }
+  out << std::flush;
+}
+
+void writeCurvesCsv(const ExperimentResults& results,
+                    const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.header({"ports", "tree", "algorithm", "offered_load",
+              "accepted_flits_per_node_per_cycle", "avg_latency_cycles",
+              "samples"});
+  for (const Cell& cell : results.cells) {
+    for (const CurvePoint& point : cell.curve) {
+      if (point.accepted.count() == 0) continue;
+      csv.cell(cell.ports)
+          .cell(tree::toString(cell.policy))
+          .cell(core::toString(cell.algorithm))
+          .cell(point.offeredLoad)
+          .cell(point.accepted.mean())
+          .cell(point.latency.mean())
+          .cell(point.accepted.count());
+      csv.endRow();
+    }
+  }
+}
+
+void writeMetricsCsv(const ExperimentResults& results,
+                     const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.header({"ports", "tree", "algorithm", "node_utilization",
+              "traffic_load", "hotspot_percent", "leaf_utilization",
+              "max_accepted", "zero_load_latency", "avg_path_length",
+              "samples"});
+  for (const Cell& cell : results.cells) {
+    if (cell.nodeUtilization.count() == 0) continue;
+    csv.cell(cell.ports)
+        .cell(tree::toString(cell.policy))
+        .cell(core::toString(cell.algorithm))
+        .cell(cell.nodeUtilization.mean())
+        .cell(cell.trafficLoad.mean())
+        .cell(cell.hotspotPercent.mean())
+        .cell(cell.leafUtilization.mean())
+        .cell(cell.maxAccepted.mean())
+        .cell(cell.zeroLoadLatency.mean())
+        .cell(cell.avgPathLength.mean())
+        .cell(cell.nodeUtilization.count());
+    csv.endRow();
+  }
+}
+
+}  // namespace downup::stats

@@ -1,0 +1,36 @@
+// Paper-style text tables and CSV emission for experiment results.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "stats/experiment.hpp"
+
+namespace downup::stats {
+
+/// Extracts the reported scalar from a cell (e.g. mean node utilization).
+using CellValue = std::function<double(const Cell&)>;
+
+/// Prints a table shaped like the paper's Tables 1-4: one row per tree
+/// policy, one column per (algorithm, port configuration).
+///
+///              lturn          downup
+///              4-port 8-port  4-port 8-port
+///   M1         ...
+void printPaperTable(std::ostream& out, std::string_view title,
+                     const ExperimentResults& results, const CellValue& value,
+                     int precision = 6, std::string_view suffix = "");
+
+/// Prints the Figure-8 series: per (ports, policy, algorithm), rows of
+/// offered load, accepted traffic and average latency.
+void printLatencyCurves(std::ostream& out, const ExperimentResults& results);
+
+/// Writes the same curves as CSV (one row per point) to `path`.
+void writeCurvesCsv(const ExperimentResults& results, const std::string& path);
+
+/// Writes every aggregated table metric as CSV to `path`.
+void writeMetricsCsv(const ExperimentResults& results, const std::string& path);
+
+}  // namespace downup::stats

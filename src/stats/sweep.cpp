@@ -1,0 +1,84 @@
+#include "stats/sweep.hpp"
+
+#include <stdexcept>
+
+namespace downup::stats {
+
+std::vector<double> loadGrid(double hi, unsigned points) {
+  if (hi <= 0.0 || points == 0) {
+    throw std::invalid_argument("loadGrid: bad arguments");
+  }
+  std::vector<double> loads(points);
+  for (unsigned i = 0; i < points; ++i) {
+    loads[i] = hi * static_cast<double>(i + 1) / static_cast<double>(points);
+  }
+  return loads;
+}
+
+std::vector<SweepPoint> runSweep(const routing::RoutingTable& table,
+                                 const sim::TrafficPattern& pattern,
+                                 std::span<const double> loads,
+                                 const sim::SimConfig& config,
+                                 const SweepOptions& options) {
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(loads.size());
+  double bestAccepted = 0.0;
+  unsigned stagnant = 0;
+  for (double load : loads) {
+    SweepPoint point;
+    point.offeredLoad = load;
+    point.stats = sim::simulate(table, pattern, load, config);
+    const double accepted = point.stats.acceptedFlitsPerNodePerCycle;
+    sweep.push_back(std::move(point));
+    if (options.stopAtSaturation) {
+      if (accepted > bestAccepted * options.improvementFactor) {
+        bestAccepted = accepted;
+        stagnant = 0;
+      } else if (++stagnant >= options.stagnantLimit) {
+        break;
+      }
+      bestAccepted = std::max(bestAccepted, accepted);
+    }
+  }
+  return sweep;
+}
+
+double probeSaturationLoad(const routing::RoutingTable& table,
+                           const sim::TrafficPattern& pattern,
+                           const sim::SimConfig& config, double start,
+                           double factor) {
+  if (start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("probeSaturationLoad: bad arguments");
+  }
+  sim::SimConfig probeConfig = config;
+  probeConfig.warmupCycles = std::max(500u, config.warmupCycles / 2);
+  probeConfig.measureCycles = std::max(1000u, config.measureCycles / 2);
+  double best = 0.0;
+  double bestLoad = start;
+  for (double load = start; load <= 1.0; load *= factor) {
+    const sim::RunStats stats =
+        sim::simulate(table, pattern, load, probeConfig);
+    if (stats.acceptedFlitsPerNodePerCycle > best * 1.05) {
+      best = stats.acceptedFlitsPerNodePerCycle;
+      bestLoad = load;
+    } else {
+      break;
+    }
+  }
+  return bestLoad;
+}
+
+Saturation findSaturation(std::span<const SweepPoint> sweep) {
+  Saturation result;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const double accepted = sweep[i].stats.acceptedFlitsPerNodePerCycle;
+    if (accepted > result.maxAccepted) {
+      result.maxAccepted = accepted;
+      result.saturationLoad = sweep[i].offeredLoad;
+      result.peakIndex = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace downup::stats

@@ -1,0 +1,52 @@
+// Offered-load sweeps and saturation search over a fixed routing.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace downup::stats {
+
+struct SweepPoint {
+  double offeredLoad = 0.0;
+  sim::RunStats stats;
+};
+
+struct SweepOptions {
+  /// Stop the ascending sweep once accepted traffic has failed to improve
+  /// by `improvementFactor` for `stagnantLimit` consecutive points.
+  bool stopAtSaturation = true;
+  double improvementFactor = 1.02;
+  unsigned stagnantLimit = 2;
+};
+
+/// Evenly spaced load grid in (0, hi]: hi/points, 2*hi/points, ..., hi.
+std::vector<double> loadGrid(double hi, unsigned points);
+
+/// Simulates each load in ascending order (loads must be sorted).
+std::vector<SweepPoint> runSweep(const routing::RoutingTable& table,
+                                 const sim::TrafficPattern& pattern,
+                                 std::span<const double> loads,
+                                 const sim::SimConfig& config,
+                                 const SweepOptions& options = {});
+
+struct Saturation {
+  double saturationLoad = 0.0;   // offered load of the peak point
+  double maxAccepted = 0.0;      // flits/node/cycle (the paper's throughput)
+  std::size_t peakIndex = 0;     // into the sweep vector
+};
+
+/// Picks the point with maximal accepted traffic.
+Saturation findSaturation(std::span<const SweepPoint> sweep);
+
+/// Coarse saturation-load probe: simulates geometrically increasing loads
+/// (start, start*factor, ...) with halved measurement windows until accepted
+/// traffic stops improving, and returns the best load seen.  Used to size
+/// the linear sweep grid so that networks of any scale actually saturate.
+double probeSaturationLoad(const routing::RoutingTable& table,
+                           const sim::TrafficPattern& pattern,
+                           const sim::SimConfig& config, double start = 0.01,
+                           double factor = 1.6);
+
+}  // namespace downup::stats

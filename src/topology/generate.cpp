@@ -1,0 +1,229 @@
+#include "topology/generate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "topology/properties.hpp"
+
+namespace downup::topo {
+
+namespace {
+
+/// Random degree-capped spanning tree over `nodeCount` nodes: repeatedly
+/// attach a random unvisited node to a random visited node that still has a
+/// free port.  With maxPorts >= 2 a visited node with a free port always
+/// exists (a tree on k nodes has average degree < 2).
+void addRandomSpanningTree(Topology& topo, unsigned maxPorts, util::Rng& rng) {
+  const NodeId n = topo.nodeCount();
+  std::vector<NodeId> order = [&] {
+    auto perm = util::randomPermutation(n, rng);
+    return std::vector<NodeId>(perm.begin(), perm.end());
+  }();
+  std::vector<NodeId> attachable;  // visited nodes with degree < maxPorts
+  attachable.push_back(order[0]);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId child = order[i];
+    // Pick a random attachable parent.
+    const std::size_t slot = rng.below(attachable.size());
+    const NodeId parent = attachable[slot];
+    topo.addLink(parent, child);
+    if (topo.degree(parent) >= maxPorts) {
+      attachable[slot] = attachable.back();
+      attachable.pop_back();
+    }
+    if (topo.degree(child) < maxPorts) attachable.push_back(child);
+  }
+}
+
+/// Adds random links between nodes that still have free ports until either
+/// `target` links exist or no non-adjacent pair with free ports remains.
+void addRandomCrossLinks(Topology& topo, unsigned maxPorts,
+                         std::optional<LinkId> target, util::Rng& rng) {
+  for (;;) {
+    if (target && topo.linkCount() >= *target) return;
+    std::vector<NodeId> open;
+    for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+      if (topo.degree(v) < maxPorts) open.push_back(v);
+    }
+    if (open.size() < 2) return;
+    // Try a handful of random pairs first (fast path), then fall back to an
+    // exhaustive scan so that we provably saturate.
+    bool added = false;
+    for (int attempt = 0; attempt < 16 && !added; ++attempt) {
+      const NodeId a = open[rng.below(open.size())];
+      const NodeId b = open[rng.below(open.size())];
+      if (a != b && !topo.hasLink(a, b)) {
+        topo.addLink(a, b);
+        added = true;
+      }
+    }
+    if (added) continue;
+    rng.shuffle(std::span<NodeId>(open));
+    for (std::size_t i = 0; i < open.size() && !added; ++i) {
+      for (std::size_t j = i + 1; j < open.size() && !added; ++j) {
+        if (!topo.hasLink(open[i], open[j])) {
+          topo.addLink(open[i], open[j]);
+          added = true;
+        }
+      }
+    }
+    if (!added) return;  // every open pair is already adjacent
+  }
+}
+
+}  // namespace
+
+Topology randomIrregular(NodeId nodeCount, const IrregularOptions& options,
+                         util::Rng& rng) {
+  if (nodeCount < 2) {
+    throw std::invalid_argument("randomIrregular: need at least 2 switches");
+  }
+  if (options.maxPorts < 2) {
+    throw std::invalid_argument(
+        "randomIrregular: need at least 2 ports per switch");
+  }
+  Topology topo(nodeCount);
+  addRandomSpanningTree(topo, options.maxPorts, rng);
+  addRandomCrossLinks(topo, options.maxPorts, options.targetLinks, rng);
+  return topo;
+}
+
+Topology ring(NodeId nodeCount) {
+  if (nodeCount < 3) throw std::invalid_argument("ring: need >= 3 nodes");
+  Topology topo(nodeCount);
+  for (NodeId v = 0; v < nodeCount; ++v) topo.addLink(v, (v + 1) % nodeCount);
+  return topo;
+}
+
+Topology line(NodeId nodeCount) {
+  if (nodeCount < 2) throw std::invalid_argument("line: need >= 2 nodes");
+  Topology topo(nodeCount);
+  for (NodeId v = 0; v + 1 < nodeCount; ++v) topo.addLink(v, v + 1);
+  return topo;
+}
+
+Topology mesh(NodeId width, NodeId height) {
+  if (width < 1 || height < 1) throw std::invalid_argument("mesh: empty");
+  Topology topo(width * height);
+  const auto id = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width) topo.addLink(id(x, y), id(x + 1, y));
+      if (y + 1 < height) topo.addLink(id(x, y), id(x, y + 1));
+    }
+  }
+  return topo;
+}
+
+Topology torus(NodeId width, NodeId height) {
+  Topology topo = mesh(width, height);
+  const auto id = [width](NodeId x, NodeId y) { return y * width + x; };
+  if (width > 2) {
+    for (NodeId y = 0; y < height; ++y) topo.addLink(id(width - 1, y), id(0, y));
+  }
+  if (height > 2) {
+    for (NodeId x = 0; x < width; ++x) topo.addLink(id(x, height - 1), id(x, 0));
+  }
+  return topo;
+}
+
+Topology hypercube(unsigned dim) {
+  if (dim == 0 || dim > 20) throw std::invalid_argument("hypercube: bad dim");
+  const NodeId n = NodeId{1} << dim;
+  Topology topo(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned bit = 0; bit < dim; ++bit) {
+      const NodeId peer = v ^ (NodeId{1} << bit);
+      if (peer > v) topo.addLink(v, peer);
+    }
+  }
+  return topo;
+}
+
+Topology star(NodeId nodeCount) {
+  if (nodeCount < 2) throw std::invalid_argument("star: need >= 2 nodes");
+  Topology topo(nodeCount);
+  for (NodeId v = 1; v < nodeCount; ++v) topo.addLink(0, v);
+  return topo;
+}
+
+Topology complete(NodeId nodeCount) {
+  if (nodeCount < 2) throw std::invalid_argument("complete: need >= 2 nodes");
+  Topology topo(nodeCount);
+  for (NodeId a = 0; a < nodeCount; ++a) {
+    for (NodeId b = a + 1; b < nodeCount; ++b) topo.addLink(a, b);
+  }
+  return topo;
+}
+
+Topology randomRegular(NodeId nodeCount, unsigned degree, util::Rng& rng) {
+  if (degree == 0 || degree >= nodeCount ||
+      (static_cast<std::uint64_t>(nodeCount) * degree) % 2 != 0) {
+    throw std::invalid_argument("randomRegular: need 0 < d < n and n*d even");
+  }
+  // Configuration model: shuffle n*d stubs, pair them up, reject self-loops,
+  // parallel links and disconnected outcomes, retry.
+  constexpr int kMaxAttempts = 2000;
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(nodeCount) * degree);
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    stubs.clear();
+    for (NodeId v = 0; v < nodeCount; ++v) {
+      for (unsigned k = 0; k < degree; ++k) stubs.push_back(v);
+    }
+    rng.shuffle(std::span<NodeId>(stubs));
+    Topology topo(nodeCount);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size() && ok; i += 2) {
+      const NodeId a = stubs[i];
+      const NodeId b = stubs[i + 1];
+      if (a == b || topo.hasLink(a, b)) {
+        ok = false;
+      } else {
+        topo.addLink(a, b);
+      }
+    }
+    if (ok && isConnected(topo)) return topo;
+  }
+  throw std::runtime_error("randomRegular: failed to generate a graph");
+}
+
+Topology petersen() {
+  Topology topo(10);
+  // Outer 5-cycle 0..4, inner pentagram 5..9, spokes i -> i+5.
+  for (NodeId v = 0; v < 5; ++v) {
+    topo.addLink(v, (v + 1) % 5);
+    topo.addLink(5 + v, 5 + (v + 2) % 5);
+    topo.addLink(v, v + 5);
+  }
+  return topo;
+}
+
+Topology dumbbell(NodeId cliqueSize) {
+  if (cliqueSize < 2) throw std::invalid_argument("dumbbell: cliques need >= 2 nodes");
+  Topology topo(2 * cliqueSize);
+  for (NodeId a = 0; a < cliqueSize; ++a) {
+    for (NodeId b = a + 1; b < cliqueSize; ++b) {
+      topo.addLink(a, b);
+      topo.addLink(cliqueSize + a, cliqueSize + b);
+    }
+  }
+  topo.addLink(0, cliqueSize);  // the bridge
+  return topo;
+}
+
+Topology paperFigure1() {
+  // v1..v5 -> 0..4.  Tree links under the paper's example coordinated tree:
+  // (v1,v5), (v5,v2), (v1,v3), (v1,v4); cross links: (v3,v5), (v2,v4).
+  Topology topo(5);
+  topo.addLink(0, 4);
+  topo.addLink(4, 1);
+  topo.addLink(0, 2);
+  topo.addLink(0, 3);
+  topo.addLink(2, 4);
+  topo.addLink(1, 3);
+  return topo;
+}
+
+}  // namespace downup::topo

@@ -1,0 +1,71 @@
+// Topology builders: the random irregular SAN generator used by the paper's
+// methodology, plus regular topologies used as known-answer fixtures in
+// tests, examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace downup::topo {
+
+struct IrregularOptions {
+  /// Inter-switch ports per switch (the paper evaluates 4 and 8).
+  unsigned maxPorts = 4;
+  /// Stop after this many links; by default keep adding links until no two
+  /// switches with free ports remain unconnected (the usual irregular-SAN
+  /// methodology, which the paper follows).
+  std::optional<LinkId> targetLinks;
+};
+
+/// Generates a random connected irregular network of `nodeCount` switches in
+/// which no switch uses more than `maxPorts` inter-switch ports.
+/// Construction: a random degree-capped spanning tree (guarantees
+/// connectivity), then random extra links between switches with free ports.
+/// Throws std::invalid_argument if nodeCount < 2 or maxPorts < 2.
+Topology randomIrregular(NodeId nodeCount, const IrregularOptions& options,
+                         util::Rng& rng);
+
+/// n-node cycle (n >= 3): the canonical deadlock-prone fixture.
+Topology ring(NodeId nodeCount);
+
+/// n-node path.
+Topology line(NodeId nodeCount);
+
+/// width x height mesh, node id = y*width + x.
+Topology mesh(NodeId width, NodeId height);
+
+/// width x height torus (wrap links skipped where they would duplicate a
+/// mesh link, i.e. for dimensions of size 2).
+Topology torus(NodeId width, NodeId height);
+
+/// dim-dimensional hypercube (2^dim nodes).
+Topology hypercube(unsigned dim);
+
+/// Star: node 0 joined to all others.
+Topology star(NodeId nodeCount);
+
+/// Complete graph on n nodes.
+Topology complete(NodeId nodeCount);
+
+/// The 5-switch example network of Figure 1(b) in the paper
+/// (v1..v5 mapped to node ids 0..4).
+Topology paperFigure1();
+
+/// Random d-regular graph via the configuration (pairing) model with
+/// restarts; requires n*d even, d < n.  Always returns a connected simple
+/// graph (retries internally; throws std::runtime_error after too many
+/// failed attempts, which for sane (n, d) does not happen in practice).
+Topology randomRegular(NodeId nodeCount, unsigned degree, util::Rng& rng);
+
+/// The Petersen graph (10 nodes, 3-regular, girth 5) — a classic
+/// known-answer fixture.
+Topology petersen();
+
+/// Two complete graphs of `cliqueSize` nodes joined by a single bridge link
+/// — the canonical bottleneck/bridge fixture.
+Topology dumbbell(NodeId cliqueSize);
+
+}  // namespace downup::topo

@@ -1,0 +1,79 @@
+#include "topology/io.hpp"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace downup::topo {
+
+namespace {
+[[noreturn]] void fail(std::size_t lineNo, const std::string& message) {
+  throw std::runtime_error("topology load: line " + std::to_string(lineNo) +
+                           ": " + message);
+}
+}  // namespace
+
+void save(const Topology& topo, std::ostream& out) {
+  out << "downup-topo v1\n";
+  out << "nodes " << topo.nodeCount() << "\n";
+  for (LinkId l = 0; l < topo.linkCount(); ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    out << "link " << a << " " << b << "\n";
+  }
+}
+
+void saveFile(const Topology& topo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("topology save: cannot open " + path);
+  save(topo, out);
+}
+
+Topology load(std::istream& in) {
+  std::string lineText;
+  std::size_t lineNo = 0;
+  std::optional<Topology> topo;
+  bool sawMagic = false;
+  while (std::getline(in, lineText)) {
+    ++lineNo;
+    std::istringstream line(lineText);
+    std::string keyword;
+    if (!(line >> keyword) || keyword.starts_with('#')) continue;
+    if (!sawMagic) {
+      std::string version;
+      if (keyword != "downup-topo" || !(line >> version) || version != "v1") {
+        fail(lineNo, "expected header 'downup-topo v1'");
+      }
+      sawMagic = true;
+      continue;
+    }
+    if (keyword == "nodes") {
+      std::uint64_t n = 0;
+      if (!(line >> n) || n == 0 || n > (1u << 24)) fail(lineNo, "bad node count");
+      if (topo) fail(lineNo, "duplicate 'nodes' line");
+      topo.emplace(static_cast<NodeId>(n));
+    } else if (keyword == "link") {
+      if (!topo) fail(lineNo, "'link' before 'nodes'");
+      NodeId a = 0;
+      NodeId b = 0;
+      if (!(line >> a >> b)) fail(lineNo, "bad link endpoints");
+      try {
+        topo->addLink(a, b);
+      } catch (const std::invalid_argument& e) {
+        fail(lineNo, e.what());
+      }
+    } else {
+      fail(lineNo, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!topo) throw std::runtime_error("topology load: empty input");
+  return *std::move(topo);
+}
+
+Topology loadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("topology load: cannot open " + path);
+  return load(in);
+}
+
+}  // namespace downup::topo

@@ -1,0 +1,25 @@
+// Text serialisation for topologies so that experiment inputs can be saved,
+// diffed and replayed.
+//
+// Format (line oriented, '#' comments allowed):
+//   downup-topo v1
+//   nodes <N>
+//   link <a> <b>
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace downup::topo {
+
+void save(const Topology& topo, std::ostream& out);
+void saveFile(const Topology& topo, const std::string& path);
+
+/// Throws std::runtime_error with a line number on malformed input.
+Topology load(std::istream& in);
+Topology loadFile(const std::string& path);
+
+}  // namespace downup::topo

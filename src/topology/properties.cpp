@@ -1,0 +1,196 @@
+#include "topology/properties.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace downup::topo {
+
+std::vector<std::uint32_t> bfsDistances(const Topology& topo, NodeId src) {
+  std::vector<std::uint32_t> dist(topo.nodeCount(), kUnreachable);
+  std::vector<NodeId> frontier;
+  dist[src] = 0;
+  frontier.push_back(src);
+  // Standard frontier-swap BFS; the graph is tiny so a simple queue-free
+  // formulation keeps allocations low.
+  std::vector<NodeId> next;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : topo.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool isConnected(const Topology& topo) { return componentCount(topo) == 1; }
+
+unsigned componentCount(const Topology& topo) {
+  const NodeId n = topo.nodeCount();
+  std::vector<bool> seen(n, false);
+  unsigned components = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    ++components;
+    seen[start] = true;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : topo.neighbors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::uint32_t diameter(const Topology& topo) {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+    const auto dist = bfsDistances(topo, v);
+    for (std::uint32_t d : dist) {
+      if (d == kUnreachable) {
+        throw std::runtime_error("diameter: topology is disconnected");
+      }
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+double averageDistance(const Topology& topo) {
+  const NodeId n = topo.nodeCount();
+  if (n < 2) return 0.0;
+  double sum = 0.0;
+  std::uint64_t pairs = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto dist = bfsDistances(topo, v);
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == v || dist[u] == kUnreachable) continue;
+      sum += dist[u];
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+std::vector<std::uint32_t> degreeHistogram(const Topology& topo) {
+  std::vector<std::uint32_t> histogram;
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+    const unsigned d = topo.degree(v);
+    if (d >= histogram.size()) histogram.resize(d + 1, 0);
+    ++histogram[d];
+  }
+  return histogram;
+}
+
+double averageDegree(const Topology& topo) {
+  if (topo.nodeCount() == 0) return 0.0;
+  return 2.0 * static_cast<double>(topo.linkCount()) /
+         static_cast<double>(topo.nodeCount());
+}
+
+namespace {
+
+/// Iterative Tarjan lowlink DFS collecting bridges and articulation points
+/// in one pass (recursion would overflow on path-like 10k-node graphs).
+struct LowlinkDfs {
+  const Topology& topo;
+  std::vector<std::uint32_t> disc;   // discovery time, 0 = unvisited
+  std::vector<std::uint32_t> low;
+  std::vector<bool> isArticulation;
+  std::vector<LinkId> bridgeLinks;
+  std::uint32_t clock = 0;
+
+  explicit LowlinkDfs(const Topology& t)
+      : topo(t),
+        disc(t.nodeCount(), 0),
+        low(t.nodeCount(), 0),
+        isArticulation(t.nodeCount(), false) {}
+
+  struct Frame {
+    NodeId node;
+    NodeId parent;
+    std::size_t nextIdx;
+    std::uint32_t treeChildren;
+  };
+
+  void run(NodeId root) {
+    std::vector<Frame> stack;
+    disc[root] = low[root] = ++clock;
+    stack.push_back({root, kInvalidNode, 0, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto neighbors = topo.neighbors(frame.node);
+      if (frame.nextIdx < neighbors.size()) {
+        const NodeId next = neighbors[frame.nextIdx++];
+        if (next == frame.parent) continue;  // skip the tree edge upward
+        if (disc[next] != 0) {
+          low[frame.node] = std::min(low[frame.node], disc[next]);
+          continue;
+        }
+        disc[next] = low[next] = ++clock;
+        ++frame.treeChildren;
+        stack.push_back({next, frame.node, 0, 0});
+        continue;
+      }
+      // Post-order: fold this node's lowlink into its parent.
+      const Frame finished = frame;
+      stack.pop_back();
+      if (finished.parent == kInvalidNode) {
+        if (finished.treeChildren >= 2) isArticulation[finished.node] = true;
+        continue;
+      }
+      Frame& parentFrame = stack.back();
+      low[parentFrame.node] =
+          std::min(low[parentFrame.node], low[finished.node]);
+      if (low[finished.node] > disc[parentFrame.node]) {
+        bridgeLinks.push_back(
+            topo.linkOf(topo.channel(parentFrame.node, finished.node)));
+      }
+      if (parentFrame.parent != kInvalidNode &&
+          low[finished.node] >= disc[parentFrame.node]) {
+        isArticulation[parentFrame.node] = true;
+      }
+    }
+  }
+};
+
+LowlinkDfs runLowlink(const Topology& topo) {
+  LowlinkDfs dfs(topo);
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+    if (dfs.disc[v] == 0) dfs.run(v);
+  }
+  return dfs;
+}
+
+}  // namespace
+
+std::vector<LinkId> bridges(const Topology& topo) {
+  auto dfs = runLowlink(topo);
+  std::sort(dfs.bridgeLinks.begin(), dfs.bridgeLinks.end());
+  return dfs.bridgeLinks;
+}
+
+std::vector<NodeId> articulationPoints(const Topology& topo) {
+  const auto dfs = runLowlink(topo);
+  std::vector<NodeId> points;
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+    if (dfs.isArticulation[v]) points.push_back(v);
+  }
+  return points;
+}
+
+}  // namespace downup::topo

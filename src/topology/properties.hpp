@@ -1,0 +1,40 @@
+// Structural graph queries used by generators, routing validation and the
+// experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace downup::topo {
+
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// Hop distances from `src` to every node (kUnreachable if disconnected).
+std::vector<std::uint32_t> bfsDistances(const Topology& topo, NodeId src);
+
+bool isConnected(const Topology& topo);
+
+/// Number of connected components.
+unsigned componentCount(const Topology& topo);
+
+/// Longest shortest path; throws std::runtime_error if disconnected.
+std::uint32_t diameter(const Topology& topo);
+
+/// Mean shortest-path hop count over ordered node pairs (src != dst).
+double averageDistance(const Topology& topo);
+
+/// histogram[d] = number of nodes with degree d.
+std::vector<std::uint32_t> degreeHistogram(const Topology& topo);
+
+double averageDegree(const Topology& topo);
+
+/// Links whose removal disconnects their component (Tarjan lowlink DFS).
+/// A bridge link is a single point of failure for routing.
+std::vector<LinkId> bridges(const Topology& topo);
+
+/// Nodes whose removal disconnects their component.
+std::vector<NodeId> articulationPoints(const Topology& topo);
+
+}  // namespace downup::topo

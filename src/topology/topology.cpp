@@ -1,0 +1,54 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace downup::topo {
+
+Topology::Topology(NodeId nodeCount)
+    : adjacency_(nodeCount), outChannels_(nodeCount) {}
+
+LinkId Topology::addLink(NodeId a, NodeId b) {
+  if (a >= nodeCount() || b >= nodeCount()) {
+    throw std::invalid_argument("Topology::addLink: endpoint out of range");
+  }
+  if (a == b) {
+    throw std::invalid_argument("Topology::addLink: self-loop not allowed");
+  }
+  if (hasLink(a, b)) {
+    throw std::invalid_argument("Topology::addLink: duplicate link (" +
+                                std::to_string(a) + "," + std::to_string(b) +
+                                ")");
+  }
+  const auto link = static_cast<LinkId>(links_.size());
+  links_.emplace_back(a, b);
+
+  const auto insertSorted = [this](NodeId from, NodeId to, ChannelId ch) {
+    auto& adj = adjacency_[from];
+    auto& chans = outChannels_[from];
+    const auto pos = std::lower_bound(adj.begin(), adj.end(), to);
+    const auto idx = static_cast<std::size_t>(pos - adj.begin());
+    adj.insert(pos, to);
+    chans.insert(chans.begin() + static_cast<std::ptrdiff_t>(idx), ch);
+  };
+  insertSorted(a, b, 2 * link);
+  insertSorted(b, a, 2 * link + 1);
+  return link;
+}
+
+bool Topology::hasLink(NodeId a, NodeId b) const noexcept {
+  if (a >= nodeCount() || b >= nodeCount()) return false;
+  const auto& adj = adjacency_[a];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+ChannelId Topology::channel(NodeId from, NodeId to) const noexcept {
+  if (from >= nodeCount()) return kInvalidChannel;
+  const auto& adj = adjacency_[from];
+  const auto pos = std::lower_bound(adj.begin(), adj.end(), to);
+  if (pos == adj.end() || *pos != to) return kInvalidChannel;
+  return outChannels_[from][static_cast<std::size_t>(pos - adj.begin())];
+}
+
+}  // namespace downup::topo

@@ -1,0 +1,82 @@
+// Switch-level network topology (Definition 1 of the paper).
+//
+// A Topology is an undirected simple graph: switches (nodes) joined by
+// bidirectional links.  Every link (a, b) carries two unidirectional
+// communication channels <a,b> and <b,a>.  Channels are first-class here
+// because every routing concept in the paper — directions, turns, turn
+// cycles, channel dependencies — is defined on channels, not links.
+//
+// Channel numbering: the two channels of link i are 2*i (from the link's
+// first endpoint to its second) and 2*i+1 (the reverse), so
+// `reverseChannel(c) == c ^ 1` and `linkOf(c) == c >> 1`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace downup::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using ChannelId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr ChannelId kInvalidChannel = static_cast<ChannelId>(-1);
+
+class Topology {
+ public:
+  /// Creates a topology with `nodeCount` switches and no links.
+  explicit Topology(NodeId nodeCount);
+
+  NodeId nodeCount() const noexcept { return static_cast<NodeId>(adjacency_.size()); }
+  LinkId linkCount() const noexcept { return static_cast<LinkId>(links_.size()); }
+  std::uint32_t channelCount() const noexcept {
+    return 2 * static_cast<std::uint32_t>(links_.size());
+  }
+
+  /// Adds the bidirectional link (a, b).  Throws std::invalid_argument on a
+  /// self-loop, an out-of-range endpoint, or a duplicate link.
+  LinkId addLink(NodeId a, NodeId b);
+
+  bool hasLink(NodeId a, NodeId b) const noexcept;
+  unsigned degree(NodeId v) const noexcept {
+    return static_cast<unsigned>(adjacency_[v].size());
+  }
+
+  /// Neighbors of v in ascending node-id order.
+  std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return adjacency_[v];
+  }
+
+  /// Output channels of v, parallel to neighbors(v): outputChannels(v)[i] is
+  /// the channel v -> neighbors(v)[i].
+  std::span<const ChannelId> outputChannels(NodeId v) const noexcept {
+    return outChannels_[v];
+  }
+
+  /// Channel from `from` to its neighbor `to`; kInvalidChannel if no link.
+  ChannelId channel(NodeId from, NodeId to) const noexcept;
+
+  NodeId channelSrc(ChannelId c) const noexcept {
+    const auto& ends = links_[c >> 1];
+    return (c & 1) == 0 ? ends.first : ends.second;
+  }
+  NodeId channelDst(ChannelId c) const noexcept {
+    const auto& ends = links_[c >> 1];
+    return (c & 1) == 0 ? ends.second : ends.first;
+  }
+  static ChannelId reverseChannel(ChannelId c) noexcept { return c ^ 1; }
+  static LinkId linkOf(ChannelId c) noexcept { return c >> 1; }
+
+  /// Endpoints of link `l` in insertion order.
+  std::pair<NodeId, NodeId> linkEnds(LinkId l) const noexcept { return links_[l]; }
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> links_;
+  std::vector<std::vector<NodeId>> adjacency_;      // sorted ascending
+  std::vector<std::vector<ChannelId>> outChannels_;  // parallel to adjacency_
+};
+
+}  // namespace downup::topo

@@ -1,0 +1,173 @@
+#include "tree/coordinated_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace downup::tree {
+
+std::string_view toString(TreePolicy policy) noexcept {
+  switch (policy) {
+    case TreePolicy::kM1SmallestFirst: return "M1";
+    case TreePolicy::kM2Random: return "M2";
+    case TreePolicy::kM3LargestFirst: return "M3";
+  }
+  return "?";
+}
+
+CoordinatedTree CoordinatedTree::build(const Topology& topo, TreePolicy policy,
+                                       util::Rng& rng, NodeId root) {
+  const NodeId n = topo.nodeCount();
+  if (root >= n) throw std::invalid_argument("CoordinatedTree: bad root");
+
+  CoordinatedTree tree;
+  tree.root_ = root;
+  tree.parent_.assign(n, topo::kInvalidNode);
+  tree.children_.assign(n, {});
+
+  // BFS (Steps 1-5 of the paper): neighbors scanned in ascending id order.
+  std::vector<bool> visited(n, false);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  visited[root] = true;
+  queue.push_back(root);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    for (NodeId w : topo.neighbors(v)) {  // neighbors() is sorted ascending
+      if (visited[w]) continue;
+      visited[w] = true;
+      tree.parent_[w] = v;
+      tree.children_[v].push_back(w);
+      queue.push_back(w);
+    }
+  }
+  if (queue.size() != n) {
+    throw std::invalid_argument("CoordinatedTree: topology is disconnected");
+  }
+
+  // Sibling order for the preorder traversal (Step 6 + policies M1/M2/M3).
+  for (auto& siblings : tree.children_) {
+    switch (policy) {
+      case TreePolicy::kM1SmallestFirst:
+        // BFS already appended in ascending id order.
+        break;
+      case TreePolicy::kM2Random:
+        rng.shuffle(std::span<NodeId>(siblings));
+        break;
+      case TreePolicy::kM3LargestFirst:
+        std::reverse(siblings.begin(), siblings.end());
+        break;
+    }
+  }
+
+  tree.assignCoordinates();
+  return tree;
+}
+
+CoordinatedTree CoordinatedTree::fromParents(
+    const Topology& topo, std::span<const NodeId> parents, NodeId root,
+    std::span<const std::uint32_t> siblingRank) {
+  const NodeId n = topo.nodeCount();
+  if (parents.size() != n) {
+    throw std::invalid_argument("CoordinatedTree: parent array size mismatch");
+  }
+  if (!siblingRank.empty() && siblingRank.size() != n) {
+    throw std::invalid_argument("CoordinatedTree: sibling rank size mismatch");
+  }
+  if (root >= n || parents[root] != topo::kInvalidNode) {
+    throw std::invalid_argument("CoordinatedTree: bad root");
+  }
+
+  CoordinatedTree tree;
+  tree.root_ = root;
+  tree.parent_.assign(parents.begin(), parents.end());
+  tree.children_.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root) continue;
+    const NodeId p = parents[v];
+    if (p >= n || !topo.hasLink(p, v)) {
+      throw std::invalid_argument(
+          "CoordinatedTree: parent edge missing from topology");
+    }
+    tree.children_[p].push_back(v);  // ascending id order by construction
+  }
+  if (!siblingRank.empty()) {
+    for (auto& siblings : tree.children_) {
+      std::sort(siblings.begin(), siblings.end(),
+                [&siblingRank](NodeId a, NodeId b) {
+                  return siblingRank[a] < siblingRank[b];
+                });
+    }
+  }
+
+  tree.assignCoordinates();
+  if (tree.preorder_.size() != n) {
+    throw std::invalid_argument("CoordinatedTree: parent array is not a tree");
+  }
+  return tree;
+}
+
+void CoordinatedTree::assignCoordinates() {
+  const NodeId n = nodeCount();
+  x_.assign(n, 0);
+  y_.assign(n, 0);
+  preorder_.clear();
+  preorder_.reserve(n);
+
+  // Iterative preorder honouring the stored sibling order.
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, next child idx)
+  preorder_.push_back(root_);
+  x_[root_] = 0;
+  y_[root_] = 0;
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    auto& [v, nextChild] = stack.back();
+    if (nextChild >= children_[v].size()) {
+      stack.pop_back();
+      continue;
+    }
+    const NodeId c = children_[v][nextChild++];
+    x_[c] = static_cast<std::uint32_t>(preorder_.size());
+    y_[c] = y_[v] + 1;
+    preorder_.push_back(c);
+    stack.emplace_back(c, 0);
+  }
+
+  depth_ = 0;
+  for (NodeId v : preorder_) depth_ = std::max(depth_, y_[v]);
+  levelPopulation_.assign(depth_ + 1, 0);
+  for (NodeId v : preorder_) ++levelPopulation_[y_[v]];
+}
+
+std::vector<NodeId> CoordinatedTree::leaves() const {
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < nodeCount(); ++v) {
+    if (isLeaf(v)) result.push_back(v);
+  }
+  return result;
+}
+
+NodeId CoordinatedTree::lowestCommonAncestor(NodeId a, NodeId b) const {
+  while (a != b) {
+    if (y_[a] > y_[b]) {
+      a = parent_[a];
+    } else if (y_[b] > y_[a]) {
+      b = parent_[b];
+    } else {
+      a = parent_[a];
+      b = parent_[b];
+    }
+  }
+  return a;
+}
+
+bool CoordinatedTree::isBfsTree(const Topology& topo) const {
+  for (LinkId l = 0; l < topo.linkCount(); ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    const std::uint32_t ya = y_[a];
+    const std::uint32_t yb = y_[b];
+    if ((ya > yb ? ya - yb : yb - ya) > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace downup::tree

@@ -1,0 +1,103 @@
+// Coordinated tree (Definition 2): a BFS spanning tree whose nodes carry 2-D
+// coordinates — X(v) = preorder-traversal index, Y(v) = tree level — from
+// which every channel direction in the paper is derived.
+//
+// The paper evaluates three sibling orderings for the preorder traversal:
+//   M1: smallest node id first  (the paper's proposed construction, §4.1)
+//   M2: uniformly random order
+//   M3: largest node id first
+// BFS discovery itself always scans neighbors in ascending id order (Step 4
+// of the paper's construction); the policies only affect preorder X.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace downup::tree {
+
+using topo::LinkId;
+using topo::NodeId;
+using topo::Topology;
+
+enum class TreePolicy : std::uint8_t {
+  kM1SmallestFirst,
+  kM2Random,
+  kM3LargestFirst,
+};
+
+std::string_view toString(TreePolicy policy) noexcept;
+
+class CoordinatedTree {
+ public:
+  /// Builds the BFS coordinated tree of `topo` rooted at `root` (the paper
+  /// uses the smallest node id, 0).  `rng` is only consulted for M2.
+  /// Throws std::invalid_argument if the topology is disconnected or the
+  /// root is out of range.
+  static CoordinatedTree build(const Topology& topo, TreePolicy policy,
+                               util::Rng& rng, NodeId root = 0);
+
+  /// Builds a tree from an explicit parent array (parent[root] must be
+  /// kInvalidNode).  Sibling preorder follows `siblingRank`: children of a
+  /// node are visited in ascending siblingRank[child] (ascending node id if
+  /// empty).  Used to reproduce the paper's worked examples, whose trees are
+  /// not M1 trees.
+  static CoordinatedTree fromParents(const Topology& topo,
+                                     std::span<const NodeId> parents,
+                                     NodeId root,
+                                     std::span<const std::uint32_t> siblingRank = {});
+
+  NodeId root() const noexcept { return root_; }
+  NodeId nodeCount() const noexcept { return static_cast<NodeId>(parent_.size()); }
+
+  NodeId parent(NodeId v) const noexcept { return parent_[v]; }
+  std::span<const NodeId> children(NodeId v) const noexcept { return children_[v]; }
+
+  /// X(v): 0-based preorder index (unique).
+  std::uint32_t x(NodeId v) const noexcept { return x_[v]; }
+  /// Y(v): tree level; 0 at the root.
+  std::uint32_t y(NodeId v) const noexcept { return y_[v]; }
+
+  /// Nodes in preorder (preorder()[x(v)] == v).
+  std::span<const NodeId> preorder() const noexcept { return preorder_; }
+
+  std::uint32_t depth() const noexcept { return depth_; }
+
+  /// Number of nodes at each level.
+  std::span<const std::uint32_t> levelPopulation() const noexcept {
+    return levelPopulation_;
+  }
+
+  bool isLeaf(NodeId v) const noexcept { return children_[v].empty(); }
+  std::vector<NodeId> leaves() const;
+
+  /// True iff link (a, b) is a tree link (one endpoint parents the other).
+  bool isTreeLink(NodeId a, NodeId b) const noexcept {
+    return parent_[a] == b || parent_[b] == a;
+  }
+
+  NodeId lowestCommonAncestor(NodeId a, NodeId b) const;
+
+  /// True when every non-tree link joins levels differing by at most one —
+  /// guaranteed for BFS-built trees, checkable for explicit ones.
+  bool isBfsTree(const Topology& topo) const;
+
+ private:
+  CoordinatedTree() = default;
+  void assignCoordinates();
+
+  NodeId root_ = 0;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;  // in preorder sibling order
+  std::vector<std::uint32_t> x_;
+  std::vector<std::uint32_t> y_;
+  std::vector<NodeId> preorder_;
+  std::vector<std::uint32_t> levelPopulation_;
+  std::uint32_t depth_ = 0;
+};
+
+}  // namespace downup::tree

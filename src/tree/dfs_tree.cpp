@@ -1,0 +1,43 @@
+#include "tree/dfs_tree.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace downup::tree {
+
+DfsTree DfsTree::build(const topo::Topology& topo, topo::NodeId root) {
+  const topo::NodeId n = topo.nodeCount();
+  if (root >= n) throw std::invalid_argument("DfsTree: bad root");
+
+  DfsTree tree;
+  tree.root_ = root;
+  tree.parent_.assign(n, topo::kInvalidNode);
+  tree.order_.assign(n, 0);
+
+  std::vector<bool> visited(n, false);
+  std::vector<std::pair<topo::NodeId, std::size_t>> stack;  // (node, next idx)
+  std::uint32_t counter = 0;
+  visited[root] = true;
+  tree.order_[root] = counter++;
+  stack.emplace_back(root, 0);
+  while (!stack.empty()) {
+    auto& [v, next] = stack.back();
+    const auto neighbors = topo.neighbors(v);
+    if (next >= neighbors.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const topo::NodeId w = neighbors[next++];
+    if (visited[w]) continue;
+    visited[w] = true;
+    tree.parent_[w] = v;
+    tree.order_[w] = counter++;
+    stack.emplace_back(w, 0);
+  }
+  if (counter != n) {
+    throw std::invalid_argument("DfsTree: topology is disconnected");
+  }
+  return tree;
+}
+
+}  // namespace downup::tree

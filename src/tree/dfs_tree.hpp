@@ -1,0 +1,32 @@
+// Depth-first-search spanning tree, used by the up*/down*-DFS baseline
+// (Robles, Duato & Sancho, ISHPC 2000): DFS visit order gives the channel
+// up/down labelling, which empirically spreads "up" channels away from a
+// single root better than BFS labelling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace downup::tree {
+
+class DfsTree {
+ public:
+  /// DFS from `root`, visiting neighbors in ascending id order.
+  /// Throws std::invalid_argument if disconnected or root out of range.
+  static DfsTree build(const topo::Topology& topo, topo::NodeId root = 0);
+
+  topo::NodeId root() const noexcept { return root_; }
+  topo::NodeId parent(topo::NodeId v) const noexcept { return parent_[v]; }
+
+  /// Position of v in DFS visit order (root == 0); unique per node.
+  std::uint32_t order(topo::NodeId v) const noexcept { return order_[v]; }
+
+ private:
+  topo::NodeId root_ = 0;
+  std::vector<topo::NodeId> parent_;
+  std::vector<std::uint32_t> order_;
+};
+
+}  // namespace downup::tree

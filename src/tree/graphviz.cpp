@@ -1,0 +1,34 @@
+#include "tree/graphviz.hpp"
+
+#include <ostream>
+
+namespace downup::tree {
+
+void exportGraphviz(const topo::Topology& topo, std::ostream& out) {
+  out << "graph downup {\n  node [shape=circle];\n";
+  for (topo::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    out << "  n" << a << " -- n" << b << ";\n";
+  }
+  out << "}\n";
+}
+
+void exportGraphviz(const topo::Topology& topo, const CoordinatedTree& ct,
+                    std::ostream& out) {
+  out << "graph downup {\n  node [shape=circle];\n";
+  for (topo::NodeId v = 0; v < topo.nodeCount(); ++v) {
+    out << "  n" << v << " [label=\"" << v << "\\n(" << ct.x(v) << ","
+        << ct.y(v) << ")\"";
+    if (v == ct.root()) out << " style=bold";
+    out << "];\n";
+  }
+  for (topo::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    out << "  n" << a << " -- n" << b;
+    if (!ct.isTreeLink(a, b)) out << " [style=dashed]";
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace downup::tree

@@ -1,0 +1,21 @@
+// Graphviz export of topologies, optionally annotated with a coordinated
+// tree (tree links solid, cross links dashed, nodes labelled with their
+// (X, Y) coordinates) — handy for eyeballing the structures the routing
+// algorithms are built on.
+#pragma once
+
+#include <iosfwd>
+
+#include "topology/topology.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::tree {
+
+/// Plain undirected graph.
+void exportGraphviz(const topo::Topology& topo, std::ostream& out);
+
+/// Annotated with the coordinated tree.
+void exportGraphviz(const topo::Topology& topo, const CoordinatedTree& ct,
+                    std::ostream& out);
+
+}  // namespace downup::tree

@@ -1,0 +1,152 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace downup::util {
+
+Cli::Cli(std::string programName, std::string description)
+    : program_(std::move(programName)), description_(std::move(description)) {}
+
+std::shared_ptr<bool> Cli::flag(std::string name, std::string help) {
+  auto slot = std::make_shared<bool>(false);
+  Spec spec;
+  spec.name = std::move(name);
+  spec.help = std::move(help);
+  spec.defaultText = "off";
+  spec.isFlag = true;
+  spec.apply = [slot](std::string_view) {
+    *slot = true;
+    return true;
+  };
+  specs_.push_back(std::move(spec));
+  return slot;
+}
+
+void Cli::addOption(std::string name, std::string help, std::string defaultText,
+                    std::function<bool(std::string_view)> apply) {
+  Spec spec;
+  spec.name = std::move(name);
+  spec.help = std::move(help);
+  spec.defaultText = std::move(defaultText);
+  spec.apply = std::move(apply);
+  specs_.push_back(std::move(spec));
+}
+
+const Cli::Spec* Cli::find(std::string_view name) const {
+  for (const auto& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+void Cli::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  std::string error;
+  if (!tryParse(args, &error)) {
+    if (error == "help") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    std::fprintf(stderr, "%s: %s\n%s", program_.c_str(), error.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  }
+}
+
+bool Cli::tryParse(const std::vector<std::string>& args, std::string* error) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string_view arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      if (error) *error = "help";
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      if (error) *error = "unexpected positional argument '" + args[i] + "'";
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string_view value;
+    bool hasInlineValue = false;
+    if (auto eq = arg.find('='); eq != std::string_view::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      hasInlineValue = true;
+    }
+    const Spec* spec = find(arg);
+    if (spec == nullptr) {
+      if (error) *error = "unknown option --" + std::string(arg);
+      return false;
+    }
+    if (spec->isFlag) {
+      if (hasInlineValue) {
+        if (error) *error = "flag --" + spec->name + " takes no value";
+        return false;
+      }
+      spec->apply({});
+      continue;
+    }
+    if (!hasInlineValue) {
+      if (i + 1 >= args.size()) {
+        if (error) *error = "option --" + spec->name + " needs a value";
+        return false;
+      }
+      value = args[++i];
+    }
+    if (!spec->apply(value)) {
+      if (error) {
+        *error = "bad value '" + std::string(value) + "' for --" + spec->name;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& spec : specs_) {
+    out << "  --" << spec.name;
+    if (!spec.isFlag) out << " <value>";
+    out << "\n      " << spec.help << " (default: " << spec.defaultText
+        << ")\n";
+  }
+  return out.str();
+}
+
+namespace {
+template <typename T>
+bool fromChars(std::string_view text, T& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+}  // namespace
+
+bool Cli::parseInto(std::string_view text, int& out) { return fromChars(text, out); }
+bool Cli::parseInto(std::string_view text, unsigned& out) { return fromChars(text, out); }
+bool Cli::parseInto(std::string_view text, std::uint64_t& out) { return fromChars(text, out); }
+
+bool Cli::parseInto(std::string_view text, double& out) {
+  // GCC 12 libstdc++ supports from_chars for double.
+  return fromChars(text, out);
+}
+
+bool Cli::parseInto(std::string_view text, std::string& out) {
+  out.assign(text);
+  return true;
+}
+
+std::string Cli::describeDefault(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace downup::util

@@ -1,0 +1,76 @@
+// A tiny declarative command-line parser for the benches and examples.
+//
+//   util::Cli cli("exp_fig8", "Reproduces Figure 8");
+//   auto ports  = cli.option<int>("ports", 4, "switch port count");
+//   auto full   = cli.flag("full", "run the paper-scale configuration");
+//   cli.parse(argc, argv);              // exits(2) with usage on bad input
+//   if (*full) ...
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace downup::util {
+
+class Cli {
+ public:
+  Cli(std::string programName, std::string description);
+
+  /// Registers --name <value>.  Returns a stable handle to the parsed value.
+  template <typename T>
+  std::shared_ptr<T> option(std::string name, T defaultValue,
+                            std::string help) {
+    auto slot = std::make_shared<T>(defaultValue);
+    addOption(std::move(name), std::move(help), describeDefault(defaultValue),
+              [slot](std::string_view text) { return parseInto(text, *slot); });
+    return slot;
+  }
+
+  /// Registers boolean --name (no argument).
+  std::shared_ptr<bool> flag(std::string name, std::string help);
+
+  /// Parses argv.  On error or --help, prints usage and exits.
+  void parse(int argc, const char* const* argv);
+
+  /// Parses a token vector; returns false and fills `error` on bad input
+  /// instead of exiting (used by unit tests).
+  bool tryParse(const std::vector<std::string>& args, std::string* error);
+
+  std::string usage() const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string help;
+    std::string defaultText;
+    bool isFlag = false;
+    std::function<bool(std::string_view)> apply;
+  };
+
+  void addOption(std::string name, std::string help, std::string defaultText,
+                 std::function<bool(std::string_view)> apply);
+  const Spec* find(std::string_view name) const;
+
+  static bool parseInto(std::string_view text, int& out);
+  static bool parseInto(std::string_view text, unsigned& out);
+  static bool parseInto(std::string_view text, std::uint64_t& out);
+  static bool parseInto(std::string_view text, double& out);
+  static bool parseInto(std::string_view text, std::string& out);
+
+  static std::string describeDefault(int v) { return std::to_string(v); }
+  static std::string describeDefault(unsigned v) { return std::to_string(v); }
+  static std::string describeDefault(std::uint64_t v) { return std::to_string(v); }
+  static std::string describeDefault(double v);
+  static std::string describeDefault(const std::string& v) { return v; }
+
+  std::string program_;
+  std::string description_;
+  std::vector<Spec> specs_;
+};
+
+}  // namespace downup::util

@@ -1,0 +1,77 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace downup::util {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), out_(&file_) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  header(std::vector<std::string>(names.begin(), names.end()));
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  if (headerDone_ || rowOpen_ || rows_ > 0) {
+    throw std::logic_error("CsvWriter: header must be first");
+  }
+  bool first = true;
+  for (const auto& name : names) {
+    if (!first) *out_ << ',';
+    *out_ << escape(name);
+    first = false;
+  }
+  *out_ << '\n';
+  headerDone_ = true;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view value) {
+  rawCell(escape(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  rawCell(buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(long long value) {
+  rawCell(std::to_string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(unsigned long long value) {
+  rawCell(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::endRow() {
+  *out_ << '\n';
+  rowOpen_ = false;
+  ++rows_;
+}
+
+void CsvWriter::rawCell(std::string_view formatted) {
+  if (rowOpen_) *out_ << ',';
+  *out_ << formatted;
+  rowOpen_ = true;
+}
+
+std::string CsvWriter::escape(std::string_view value) {
+  const bool needsQuote =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needsQuote) return std::string(value);
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace downup::util

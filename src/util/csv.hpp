@@ -1,0 +1,55 @@
+// Minimal CSV emission for experiment results.  Values are quoted only when
+// needed (comma, quote or newline present), per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace downup::util {
+
+/// Writes one CSV table to a stream the caller owns (or to a file it opens).
+class CsvWriter {
+ public:
+  /// Writes to an external stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Emits the header row; must be called before any data row (enforced).
+  void header(std::initializer_list<std::string_view> names);
+  void header(const std::vector<std::string>& names);
+
+  /// Starts a new row.  Append cells with `cell(...)`, finish with `endRow()`.
+  CsvWriter& cell(std::string_view value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(long long value);
+  CsvWriter& cell(unsigned long long value);
+  CsvWriter& cell(int value) { return cell(static_cast<long long>(value)); }
+  CsvWriter& cell(unsigned value) {
+    return cell(static_cast<unsigned long long>(value));
+  }
+  CsvWriter& cell(std::size_t value) {
+    return cell(static_cast<unsigned long long>(value));
+  }
+  void endRow();
+
+  std::size_t rowsWritten() const noexcept { return rows_; }
+
+ private:
+  void rawCell(std::string_view formatted);
+  static std::string escape(std::string_view value);
+
+  std::ofstream file_;
+  std::ostream* out_;
+  bool rowOpen_ = false;
+  bool headerDone_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace downup::util

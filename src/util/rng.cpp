@@ -1,0 +1,36 @@
+#include "util/rng.hpp"
+
+#ifdef __SIZEOF_INT128__
+using uint128 = unsigned __int128;
+#else
+#error "xoshiro bounded generation requires 128-bit integer support"
+#endif
+
+namespace downup::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire 2019: unbiased bounded generation without division in the common
+  // case.
+  std::uint64_t x = (*this)();
+  uint128 m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<uint128>(x) * static_cast<uint128>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint32_t> randomPermutation(std::uint32_t n, Rng& rng) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = i;
+  rng.shuffle(std::span<std::uint32_t>(perm));
+  return perm;
+}
+
+}  // namespace downup::util

@@ -1,0 +1,83 @@
+// Streaming summary statistics used throughout the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace downup::util {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStat& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Population variance (divides by n); matches the paper's "traffic load"
+  /// definition, which is the standard deviation over all nodes.
+  double variance() const noexcept {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Sample variance (divides by n-1), for cross-sample error bars.
+  double sampleVariance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double sampleStddev() const noexcept { return std::sqrt(sampleVariance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean of a span; 0 for empty input.
+double mean(std::span<const double> xs) noexcept;
+
+/// Population standard deviation of a span; 0 for empty input.
+double populationStddev(std::span<const double> xs) noexcept;
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on a sorted copy.
+double quantile(std::span<const double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::size_t binCount() const noexcept { return counts_.size(); }
+  std::uint64_t binValue(std::size_t i) const noexcept { return counts_[i]; }
+  double binLow(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace downup::util

@@ -1,0 +1,50 @@
+// A small fixed-size thread pool used to parallelise embarrassingly-parallel
+// experiment sweeps (independent simulation runs).  The simulator itself is
+// single-threaded and deterministic; parallelism lives only at the
+// run-per-task granularity, so results are identical at any pool width.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace downup::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; tasks must not throw (std::terminate otherwise).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace downup::util

@@ -1,0 +1,130 @@
+#include "core/ddg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace downup::core {
+namespace {
+
+TEST(Ddg, CompletePairHasBothEdges) {
+  const Ddg pair = Ddg::completePair(Dir::kLCross, Dir::kRCross);
+  EXPECT_EQ(pair.memberCount(), 2u);
+  EXPECT_EQ(pair.edgeCount(), 2u);
+  EXPECT_TRUE(pair.hasEdge(Dir::kLCross, Dir::kRCross));
+  EXPECT_TRUE(pair.hasEdge(Dir::kRCross, Dir::kLCross));
+  EXPECT_TRUE(pair.hasMember(Dir::kLCross));
+  EXPECT_FALSE(pair.hasMember(Dir::kLuTree));
+}
+
+TEST(Ddg, CombineAddsAllCrossEdges) {
+  const Ddg a = Ddg::completePair(Dir::kLuCross, Dir::kRdCross);
+  const Ddg b = Ddg::completePair(Dir::kLdCross, Dir::kRuCross);
+  const Ddg combined = Ddg::combine(a, b);
+  EXPECT_EQ(combined.memberCount(), 4u);
+  // 2 + 2 internal edges + 2*2*2 cross edges.
+  EXPECT_EQ(combined.edgeCount(), 12u);
+  EXPECT_TRUE(combined.hasEdge(Dir::kLuCross, Dir::kRuCross));
+  EXPECT_TRUE(combined.hasEdge(Dir::kRuCross, Dir::kLuCross));
+}
+
+TEST(Ddg, CombineRejectsOverlap) {
+  const Ddg a = Ddg::completePair(Dir::kLuCross, Dir::kRdCross);
+  const Ddg b = Ddg::completePair(Dir::kLuCross, Dir::kRuCross);
+  EXPECT_THROW(Ddg::combine(a, b), std::invalid_argument);
+}
+
+TEST(Derivation, StepOneRemovesOneEdgePerPair) {
+  const AddgDerivation d = deriveMaximalAddg();
+  EXPECT_EQ(d.addg1.edgeCount(), 1u);
+  EXPECT_TRUE(d.addg1.hasEdge(Dir::kRdCross, Dir::kLuCross));
+  EXPECT_FALSE(d.addg1.hasEdge(Dir::kLuCross, Dir::kRdCross));
+
+  EXPECT_EQ(d.addg2.edgeCount(), 1u);
+  EXPECT_TRUE(d.addg2.hasEdge(Dir::kLdCross, Dir::kRuCross));
+
+  EXPECT_EQ(d.addg3.edgeCount(), 1u);
+  EXPECT_TRUE(d.addg3.hasEdge(Dir::kRCross, Dir::kLCross));
+
+  EXPECT_EQ(d.addg4.edgeCount(), 1u);
+  EXPECT_TRUE(d.addg4.hasEdge(Dir::kLuTree, Dir::kRdTree));
+}
+
+TEST(Derivation, IntermediateEdgeCountsFollowThePaper) {
+  const AddgDerivation d = deriveMaximalAddg();
+  // ADDG5: 1+1 internal + 8 cross - 2 removed = 8.
+  EXPECT_EQ(d.addg5.memberCount(), 4u);
+  EXPECT_EQ(d.addg5.edgeCount(), 8u);
+  EXPECT_FALSE(d.addg5.hasEdge(Dir::kRuCross, Dir::kRdCross));
+  EXPECT_FALSE(d.addg5.hasEdge(Dir::kLuCross, Dir::kLdCross));
+  EXPECT_TRUE(d.addg5.hasEdge(Dir::kRdCross, Dir::kRuCross));
+
+  // ADDG6: 8 + 1 internal + 16 cross - 4 removed (horizontal->up) = 21.
+  EXPECT_EQ(d.addg6.memberCount(), 6u);
+  EXPECT_EQ(d.addg6.edgeCount(), 21u);
+  EXPECT_FALSE(d.addg6.hasEdge(Dir::kLCross, Dir::kLuCross));
+  EXPECT_FALSE(d.addg6.hasEdge(Dir::kRCross, Dir::kRuCross));
+  EXPECT_TRUE(d.addg6.hasEdge(Dir::kLuCross, Dir::kLCross));
+
+  // ADDG7: 21 + 1 internal + 24 cross - 2 (up-cross->RD_TREE)
+  //        - 6 (x->LU_TREE) = 38.
+  EXPECT_EQ(d.addg7.memberCount(), 8u);
+  EXPECT_EQ(d.addg7.edgeCount(), 38u);
+}
+
+TEST(Derivation, ProhibitedSetIsExactlyThePapersEighteen) {
+  const TurnSet set = downUpTurnSet();
+  EXPECT_EQ(set.prohibitedCount(), 18u);
+
+  const auto& paperList = downUpProhibitedTurns();
+  std::set<std::pair<Dir, Dir>> expected(paperList.begin(), paperList.end());
+  ASSERT_EQ(expected.size(), 18u) << "paper list has duplicates";
+
+  const auto actual = set.prohibitedList();
+  std::set<std::pair<Dir, Dir>> got(actual.begin(), actual.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Derivation, ConnectivityCriticalTurnsStayAllowed) {
+  const TurnSet set = downUpTurnSet();
+  // Up the tree then down the tree must always be possible (Theorem 1).
+  EXPECT_TRUE(set.isAllowed(Dir::kLuTree, Dir::kRdTree));
+  // Same-direction chains are implicitly allowed.
+  for (std::size_t i = 0; i < routing::kDirCount; ++i) {
+    const Dir d = static_cast<Dir>(i);
+    EXPECT_TRUE(set.isAllowed(d, d));
+  }
+}
+
+TEST(Derivation, DownUpCharacter) {
+  const TurnSet set = downUpTurnSet();
+  // Down-then-up via cross links is the algorithm's signature: allowed.
+  EXPECT_TRUE(set.isAllowed(Dir::kRdCross, Dir::kLuCross));
+  EXPECT_TRUE(set.isAllowed(Dir::kLdCross, Dir::kRuCross));
+  // Up-then-down via cross links is forbidden.
+  EXPECT_FALSE(set.isAllowed(Dir::kLuCross, Dir::kRdCross));
+  EXPECT_FALSE(set.isAllowed(Dir::kRuCross, Dir::kLdCross));
+  // Nothing may ever turn toward the root.
+  for (Dir from : {Dir::kRdTree, Dir::kLuCross, Dir::kLdCross, Dir::kRuCross,
+                   Dir::kRdCross, Dir::kRCross, Dir::kLCross}) {
+    EXPECT_FALSE(set.isAllowed(from, Dir::kLuTree));
+  }
+}
+
+TEST(Derivation, ToTurnSetMatchesAddg7EdgeByEdge) {
+  const AddgDerivation d = deriveMaximalAddg();
+  const TurnSet set = d.addg7.toTurnSet();
+  for (std::size_t i = 0; i < routing::kDirCount; ++i) {
+    for (std::size_t j = 0; j < routing::kDirCount; ++j) {
+      if (i == j) continue;
+      const Dir a = static_cast<Dir>(i);
+      const Dir b = static_cast<Dir>(j);
+      EXPECT_EQ(set.isAllowed(a, b), d.addg7.hasEdge(a, b))
+          << routing::toString(a) << "->" << routing::toString(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace downup::core

@@ -1,0 +1,79 @@
+// Lemma 1 and the Figure 1(f) remark, mechanised.
+#include <gtest/gtest.h>
+
+#include "core/ddg.hpp"
+#include "routing/cdg.hpp"
+#include "routing/leftright.hpp"
+#include "routing/turns.hpp"
+#include "topology/generate.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::core {
+namespace {
+
+constexpr std::initializer_list<Dir> kTwoDirs = {Dir::kLuTree, Dir::kRdTree};
+constexpr std::initializer_list<Dir> kSixDirs = {
+    Dir::kLuCross, Dir::kRuCross, Dir::kLCross,
+    Dir::kRCross,  Dir::kLdCross, Dir::kRdCross};
+constexpr std::initializer_list<Dir> kEightDirs = {
+    Dir::kLuTree,  Dir::kRdTree, Dir::kLuCross, Dir::kRuCross,
+    Dir::kLCross,  Dir::kRCross, Dir::kLdCross, Dir::kRdCross};
+
+TEST(Lemma1, UpDownDirectionGraphIsAcyclic) {
+  // up*/down* prohibits the single edge RD -> LU; what remains (LU -> RD)
+  // is acyclic, so Lemma 1 alone proves up*/down* deadlock-free.
+  EXPECT_TRUE(isDirectionGraphAcyclic(routing::upDownTurnSet(), kTwoDirs));
+}
+
+TEST(Lemma1, LturnDirectionGraphIsCyclicYetSafe) {
+  // The Figure 1(f) phenomenon: L-turn's direction graph has cycles
+  // (e.g. LD <-> L), but no communication graph can realize them — the
+  // channel-level check must certify it instead, and does.
+  EXPECT_FALSE(isDirectionGraphAcyclic(routing::lturnTurnSet(), kSixDirs));
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const routing::Topology topo =
+        topo::randomIrregular(32, {.maxPorts = 4}, rng);
+    util::Rng treeRng(seed + 9);
+    const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+        topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+    routing::TurnPermissions perms(topo, routing::classifyCoordinate(topo, ct),
+                                   routing::lturnTurnSet());
+    EXPECT_TRUE(routing::checkChannelDependencies(perms).acyclic)
+        << "seed " << seed;
+  }
+}
+
+TEST(Lemma1, LeftRightDirectionGraphIsCyclicYetSafe) {
+  EXPECT_FALSE(
+      isDirectionGraphAcyclic(routing::leftRightTurnSet(), kSixDirs));
+}
+
+TEST(Lemma1, DownUpDirectionGraphIsCyclic) {
+  // The DOWN/UP rule's direction graph is cyclic by design (down -> up ->
+  // flat -> down); unlike L-turn the cycle IS realizable in a CG
+  // (DESIGN.md §4.4), which is exactly why the repair pass exists.
+  EXPECT_FALSE(isDirectionGraphAcyclic(downUpTurnSet(), kEightDirs));
+}
+
+TEST(Lemma1, FullyProhibitedGraphIsAcyclic) {
+  routing::TurnSet set = routing::TurnSet::allAllowed();
+  for (Dir a : kEightDirs) {
+    for (Dir b : kEightDirs) {
+      if (a != b) set.prohibit(a, b);
+    }
+  }
+  EXPECT_TRUE(isDirectionGraphAcyclic(set, kEightDirs));
+}
+
+TEST(Lemma1, AllAllowedGraphIsCyclic) {
+  EXPECT_FALSE(
+      isDirectionGraphAcyclic(routing::TurnSet::allAllowed(), kEightDirs));
+  // ...but trivially acyclic when only one direction exists.
+  EXPECT_TRUE(isDirectionGraphAcyclic(routing::TurnSet::allAllowed(),
+                                      {Dir::kLuTree}));
+}
+
+}  // namespace
+}  // namespace downup::core

@@ -1,0 +1,118 @@
+// Full-pipeline integration: topology -> tree -> routing -> simulation ->
+// paper metrics, exactly the path the experiment benches take.
+#include <gtest/gtest.h>
+
+#include "core/downup_routing.hpp"
+#include "routing/verify.hpp"
+#include "sim/engine.hpp"
+#include "stats/metrics.hpp"
+#include "topology/generate.hpp"
+#include "topology/io.hpp"
+
+#include <sstream>
+
+namespace downup {
+namespace {
+
+TEST(EndToEnd, QuickPipelineProducesSaneMetrics) {
+  util::Rng rng(2004);
+  const topo::Topology topo =
+      topo::randomIrregular(32, {.maxPorts = 4}, rng);
+  util::Rng treeRng(1);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+
+  for (core::Algorithm algorithm :
+       {core::Algorithm::kLTurn, core::Algorithm::kDownUp}) {
+    const routing::Routing routing = core::buildRouting(algorithm, topo, ct);
+    ASSERT_TRUE(routing::verifyRouting(routing).ok());
+
+    sim::SimConfig config;
+    config.packetLengthFlits = 16;
+    config.warmupCycles = 500;
+    config.measureCycles = 4000;
+    const sim::UniformTraffic traffic(topo.nodeCount());
+    const sim::RunStats stats =
+        sim::simulate(routing.table(), traffic, 0.08, config);
+    EXPECT_FALSE(stats.deadlocked);
+    EXPECT_GT(stats.acceptedFlitsPerNodePerCycle, 0.0);
+    EXPECT_GT(stats.avgLatency, 16.0);  // at least the serialization time
+
+    const stats::PaperMetrics metrics =
+        stats::computePaperMetrics(topo, ct, stats.channelUtilization);
+    EXPECT_GT(metrics.meanNodeUtilization, 0.0);
+    EXPECT_LT(metrics.meanNodeUtilization, 1.0);
+    EXPECT_GE(metrics.hotspotDegreePercent, 0.0);
+    EXPECT_LE(metrics.hotspotDegreePercent, 100.0);
+    EXPECT_GE(metrics.leafUtilization, 0.0);
+  }
+}
+
+TEST(EndToEnd, TopologyRoundTripsThroughSerialization) {
+  util::Rng rng(77);
+  const topo::Topology original =
+      topo::randomIrregular(48, {.maxPorts = 8}, rng);
+  std::stringstream buffer;
+  topo::save(original, buffer);
+  const topo::Topology reloaded = topo::load(buffer);
+
+  util::Rng treeRng(3);
+  const tree::CoordinatedTree ctA = tree::CoordinatedTree::build(
+      original, tree::TreePolicy::kM1SmallestFirst, treeRng);
+  util::Rng treeRng2(3);
+  const tree::CoordinatedTree ctB = tree::CoordinatedTree::build(
+      reloaded, tree::TreePolicy::kM1SmallestFirst, treeRng2);
+
+  const routing::Routing a = core::buildDownUp(original, ctA);
+  const routing::Routing b = core::buildDownUp(reloaded, ctB);
+  for (topo::NodeId s = 0; s < original.nodeCount(); ++s) {
+    for (topo::NodeId d = 0; d < original.nodeCount(); ++d) {
+      EXPECT_EQ(a.table().distance(s, d), b.table().distance(s, d));
+    }
+  }
+}
+
+TEST(EndToEnd, DownUpBeatsUpDownOnPathLengthOnAverage) {
+  // A coarse shape check at build level: the adaptive turn-model routings
+  // should not have longer average legal paths than plain up*/down*.
+  double downupSum = 0.0;
+  double updownSum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const topo::Topology topo =
+        topo::randomIrregular(48, {.maxPorts = 4}, rng);
+    util::Rng treeRng(seed);
+    const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+        topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+    downupSum += core::buildDownUp(topo, ct).table().averagePathLength();
+    updownSum += routing::buildUpDown(topo, ct).table().averagePathLength();
+  }
+  EXPECT_LE(downupSum, updownSum * 1.15);
+}
+
+TEST(EndToEnd, AllAlgorithmsSurviveAHotspotStorm) {
+  util::Rng rng(31);
+  const topo::Topology topo =
+      topo::randomIrregular(24, {.maxPorts = 4}, rng);
+  util::Rng treeRng(32);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+
+  sim::SimConfig config;
+  config.packetLengthFlits = 32;
+  config.warmupCycles = 500;
+  config.measureCycles = 8000;
+  config.deadlockThresholdCycles = 3000;
+  const sim::HotspotTraffic traffic(topo.nodeCount(), 0, 0.4);
+
+  for (core::Algorithm algorithm : core::kAllAlgorithms) {
+    const routing::Routing routing = core::buildRouting(algorithm, topo, ct);
+    const sim::RunStats stats =
+        sim::simulate(routing.table(), traffic, 0.5, config);
+    EXPECT_FALSE(stats.deadlocked) << core::toString(algorithm);
+    EXPECT_GT(stats.flitsEjectedMeasured, 0u) << core::toString(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace downup

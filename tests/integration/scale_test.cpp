@@ -1,0 +1,134 @@
+// Scale smoke tests: the full pipeline at sizes well beyond the paper's
+// 128 switches, plus cross-cutting integration (serialized routing drives
+// the simulator identically to the original).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/downup_routing.hpp"
+#include "routing/serialize.hpp"
+#include "routing/verify.hpp"
+#include "sim/engine.hpp"
+#include "topology/generate.hpp"
+#include "topology/properties.hpp"
+
+namespace downup {
+namespace {
+
+TEST(Scale, FiveHundredTwelveSwitchesBuildAndVerify) {
+  util::Rng rng(2026);
+  const topo::Topology topo =
+      topo::randomIrregular(512, {.maxPorts = 4}, rng);
+  EXPECT_TRUE(topo::isConnected(topo));
+
+  util::Rng treeRng(1);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+  const routing::VerifyReport report = routing::verifyRouting(routing);
+  EXPECT_TRUE(report.ok()) << report.describe();
+  EXPECT_GT(report.averagePathLength, 4.0);  // deep network, long paths
+}
+
+TEST(Scale, LargeNetworkSimulationStaysConsistent) {
+  util::Rng rng(7);
+  const topo::Topology topo =
+      topo::randomIrregular(256, {.maxPorts = 8}, rng);
+  util::Rng treeRng(8);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+
+  sim::SimConfig config;
+  config.packetLengthFlits = 32;
+  config.warmupCycles = 500;
+  config.measureCycles = 3000;
+  const sim::UniformTraffic traffic(topo.nodeCount());
+  const sim::RunStats stats =
+      sim::simulate(routing.table(), traffic, 0.05, config);
+  EXPECT_FALSE(stats.deadlocked);
+  EXPECT_NEAR(stats.acceptedFlitsPerNodePerCycle, 0.05, 0.015);
+  for (double util : stats.channelUtilization) EXPECT_LE(util, 1.0);
+}
+
+TEST(Integration, SerializedRoutingDrivesIdenticalSimulation) {
+  util::Rng rng(13);
+  const topo::Topology topo = topo::randomIrregular(32, {.maxPorts = 4}, rng);
+  util::Rng treeRng(14);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM2Random, treeRng);
+  const routing::Routing original = core::buildDownUp(topo, ct);
+
+  std::stringstream buffer;
+  routing::saveRouting(original, buffer);
+  const routing::Routing restored = routing::loadRouting(topo, buffer);
+
+  sim::SimConfig config;
+  config.packetLengthFlits = 16;
+  config.warmupCycles = 200;
+  config.measureCycles = 3000;
+  config.seed = 77;
+  const sim::UniformTraffic traffic(topo.nodeCount());
+  const sim::RunStats a = sim::simulate(original.table(), traffic, 0.1, config);
+  const sim::RunStats b = sim::simulate(restored.table(), traffic, 0.1, config);
+  EXPECT_EQ(a.packetsGenerated, b.packetsGenerated);
+  EXPECT_EQ(a.flitsEjectedMeasured, b.flitsEjectedMeasured);
+  EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+  EXPECT_EQ(a.channelUtilization, b.channelUtilization);
+}
+
+TEST(Integration, VirtualChannelsKeepEveryInvariant) {
+  util::Rng rng(19);
+  const topo::Topology topo = topo::randomIrregular(32, {.maxPorts = 4}, rng);
+  util::Rng treeRng(20);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+
+  for (std::uint32_t vcs : {1u, 2u, 3u, 4u}) {
+    sim::SimConfig config;
+    config.packetLengthFlits = 16;
+    config.warmupCycles = 300;
+    config.measureCycles = 4000;
+    config.vcCount = vcs;
+    config.deadlockThresholdCycles = 2000;
+    const sim::UniformTraffic traffic(topo.nodeCount());
+    const sim::RunStats stats =
+        sim::simulate(routing.table(), traffic, 0.4, config);
+    EXPECT_FALSE(stats.deadlocked) << vcs << " VCs";
+    EXPECT_GT(stats.flitsEjectedMeasured, 0u) << vcs << " VCs";
+    for (double util : stats.channelUtilization) {
+      EXPECT_LE(util, 1.0 + 1e-12) << vcs << " VCs";
+    }
+  }
+}
+
+TEST(Integration, MisrouteModeRemainsLiveAndDeadlockFree) {
+  // Non-minimal adaptive mode on the *repaired* rule: packets may wander
+  // but the acyclic turn relation keeps the network deadlock-free and
+  // every packet still arrives.
+  util::Rng rng(23);
+  const topo::Topology topo = topo::randomIrregular(24, {.maxPorts = 4}, rng);
+  util::Rng treeRng(24);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM3LargestFirst, treeRng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+
+  sim::SimConfig config;
+  config.packetLengthFlits = 16;
+  config.warmupCycles = 0;
+  config.measureCycles = 100000;
+  config.misrouteProbability = 0.4;
+  config.deadlockThresholdCycles = 5000;
+  const sim::UniformTraffic traffic(topo.nodeCount());
+  sim::WormholeNetwork net(routing.table(), traffic, 0.1, config);
+  for (int i = 0; i < 12000; ++i) net.step();
+  EXPECT_FALSE(net.deadlocked());
+  EXPECT_GT(net.packetsEjected(), 100u);
+  // The vast majority of generated packets completed (liveness).
+  EXPECT_GT(static_cast<double>(net.packetsEjected()),
+            0.8 * static_cast<double>(net.packetsGenerated()) - 50.0);
+}
+
+}  // namespace
+}  // namespace downup

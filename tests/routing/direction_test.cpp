@@ -1,0 +1,178 @@
+#include "routing/direction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generate.hpp"
+
+namespace downup::routing {
+namespace {
+
+using tree::CoordinatedTree;
+using tree::TreePolicy;
+
+/// The Figure 1(c) coordinated tree (ids: v1..v5 -> 0..4).
+CoordinatedTree figure1Tree(const Topology& topo) {
+  const std::vector<NodeId> parents = {topo::kInvalidNode, 4, 0, 0, 0};
+  const std::vector<std::uint32_t> rank = {0, 2, 3, 4, 1};
+  return CoordinatedTree::fromParents(topo, parents, 0, rank);
+}
+
+TEST(ClassifyDownUp, Figure1DirectionsMatchThePaper) {
+  const Topology topo = topo::paperFigure1();
+  const CoordinatedTree ct = figure1Tree(topo);
+  const DirectionMap dirs = classifyDownUp(topo, ct);
+
+  // Section 3's worked examples: d(<v2,v4>) = RU_CROSS, d(<v5,v2>) = RD_TREE.
+  EXPECT_EQ(dirs[topo.channel(1, 3)], Dir::kRuCross);
+  EXPECT_EQ(dirs[topo.channel(4, 1)], Dir::kRdTree);
+
+  // The Figure 1(d) turn cycle channels: <v5,v1> LU_TREE, <v1,v3> RD_TREE,
+  // <v3,v5> L_CROSS.
+  EXPECT_EQ(dirs[topo.channel(4, 0)], Dir::kLuTree);
+  EXPECT_EQ(dirs[topo.channel(0, 2)], Dir::kRdTree);
+  EXPECT_EQ(dirs[topo.channel(2, 4)], Dir::kLCross);
+
+  // Reverse channels get the opposite directions.
+  EXPECT_EQ(dirs[topo.channel(3, 1)], Dir::kLdCross);
+  EXPECT_EQ(dirs[topo.channel(1, 4)], Dir::kLuTree);
+  EXPECT_EQ(dirs[topo.channel(0, 4)], Dir::kRdTree);
+  EXPECT_EQ(dirs[topo.channel(2, 0)], Dir::kLuTree);
+  EXPECT_EQ(dirs[topo.channel(4, 2)], Dir::kRCross);
+}
+
+Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::kLuTree: return Dir::kRdTree;
+    case Dir::kRdTree: return Dir::kLuTree;
+    case Dir::kLuCross: return Dir::kRdCross;
+    case Dir::kRdCross: return Dir::kLuCross;
+    case Dir::kRuCross: return Dir::kLdCross;
+    case Dir::kLdCross: return Dir::kRuCross;
+    case Dir::kRCross: return Dir::kLCross;
+    case Dir::kLCross: return Dir::kRCross;
+  }
+  return d;
+}
+
+struct ClassifyCase {
+  topo::NodeId nodes;
+  unsigned ports;
+  std::uint64_t seed;
+};
+
+class ClassifierLawsTest : public ::testing::TestWithParam<ClassifyCase> {};
+
+TEST_P(ClassifierLawsTest, ReverseChannelsHaveOppositeDirections) {
+  const auto [nodes, ports, seed] = GetParam();
+  util::Rng rng(seed);
+  const Topology topo = topo::randomIrregular(nodes, {.maxPorts = ports}, rng);
+  util::Rng treeRng(seed + 7);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM2Random, treeRng);
+
+  for (const DirectionMap& dirs :
+       {classifyDownUp(topo, ct), classifyCoordinate(topo, ct)}) {
+    for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+      EXPECT_EQ(dirs[Topology::reverseChannel(c)], opposite(dirs[c]));
+    }
+  }
+}
+
+TEST_P(ClassifierLawsTest, DownUpTreeChannelsAreExactlyTreeLinks) {
+  const auto [nodes, ports, seed] = GetParam();
+  util::Rng rng(seed);
+  const Topology topo = topo::randomIrregular(nodes, {.maxPorts = ports}, rng);
+  util::Rng treeRng(seed + 7);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, treeRng);
+  const DirectionMap dirs = classifyDownUp(topo, ct);
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    const bool treeDir =
+        dirs[c] == Dir::kLuTree || dirs[c] == Dir::kRdTree;
+    EXPECT_EQ(treeDir,
+              ct.isTreeLink(topo.channelSrc(c), topo.channelDst(c)));
+    if (dirs[c] == Dir::kLuTree) {
+      EXPECT_EQ(ct.parent(topo.channelSrc(c)), topo.channelDst(c));
+    }
+  }
+}
+
+TEST_P(ClassifierLawsTest, CoordinateClassifierAgreesWithCoordinates) {
+  const auto [nodes, ports, seed] = GetParam();
+  util::Rng rng(seed);
+  const Topology topo = topo::randomIrregular(nodes, {.maxPorts = ports}, rng);
+  util::Rng treeRng(seed + 7);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM3LargestFirst, treeRng);
+  const DirectionMap dirs = classifyCoordinate(topo, ct);
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    const NodeId v1 = topo.channelSrc(c);
+    const NodeId v2 = topo.channelDst(c);
+    switch (dirs[c]) {
+      case Dir::kLuCross:
+        EXPECT_TRUE(ct.x(v2) < ct.x(v1) && ct.y(v2) < ct.y(v1));
+        break;
+      case Dir::kRuCross:
+        EXPECT_TRUE(ct.x(v2) > ct.x(v1) && ct.y(v2) < ct.y(v1));
+        break;
+      case Dir::kLdCross:
+        EXPECT_TRUE(ct.x(v2) < ct.x(v1) && ct.y(v2) > ct.y(v1));
+        break;
+      case Dir::kRdCross:
+        EXPECT_TRUE(ct.x(v2) > ct.x(v1) && ct.y(v2) > ct.y(v1));
+        break;
+      case Dir::kLCross:
+        EXPECT_TRUE(ct.x(v2) < ct.x(v1) && ct.y(v2) == ct.y(v1));
+        break;
+      case Dir::kRCross:
+        EXPECT_TRUE(ct.x(v2) > ct.x(v1) && ct.y(v2) == ct.y(v1));
+        break;
+      default:
+        FAIL() << "coordinate classifier produced a tree direction";
+    }
+  }
+}
+
+TEST_P(ClassifierLawsTest, UpDownClassifiersProduceOnlyTwoDirections) {
+  const auto [nodes, ports, seed] = GetParam();
+  util::Rng rng(seed);
+  const Topology topo = topo::randomIrregular(nodes, {.maxPorts = ports}, rng);
+  util::Rng treeRng(seed + 7);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, treeRng);
+  const tree::DfsTree dt = tree::DfsTree::build(topo);
+
+  for (const DirectionMap& dirs :
+       {classifyUpDown(topo, ct), classifyUpDownDfs(topo, dt)}) {
+    for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+      EXPECT_TRUE(dirs[c] == Dir::kLuTree || dirs[c] == Dir::kRdTree);
+      // Exactly one orientation of every link is "up".
+      const Dir rev = dirs[Topology::reverseChannel(c)];
+      EXPECT_NE(dirs[c], rev);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ClassifierLawsTest,
+                         ::testing::Values(ClassifyCase{12, 3, 1},
+                                           ClassifyCase{32, 4, 2},
+                                           ClassifyCase{64, 8, 3},
+                                           ClassifyCase{128, 4, 4}));
+
+TEST(DirNames, AreStable) {
+  EXPECT_EQ(toString(Dir::kLuTree), "LU_TREE");
+  EXPECT_EQ(toString(Dir::kRdTree), "RD_TREE");
+  EXPECT_EQ(toString(Dir::kLCross), "L_CROSS");
+  EXPECT_EQ(toString(Dir::kRdCross), "RD_CROSS");
+}
+
+TEST(IsUpCross, OnlyTheTwoAscendingCrossDirections) {
+  EXPECT_TRUE(isUpCross(Dir::kLuCross));
+  EXPECT_TRUE(isUpCross(Dir::kRuCross));
+  EXPECT_FALSE(isUpCross(Dir::kLuTree));
+  EXPECT_FALSE(isUpCross(Dir::kLdCross));
+  EXPECT_FALSE(isUpCross(Dir::kRCross));
+}
+
+}  // namespace
+}  // namespace downup::routing

@@ -1,0 +1,68 @@
+#include "routing/leftright.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/verify.hpp"
+#include "topology/generate.hpp"
+
+namespace downup::routing {
+namespace {
+
+using tree::CoordinatedTree;
+using tree::TreePolicy;
+
+TEST(LeftRightTurnSet, ProhibitsExactlyRightToLeft) {
+  const TurnSet set = leftRightTurnSet();
+  EXPECT_EQ(set.prohibitedCount(), 9u);
+  for (Dir right : {Dir::kRuCross, Dir::kRCross, Dir::kRdCross}) {
+    for (Dir left : {Dir::kLuCross, Dir::kLCross, Dir::kLdCross}) {
+      EXPECT_FALSE(set.isAllowed(right, left));
+      EXPECT_TRUE(set.isAllowed(left, right));
+    }
+  }
+  // Within-class turns stay open.
+  EXPECT_TRUE(set.isAllowed(Dir::kRuCross, Dir::kRdCross));
+  EXPECT_TRUE(set.isAllowed(Dir::kLdCross, Dir::kLuCross));
+}
+
+TEST(LeftRight, SoundAndLiveAcrossRandomNetworks) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    const Topology topo = topo::randomIrregular(
+        40, {.maxPorts = static_cast<unsigned>(3 + seed % 6)}, rng);
+    util::Rng treeRng(seed + 77);
+    const TreePolicy policy = static_cast<TreePolicy>(seed % 3);
+    const CoordinatedTree ct = CoordinatedTree::build(topo, policy, treeRng);
+    const Routing routing = buildLeftRight(topo, ct);
+    const VerifyReport report = verifyRouting(routing);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.describe();
+  }
+}
+
+TEST(LeftRight, TreePathsSurvive) {
+  // On a star every route is leaf -> hub -> leaf: LU then RD, which
+  // Left/Right permits (left before right).
+  const Topology topo = topo::star(8);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  const Routing routing = buildLeftRight(topo, ct);
+  for (NodeId s = 1; s < 8; ++s) {
+    for (NodeId d = 1; d < 8; ++d) {
+      if (s != d) {
+        EXPECT_EQ(routing.table().distance(s, d), 2u);
+      }
+    }
+  }
+}
+
+TEST(LeftRight, NameIsStable) {
+  const Topology topo = topo::ring(4);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  EXPECT_EQ(buildLeftRight(topo, ct).name(), "leftright");
+}
+
+}  // namespace
+}  // namespace downup::routing

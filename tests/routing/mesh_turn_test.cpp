@@ -1,0 +1,139 @@
+#include "routing/mesh_turn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/cdg.hpp"
+#include "routing/path_analysis.hpp"
+#include "routing/verify.hpp"
+#include "sim/engine.hpp"
+#include "topology/generate.hpp"
+
+namespace downup::routing {
+namespace {
+
+TEST(ClassifyMesh, GeographicDirectionsAreCorrect) {
+  const Topology topo = topo::mesh(3, 3);
+  const DirectionMap dirs = classifyMesh(topo, 3, 3);
+  // Node 4 is the center (1,1).
+  EXPECT_EQ(dirs[topo.channel(4, 5)], Dir::kRCross);   // east
+  EXPECT_EQ(dirs[topo.channel(4, 3)], Dir::kLCross);   // west
+  EXPECT_EQ(dirs[topo.channel(4, 1)], Dir::kLuCross);  // north
+  EXPECT_EQ(dirs[topo.channel(4, 7)], Dir::kRdCross);  // south
+}
+
+TEST(ClassifyMesh, RejectsNonMeshInput) {
+  EXPECT_THROW(classifyMesh(topo::mesh(3, 3), 4, 3), std::invalid_argument);
+  EXPECT_THROW(classifyMesh(topo::torus(4, 4), 4, 4), std::invalid_argument);
+  EXPECT_THROW(classifyMesh(topo::ring(9), 3, 3), std::invalid_argument);
+}
+
+constexpr MeshTurnModel kAllModels[] = {
+    MeshTurnModel::kWestFirst, MeshTurnModel::kNorthLast,
+    MeshTurnModel::kNegativeFirst, MeshTurnModel::kXY};
+
+class MeshTurnModelTest : public ::testing::TestWithParam<MeshTurnModel> {};
+
+TEST_P(MeshTurnModelTest, SoundLiveAndMinimalOnMeshes) {
+  for (const auto& [w, h] : {std::pair<topo::NodeId, topo::NodeId>{4, 4},
+                             {5, 3}, {2, 6}, {8, 8}}) {
+    const Topology topo = topo::mesh(w, h);
+    const Routing routing = buildMeshRouting(topo, w, h, GetParam());
+    const VerifyReport report = verifyRouting(routing);
+    EXPECT_TRUE(report.ok())
+        << toString(GetParam()) << " on " << w << "x" << h << ": "
+        << report.describe();
+    // Mesh turn-model routing is always minimal: legal distance ==
+    // Manhattan distance for every pair.
+    for (NodeId s = 0; s < topo.nodeCount(); ++s) {
+      for (NodeId d = 0; d < topo.nodeCount(); ++d) {
+        const auto manhattan =
+            static_cast<std::uint16_t>(std::abs(static_cast<int>(s % w) -
+                                                static_cast<int>(d % w)) +
+                                       std::abs(static_cast<int>(s / w) -
+                                                static_cast<int>(d / w)));
+        EXPECT_EQ(routing.table().distance(s, d), manhattan);
+      }
+    }
+  }
+}
+
+TEST_P(MeshTurnModelTest, SurvivesSaturationStress) {
+  const Topology topo = topo::mesh(5, 5);
+  const Routing routing = buildMeshRouting(topo, 5, 5, GetParam());
+  sim::SimConfig config;
+  config.packetLengthFlits = 32;
+  config.warmupCycles = 500;
+  config.measureCycles = 6000;
+  config.deadlockThresholdCycles = 2500;
+  const sim::UniformTraffic traffic(topo.nodeCount());
+  const sim::RunStats stats =
+      sim::simulate(routing.table(), traffic, 0.9, config);
+  EXPECT_FALSE(stats.deadlocked) << toString(GetParam());
+  EXPECT_GT(stats.flitsEjectedMeasured, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, MeshTurnModelTest,
+                         ::testing::ValuesIn(kAllModels));
+
+TEST(MeshTurnModels, ProhibitedCountsMatchGlassNi) {
+  EXPECT_EQ(meshTurnSet(MeshTurnModel::kWestFirst).prohibitedCount(), 2u);
+  EXPECT_EQ(meshTurnSet(MeshTurnModel::kNorthLast).prohibitedCount(), 2u);
+  EXPECT_EQ(meshTurnSet(MeshTurnModel::kNegativeFirst).prohibitedCount(), 2u);
+  EXPECT_EQ(meshTurnSet(MeshTurnModel::kXY).prohibitedCount(), 4u);
+}
+
+TEST(MeshTurnModels, XyIsDeterministicOthersArePartiallyAdaptive) {
+  const Topology topo = topo::mesh(5, 5);
+  const Routing xy = buildMeshRouting(topo, 5, 5, MeshTurnModel::kXY);
+  EXPECT_DOUBLE_EQ(averageAdaptivity(xy.table()), 1.0)
+      << "dimension-order routing has exactly one minimal legal first hop";
+  for (MeshTurnModel model :
+       {MeshTurnModel::kWestFirst, MeshTurnModel::kNorthLast,
+        MeshTurnModel::kNegativeFirst}) {
+    const Routing routing = buildMeshRouting(topo, 5, 5, model);
+    EXPECT_GT(averageAdaptivity(routing.table()), 1.0) << toString(model);
+  }
+}
+
+TEST(MeshTurnModels, WestFirstReallyGoesWestFirst) {
+  // Every minimal legal path of west-first routing takes all of its west
+  // hops before any other direction.
+  const Topology topo = topo::mesh(4, 4);
+  const Routing routing =
+      buildMeshRouting(topo, 4, 4, MeshTurnModel::kWestFirst);
+  const auto& perms = routing.permissions();
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      for (const auto& path :
+           enumerateMinimalPaths(routing.table(), s, d, 200)) {
+        bool leftWestPhase = false;
+        for (ChannelId c : path) {
+          if (perms.dir(c) == Dir::kLCross) {
+            EXPECT_FALSE(leftWestPhase) << "west hop after non-west hop";
+          } else {
+            leftWestPhase = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MeshTurnModels, PermissiveMeshWouldBeCyclic) {
+  // Control: the turn prohibitions are what break the mesh cycles.
+  const Topology topo = topo::mesh(3, 3);
+  TurnPermissions perms(topo, classifyMesh(topo, 3, 3),
+                        TurnSet::allAllowed());
+  EXPECT_FALSE(checkChannelDependencies(perms).acyclic);
+}
+
+TEST(MeshTurnModels, NamesAreStable) {
+  EXPECT_EQ(toString(MeshTurnModel::kWestFirst), "west-first");
+  EXPECT_EQ(toString(MeshTurnModel::kNorthLast), "north-last");
+  EXPECT_EQ(toString(MeshTurnModel::kNegativeFirst), "negative-first");
+  EXPECT_EQ(toString(MeshTurnModel::kXY), "xy");
+}
+
+}  // namespace
+}  // namespace downup::routing

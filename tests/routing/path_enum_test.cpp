@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/downup_routing.hpp"
+#include "routing/path_analysis.hpp"
+#include "topology/generate.hpp"
+
+namespace downup::routing {
+namespace {
+
+using tree::CoordinatedTree;
+using tree::TreePolicy;
+
+Routing permissiveOn(const Topology& topo) {
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  TurnPermissions perms(topo, classifyUpDown(topo, ct),
+                        TurnSet::allAllowed());
+  return Routing("permissive", std::move(perms));
+}
+
+bool isValidPath(const RoutingTable& table, NodeId src, NodeId dst,
+                 const std::vector<ChannelId>& path) {
+  const Topology& topo = table.topology();
+  if (path.empty() || topo.channelSrc(path.front()) != src ||
+      topo.channelDst(path.back()) != dst) {
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const NodeId via = topo.channelDst(path[i]);
+    if (via != topo.channelSrc(path[i + 1])) return false;
+    if (!table.permissions().allowed(via, path[i], path[i + 1])) return false;
+  }
+  return path.size() == table.distance(src, dst);
+}
+
+TEST(SamplePath, ProducesAMinimalLegalPath) {
+  util::Rng rng(3);
+  const Topology topo = topo::randomIrregular(24, {.maxPorts = 4}, rng);
+  util::Rng treeRng(4);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, treeRng);
+  const Routing routing = core::buildDownUp(topo, ct);
+  util::Rng pathRng(5);
+  for (NodeId s = 0; s < topo.nodeCount(); ++s) {
+    for (NodeId d = 0; d < topo.nodeCount(); ++d) {
+      if (s == d) continue;
+      const auto path = samplePath(routing.table(), s, d, &pathRng);
+      EXPECT_TRUE(isValidPath(routing.table(), s, d, path))
+          << s << " -> " << d;
+    }
+  }
+}
+
+TEST(SamplePath, EmptyForSelfAndDeterministicWithoutRng) {
+  const Topology topo = topo::ring(6);
+  const Routing routing = permissiveOn(topo);
+  EXPECT_TRUE(samplePath(routing.table(), 2, 2).empty());
+  const auto a = samplePath(routing.table(), 0, 3);
+  const auto b = samplePath(routing.table(), 0, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EnumerateMinimalPaths, RingOppositePairHasTwo) {
+  const Topology topo = topo::ring(4);
+  const Routing routing = permissiveOn(topo);
+  const auto paths = enumerateMinimalPaths(routing.table(), 0, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NE(paths[0], paths[1]);
+  for (const auto& path : paths) {
+    EXPECT_TRUE(isValidPath(routing.table(), 0, 2, path));
+  }
+}
+
+TEST(EnumerateMinimalPaths, MeshCornerToCornerMatchesBinomial) {
+  const Topology topo = topo::mesh(3, 3);
+  const Routing routing = permissiveOn(topo);
+  const auto paths = enumerateMinimalPaths(routing.table(), 0, 8);
+  EXPECT_EQ(paths.size(), 6u);  // C(4, 2)
+  std::set<std::vector<ChannelId>> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(EnumerateMinimalPaths, CountsMatchThePathAnalysisDp) {
+  util::Rng rng(9);
+  const Topology topo = topo::randomIrregular(16, {.maxPorts = 4}, rng);
+  util::Rng treeRng(10);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, treeRng);
+  const Routing routing = core::buildDownUp(topo, ct);
+  const PathAnalysis analysis = analyzePaths(routing.table());
+  const NodeId n = topo.nodeCount();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const auto paths =
+          enumerateMinimalPaths(routing.table(), s, d, 10000);
+      EXPECT_DOUBLE_EQ(static_cast<double>(paths.size()),
+                       analysis.pathCount[s * n + d])
+          << s << " -> " << d;
+    }
+  }
+}
+
+TEST(EnumerateMinimalPaths, LimitTruncates) {
+  const Topology topo = topo::mesh(4, 4);
+  const Routing routing = permissiveOn(topo);
+  const auto paths = enumerateMinimalPaths(routing.table(), 0, 15, 3);
+  EXPECT_EQ(paths.size(), 3u);
+  EXPECT_TRUE(enumerateMinimalPaths(routing.table(), 0, 15, 0).empty());
+}
+
+}  // namespace
+}  // namespace downup::routing

@@ -1,0 +1,119 @@
+#include "routing/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/downup_routing.hpp"
+#include "routing/cdg.hpp"
+#include "topology/generate.hpp"
+
+namespace downup::routing {
+namespace {
+
+using tree::CoordinatedTree;
+using tree::TreePolicy;
+
+Routing sampleRouting(const Topology& topo) {
+  util::Rng rng(3);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM3LargestFirst, rng);
+  return core::buildDownUp(topo, ct);
+}
+
+TEST(RoutingSerialize, RoundTripPreservesTheRelation) {
+  util::Rng rng(2);
+  const Topology topo = topo::randomIrregular(32, {.maxPorts = 4}, rng);
+  const Routing original = sampleRouting(topo);
+
+  std::stringstream buffer;
+  saveRouting(original, buffer);
+  const Routing restored = loadRouting(topo, buffer);
+
+  EXPECT_EQ(restored.name(), original.name());
+  const auto& a = original.permissions();
+  const auto& b = restored.permissions();
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    EXPECT_EQ(a.dir(c), b.dir(c));
+  }
+  EXPECT_EQ(a.global(), b.global());
+  EXPECT_EQ(a.releaseCount(), b.releaseCount());
+  EXPECT_EQ(a.blockCount(), b.blockCount());
+  for (NodeId s = 0; s < topo.nodeCount(); ++s) {
+    for (NodeId d = 0; d < topo.nodeCount(); ++d) {
+      EXPECT_EQ(original.table().distance(s, d),
+                restored.table().distance(s, d));
+    }
+  }
+  EXPECT_TRUE(checkChannelDependencies(b).acyclic);
+}
+
+TEST(RoutingSerialize, FileRoundTrip) {
+  const Topology topo = topo::paperFigure1();
+  const Routing original = sampleRouting(topo);
+  const std::string path = ::testing::TempDir() + "/downup_routing_test.txt";
+  saveRoutingFile(original, path);
+  const Routing restored = loadRoutingFile(topo, path);
+  EXPECT_EQ(restored.table().averagePathLength(),
+            original.table().averagePathLength());
+}
+
+TEST(RoutingSerialize, RejectsChannelCountMismatch) {
+  const Topology topo = topo::paperFigure1();
+  const Routing original = sampleRouting(topo);
+  std::stringstream buffer;
+  saveRouting(original, buffer);
+  const Topology other = topo::ring(8);
+  EXPECT_THROW(loadRouting(other, buffer), std::runtime_error);
+}
+
+TEST(RoutingSerialize, RejectsMalformedInput) {
+  const Topology topo = topo::ring(4);
+  {
+    std::istringstream in("not-a-routing\n");
+    EXPECT_THROW(loadRouting(topo, in), std::runtime_error);
+  }
+  {
+    std::istringstream in("downup-routing v1\ndir 0 LU_TREE\n");
+    EXPECT_THROW(loadRouting(topo, in), std::runtime_error);  // dir before channels
+  }
+  {
+    std::istringstream in(
+        "downup-routing v1\nchannels 8\ndir 0 NOT_A_DIRECTION\n");
+    EXPECT_THROW(loadRouting(topo, in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "downup-routing v1\nchannels 8\nrelease 99 LU_CROSS RD_TREE\n");
+    EXPECT_THROW(loadRouting(topo, in), std::runtime_error);  // bad node
+  }
+  {
+    std::istringstream in("downup-routing v1\n");
+    EXPECT_THROW(loadRouting(topo, in), std::runtime_error);  // no channels
+  }
+}
+
+TEST(DirFromString, ParsesEveryDirection) {
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    const Dir d = static_cast<Dir>(i);
+    EXPECT_EQ(dirFromString(toString(d)), d);
+  }
+  EXPECT_THROW(dirFromString("NORTH"), std::invalid_argument);
+}
+
+TEST(ExportSwitchConfig, ListsEveryPortPair) {
+  const Topology topo = topo::paperFigure1();
+  const Routing routing = sampleRouting(topo);
+  std::ostringstream out;
+  exportSwitchConfig(routing, 0, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("switch 0"), std::string::npos);
+  // Node 0 (v1) has 3 neighbors: 2, 3, 4.
+  EXPECT_NE(text.find("->2"), std::string::npos);
+  EXPECT_NE(text.find("->3"), std::string::npos);
+  EXPECT_NE(text.find("->4"), std::string::npos);
+  EXPECT_NE(text.find("<-2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace downup::routing

@@ -1,0 +1,178 @@
+#include "routing/turns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generate.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::routing {
+namespace {
+
+TEST(TurnSet, AllAllowedHasNoProhibitions) {
+  const TurnSet set = TurnSet::allAllowed();
+  EXPECT_EQ(set.prohibitedCount(), 0u);
+  EXPECT_TRUE(set.prohibitedList().empty());
+  for (std::size_t i = 0; i < kDirCount; ++i) {
+    for (std::size_t j = 0; j < kDirCount; ++j) {
+      EXPECT_TRUE(set.isAllowed(static_cast<Dir>(i), static_cast<Dir>(j)));
+    }
+  }
+}
+
+TEST(TurnSet, ProhibitAndAllowRoundTrip) {
+  TurnSet set = TurnSet::allAllowed();
+  set.prohibit(Dir::kRdTree, Dir::kLuTree);
+  EXPECT_FALSE(set.isAllowed(Dir::kRdTree, Dir::kLuTree));
+  EXPECT_TRUE(set.isAllowed(Dir::kLuTree, Dir::kRdTree));
+  EXPECT_EQ(set.prohibitedCount(), 1u);
+  set.allow(Dir::kRdTree, Dir::kLuTree);
+  EXPECT_EQ(set.prohibitedCount(), 0u);
+}
+
+TEST(TurnSet, SameDirectionAlwaysAllowed) {
+  TurnSet set = TurnSet::allAllowed();
+  set.prohibit(Dir::kLCross, Dir::kLCross);  // recorded but overridden
+  EXPECT_TRUE(set.isAllowed(Dir::kLCross, Dir::kLCross));
+}
+
+TEST(TurnSet, ProhibitedListInRowMajorOrder) {
+  TurnSet set = TurnSet::allAllowed();
+  set.prohibit(Dir::kRCross, Dir::kLuTree);
+  set.prohibit(Dir::kLuTree, Dir::kRCross);
+  const auto list = set.prohibitedList();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], (std::pair{Dir::kLuTree, Dir::kRCross}));
+  EXPECT_EQ(list[1], (std::pair{Dir::kRCross, Dir::kLuTree}));
+}
+
+TEST(NamedTurnSets, UpDownProhibitsExactlyDownToUp) {
+  const TurnSet set = upDownTurnSet();
+  EXPECT_EQ(set.prohibitedCount(), 1u);
+  EXPECT_FALSE(set.isAllowed(Dir::kRdTree, Dir::kLuTree));
+  EXPECT_TRUE(set.isAllowed(Dir::kLuTree, Dir::kRdTree));
+}
+
+TEST(NamedTurnSets, LturnProhibitsNineTurns) {
+  const TurnSet set = lturnTurnSet();
+  EXPECT_EQ(set.prohibitedCount(), 9u);
+  // down -> up
+  EXPECT_FALSE(set.isAllowed(Dir::kLdCross, Dir::kLuCross));
+  EXPECT_FALSE(set.isAllowed(Dir::kRdCross, Dir::kRuCross));
+  // horizontal -> up
+  EXPECT_FALSE(set.isAllowed(Dir::kLCross, Dir::kRuCross));
+  EXPECT_FALSE(set.isAllowed(Dir::kRCross, Dir::kLuCross));
+  // same-level tie break
+  EXPECT_FALSE(set.isAllowed(Dir::kLCross, Dir::kRCross));
+  EXPECT_TRUE(set.isAllowed(Dir::kRCross, Dir::kLCross));
+  // up -> anything and anything -> down stay open
+  EXPECT_TRUE(set.isAllowed(Dir::kLuCross, Dir::kRdCross));
+  EXPECT_TRUE(set.isAllowed(Dir::kRCross, Dir::kLdCross));
+}
+
+class TurnPermissionsTest : public ::testing::Test {
+ protected:
+  TurnPermissionsTest()
+      : topo_(topo::ring(4)),
+        tree_([this] {
+          util::Rng rng(1);
+          return tree::CoordinatedTree::build(
+              topo_, tree::TreePolicy::kM1SmallestFirst, rng);
+        }()) {}
+
+  Topology topo_;
+  tree::CoordinatedTree tree_;
+};
+
+TEST_F(TurnPermissionsTest, RejectsMismatchedDirectionMap) {
+  EXPECT_THROW(TurnPermissions(topo_, DirectionMap(3, Dir::kLuTree),
+                               TurnSet::allAllowed()),
+               std::invalid_argument);
+}
+
+TEST_F(TurnPermissionsTest, UturnAlwaysForbidden) {
+  TurnPermissions perms(topo_, classifyUpDown(topo_, tree_),
+                        TurnSet::allAllowed());
+  const ChannelId in = topo_.channel(0, 1);
+  const ChannelId back = topo_.channel(1, 0);
+  EXPECT_FALSE(perms.allowed(1, in, back));
+}
+
+TEST_F(TurnPermissionsTest, ReleaseOverridesGlobalProhibition) {
+  TurnPermissions perms(topo_, classifyUpDown(topo_, tree_),
+                        upDownTurnSet());
+  // Find a down->up turn somewhere and release it at that node only.
+  // On the 4-ring rooted at 0 such a turn exists at the level-2 node.
+  ChannelId in = kInvalidChannel;
+  ChannelId out = kInvalidChannel;
+  for (ChannelId c = 0; c < topo_.channelCount() && in == kInvalidChannel;
+       ++c) {
+    if (perms.dir(c) != Dir::kRdTree) continue;
+    for (ChannelId o : topo_.outputChannels(topo_.channelDst(c))) {
+      if (o != Topology::reverseChannel(c) && perms.dir(o) == Dir::kLuTree) {
+        in = c;
+        out = o;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(in, kInvalidChannel) << "no down->up turn found on the ring";
+  const NodeId via = topo_.channelDst(in);
+
+  EXPECT_FALSE(perms.allowed(via, in, out));
+  perms.releaseAt(via, Dir::kRdTree, Dir::kLuTree);
+  EXPECT_TRUE(perms.allowed(via, in, out));
+  EXPECT_EQ(perms.releaseCount(), 1u);
+  // Other nodes are unaffected.
+  EXPECT_FALSE(perms.isReleasedAt((via + 1) % 4, Dir::kRdTree, Dir::kLuTree));
+  perms.revokeReleaseAt(via, Dir::kRdTree, Dir::kLuTree);
+  EXPECT_FALSE(perms.allowed(via, in, out));
+  EXPECT_EQ(perms.releaseCount(), 0u);
+}
+
+TEST_F(TurnPermissionsTest, BlockOverridesEverything) {
+  TurnPermissions perms(topo_, classifyUpDown(topo_, tree_),
+                        TurnSet::allAllowed());
+  // Pick any legal (in, out) pair through node 2.
+  ChannelId in = kInvalidChannel;
+  ChannelId out = kInvalidChannel;
+  for (ChannelId c : topo_.outputChannels(2)) {
+    const ChannelId candidateIn = Topology::reverseChannel(c);
+    for (ChannelId o : topo_.outputChannels(2)) {
+      if (o != c) {
+        in = candidateIn;
+        out = o;
+      }
+    }
+  }
+  ASSERT_NE(in, kInvalidChannel);
+  ASSERT_TRUE(perms.allowed(2, in, out));
+  perms.blockAt(2, perms.dir(in), perms.dir(out));
+  EXPECT_FALSE(perms.allowed(2, in, out));
+  EXPECT_TRUE(perms.isBlockedAt(2, perms.dir(in), perms.dir(out)));
+  EXPECT_EQ(perms.blockCount(), 1u);
+  // A release does not beat a block.
+  perms.releaseAt(2, perms.dir(in), perms.dir(out));
+  EXPECT_FALSE(perms.allowed(2, in, out));
+}
+
+TEST_F(TurnPermissionsTest, SameDirectionContinuationAllowedByDefault) {
+  // On a ring with up*/down* labels there are consecutive same-direction
+  // channels; they must be traversable.
+  TurnPermissions perms(topo_, classifyUpDown(topo_, tree_),
+                        upDownTurnSet());
+  bool sawSameDir = false;
+  for (ChannelId c = 0; c < topo_.channelCount(); ++c) {
+    const NodeId via = topo_.channelDst(c);
+    for (ChannelId o : topo_.outputChannels(via)) {
+      if (o == Topology::reverseChannel(c)) continue;
+      if (perms.dir(o) == perms.dir(c)) {
+        EXPECT_TRUE(perms.allowed(via, c, o));
+        sawSameDir = true;
+      }
+    }
+  }
+  EXPECT_TRUE(sawSameDir);
+}
+
+}  // namespace
+}  // namespace downup::routing

@@ -1,0 +1,115 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "topology/generate.hpp"
+
+namespace downup::sim {
+namespace {
+
+TEST(UniformTraffic, NeverReturnsSource) {
+  UniformTraffic traffic(16);
+  util::Rng rng(1);
+  for (NodeId src = 0; src < 16; ++src) {
+    for (int i = 0; i < 200; ++i) {
+      const NodeId dst = traffic.destination(src, rng);
+      EXPECT_NE(dst, src);
+      EXPECT_LT(dst, 16u);
+    }
+  }
+}
+
+TEST(UniformTraffic, CoversAllDestinationsUniformly) {
+  UniformTraffic traffic(8);
+  util::Rng rng(2);
+  std::map<NodeId, int> counts;
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[traffic.destination(3, rng)];
+  EXPECT_EQ(counts.size(), 7u);  // every node but the source
+  for (const auto& [dst, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 7, kDraws / 7 * 0.1) << "dst " << dst;
+  }
+}
+
+TEST(UniformTraffic, RejectsTinyNetworks) {
+  EXPECT_THROW(UniformTraffic(1), std::invalid_argument);
+}
+
+TEST(HotspotTraffic, FractionIsRespected) {
+  HotspotTraffic traffic(16, 5, 0.3);
+  util::Rng rng(3);
+  int hot = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (traffic.destination(0, rng) == 5) ++hot;
+  }
+  // 0.3 + 0.7/15 background probability of hitting node 5.
+  const double expected = 0.3 + 0.7 / 15.0;
+  EXPECT_NEAR(hot / static_cast<double>(kDraws), expected, 0.02);
+}
+
+TEST(HotspotTraffic, HotspotSourceDrawsUniform) {
+  HotspotTraffic traffic(8, 2, 1.0);
+  util::Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId dst = traffic.destination(2, rng);
+    EXPECT_NE(dst, 2u);
+  }
+}
+
+TEST(HotspotTraffic, ValidatesArguments) {
+  EXPECT_THROW(HotspotTraffic(8, 9, 0.5), std::invalid_argument);
+  EXPECT_THROW(HotspotTraffic(8, 2, 1.5), std::invalid_argument);
+  EXPECT_THROW(HotspotTraffic(8, 2, -0.1), std::invalid_argument);
+}
+
+TEST(PermutationTraffic, RandomIsFixedPointFreeAndStable) {
+  util::Rng rng(5);
+  const PermutationTraffic traffic = PermutationTraffic::random(32, rng);
+  util::Rng unused(99);
+  for (NodeId src = 0; src < 32; ++src) {
+    const NodeId dst = traffic.destination(src, unused);
+    EXPECT_NE(dst, src);
+    // Deterministic: same answer every time.
+    EXPECT_EQ(traffic.destination(src, unused), dst);
+  }
+}
+
+TEST(PermutationTraffic, RejectsFixedPoints) {
+  EXPECT_THROW(PermutationTraffic(std::vector<NodeId>{0, 2, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(PermutationTraffic(std::vector<NodeId>{5, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(LocalTraffic, StaysWithinRadius) {
+  const topo::Topology topo = topo::ring(12);
+  LocalTraffic traffic(topo, 2);
+  util::Rng rng(6);
+  for (NodeId src = 0; src < 12; ++src) {
+    for (int i = 0; i < 100; ++i) {
+      const NodeId dst = traffic.destination(src, rng);
+      EXPECT_NE(dst, src);
+      const auto forward = (dst + 12 - src) % 12;
+      const auto hops = std::min<std::uint32_t>(forward, 12 - forward);
+      EXPECT_LE(hops, 2u);
+    }
+  }
+}
+
+TEST(LocalTraffic, RejectsZeroRadius) {
+  EXPECT_THROW(LocalTraffic(topo::ring(6), 0), std::invalid_argument);
+}
+
+TEST(TrafficNames, AreStable) {
+  util::Rng rng(7);
+  EXPECT_EQ(UniformTraffic(4).name(), "uniform");
+  EXPECT_EQ(HotspotTraffic(4, 0, 0.1).name(), "hotspot");
+  EXPECT_EQ(PermutationTraffic::random(4, rng).name(), "permutation");
+  EXPECT_EQ(LocalTraffic(topo::ring(6), 1).name(), "local");
+}
+
+}  // namespace
+}  // namespace downup::sim

@@ -1,0 +1,100 @@
+#include "stats/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace downup::stats {
+namespace {
+
+/// Builds a synthetic results object with two algorithms and hand-set
+/// metric means so the verdict logic is checked exactly.
+ExperimentResults syntheticResults() {
+  ExperimentResults results;
+  results.config.portConfigs = {4, 8};
+  results.config.policies = {tree::TreePolicy::kM1SmallestFirst};
+  results.config.algorithms = {core::Algorithm::kLTurn,
+                               core::Algorithm::kDownUp};
+  for (unsigned ports : results.config.portConfigs) {
+    for (core::Algorithm algorithm : results.config.algorithms) {
+      Cell cell;
+      cell.ports = ports;
+      cell.policy = tree::TreePolicy::kM1SmallestFirst;
+      cell.algorithm = algorithm;
+      const bool isDownUp = algorithm == core::Algorithm::kDownUp;
+      cell.nodeUtilization.add(isDownUp ? 0.12 : 0.10);   // downup higher
+      cell.trafficLoad.add(isDownUp ? 0.08 : 0.09);       // downup lower
+      cell.hotspotPercent.add(isDownUp ? 12.0 : 16.0);    // downup lower
+      cell.leafUtilization.add(isDownUp ? 0.08 : 0.05);   // downup higher
+      // Throughput: downup wins at 4 ports but loses at 8 -> "mixed".
+      cell.maxAccepted.add(isDownUp ? (ports == 4 ? 0.10 : 0.20)
+                                    : (ports == 4 ? 0.08 : 0.25));
+      cell.zeroLoadLatency.add(100.0);
+      cell.avgPathLength.add(3.0);
+      results.cells.push_back(std::move(cell));
+    }
+  }
+  return results;
+}
+
+TEST(CompareAlgorithms, CountsWinsAndLossesPerCell) {
+  const ExperimentResults results = syntheticResults();
+  const auto verdicts =
+      compareAlgorithms(results, core::Algorithm::kDownUp,
+                        core::Algorithm::kLTurn, paperShapeChecks());
+  ASSERT_EQ(verdicts.size(), 5u);
+
+  const auto& nodeUtil = verdicts[0];
+  EXPECT_EQ(nodeUtil.metric, "node utilization");
+  EXPECT_EQ(nodeUtil.wins, 2u);
+  EXPECT_EQ(nodeUtil.losses, 0u);
+  EXPECT_TRUE(nodeUtil.holdsEverywhere());
+  EXPECT_NEAR(nodeUtil.meanRatio, 1.2, 1e-9);
+
+  const auto& throughput = verdicts[4];
+  EXPECT_EQ(throughput.metric, "saturation throughput");
+  EXPECT_EQ(throughput.wins, 1u);
+  EXPECT_EQ(throughput.losses, 1u);
+  EXPECT_FALSE(throughput.holdsEverywhere());
+}
+
+TEST(CompareAlgorithms, MissingCellsAreSkipped) {
+  ExperimentResults results = syntheticResults();
+  results.config.algorithms.push_back(core::Algorithm::kUpDownBfs);
+  const auto verdicts =
+      compareAlgorithms(results, core::Algorithm::kUpDownBfs,
+                        core::Algorithm::kLTurn, paperShapeChecks());
+  for (const auto& verdict : verdicts) {
+    EXPECT_EQ(verdict.wins + verdict.losses, 0u);
+    EXPECT_FALSE(verdict.holdsEverywhere());
+  }
+}
+
+TEST(PrintShapeVerdicts, FormatsHoldsAndMixed) {
+  const ExperimentResults results = syntheticResults();
+  const auto verdicts =
+      compareAlgorithms(results, core::Algorithm::kDownUp,
+                        core::Algorithm::kLTurn, paperShapeChecks());
+  std::ostringstream out;
+  printShapeVerdicts(out, verdicts);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("node utilization"), std::string::npos);
+  EXPECT_NE(text.find("HOLDS"), std::string::npos);
+  EXPECT_NE(text.find("mixed"), std::string::npos);
+}
+
+TEST(MarkdownReport, ContainsSectionsAndRows) {
+  const ExperimentResults results = syntheticResults();
+  std::ostringstream out;
+  writeMarkdownReport(results, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# Experiment report"), std::string::npos);
+  EXPECT_NE(text.find("## Node utilization"), std::string::npos);
+  EXPECT_NE(text.find("## Degree of hot spots (%)"), std::string::npos);
+  EXPECT_NE(text.find("| M1 |"), std::string::npos);
+  EXPECT_NE(text.find("lturn 4p"), std::string::npos);
+  EXPECT_NE(text.find("downup 8p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace downup::stats

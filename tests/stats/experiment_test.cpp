@@ -1,0 +1,158 @@
+#include "stats/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "stats/report.hpp"
+
+namespace downup::stats {
+namespace {
+
+ExperimentConfig miniConfig() {
+  ExperimentConfig config;
+  config.portConfigs = {4};
+  config.switches = 10;
+  config.samples = 2;
+  config.policies = {tree::TreePolicy::kM1SmallestFirst,
+                     tree::TreePolicy::kM3LargestFirst};
+  config.algorithms = {core::Algorithm::kLTurn, core::Algorithm::kDownUp};
+  config.sim.packetLengthFlits = 8;
+  config.sim.warmupCycles = 200;
+  config.sim.measureCycles = 1500;
+  config.loadPoints = 3;
+  config.maxLoadPerPort = 0.05;
+  config.baseSeed = 7;
+  return config;
+}
+
+TEST(Experiment, ProducesEveryRequestedCell) {
+  const ExperimentResults results = runExperiment(miniConfig());
+  EXPECT_EQ(results.cells.size(), 1u * 2 * 2);
+  for (const Cell& cell : results.cells) {
+    EXPECT_EQ(cell.nodeUtilization.count(), 2u) << "one entry per sample";
+    EXPECT_GT(cell.maxAccepted.mean(), 0.0);
+    EXPECT_GE(cell.hotspotPercent.mean(), 0.0);
+    EXPECT_LE(cell.hotspotPercent.mean(), 100.0);
+    EXPECT_GE(cell.avgPathLength.mean(), 1.0);
+    EXPECT_FALSE(cell.curve.empty());
+  }
+}
+
+TEST(Experiment, FindLocatesCells) {
+  const ExperimentResults results = runExperiment(miniConfig());
+  EXPECT_NE(results.find(4, tree::TreePolicy::kM1SmallestFirst,
+                         core::Algorithm::kDownUp),
+            nullptr);
+  EXPECT_EQ(results.find(8, tree::TreePolicy::kM1SmallestFirst,
+                         core::Algorithm::kDownUp),
+            nullptr);
+  EXPECT_EQ(results.find(4, tree::TreePolicy::kM2Random,
+                         core::Algorithm::kDownUp),
+            nullptr);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const ExperimentResults a = runExperiment(miniConfig());
+  const ExperimentResults b = runExperiment(miniConfig());
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].maxAccepted.mean(),
+                     b.cells[i].maxAccepted.mean());
+    EXPECT_DOUBLE_EQ(a.cells[i].nodeUtilization.mean(),
+                     b.cells[i].nodeUtilization.mean());
+  }
+}
+
+TEST(Experiment, ThreadCountDoesNotChangeResults) {
+  ExperimentConfig serial = miniConfig();
+  serial.threads = 1;
+  ExperimentConfig parallel = miniConfig();
+  parallel.threads = 3;
+  const ExperimentResults a = runExperiment(serial);
+  const ExperimentResults b = runExperiment(parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].maxAccepted.mean(),
+                     b.cells[i].maxAccepted.mean());
+    EXPECT_DOUBLE_EQ(a.cells[i].trafficLoad.mean(),
+                     b.cells[i].trafficLoad.mean());
+    EXPECT_DOUBLE_EQ(a.cells[i].hotspotPercent.mean(),
+                     b.cells[i].hotspotPercent.mean());
+    ASSERT_EQ(a.cells[i].curve.size(), b.cells[i].curve.size());
+    for (std::size_t p = 0; p < a.cells[i].curve.size(); ++p) {
+      EXPECT_EQ(a.cells[i].curve[p].accepted.count(),
+                b.cells[i].curve[p].accepted.count());
+      EXPECT_DOUBLE_EQ(a.cells[i].curve[p].accepted.mean(),
+                       b.cells[i].curve[p].accepted.mean());
+    }
+  }
+}
+
+TEST(Report, PaperTableMentionsEveryRowAndColumn) {
+  const ExperimentResults results = runExperiment(miniConfig());
+  std::ostringstream out;
+  printPaperTable(out, "Table X. node utilization", results,
+                  [](const Cell& cell) { return cell.nodeUtilization.mean(); });
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Table X"), std::string::npos);
+  EXPECT_NE(text.find("M1"), std::string::npos);
+  EXPECT_NE(text.find("M3"), std::string::npos);
+  EXPECT_NE(text.find("lturn 4p"), std::string::npos);
+  EXPECT_NE(text.find("downup 4p"), std::string::npos);
+}
+
+TEST(Report, CurvesListEveryMeasuredPoint) {
+  const ExperimentResults results = runExperiment(miniConfig());
+  std::ostringstream out;
+  printLatencyCurves(out, results);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# 4-port M1 lturn"), std::string::npos);
+  EXPECT_NE(text.find("offered"), std::string::npos);
+}
+
+TEST(Report, CsvFilesAreWritten) {
+  const ExperimentResults results = runExperiment(miniConfig());
+  const std::string dir = ::testing::TempDir();
+  writeCurvesCsv(results, dir + "/curves.csv");
+  writeMetricsCsv(results, dir + "/metrics.csv");
+  std::ifstream curves(dir + "/curves.csv");
+  std::ifstream metrics(dir + "/metrics.csv");
+  std::string header;
+  ASSERT_TRUE(std::getline(curves, header));
+  EXPECT_NE(header.find("offered_load"), std::string::npos);
+  ASSERT_TRUE(std::getline(metrics, header));
+  EXPECT_NE(header.find("hotspot_percent"), std::string::npos);
+  int rows = 0;
+  std::string line;
+  while (std::getline(metrics, line)) ++rows;
+  EXPECT_EQ(rows, 4);  // one per cell
+}
+
+TEST(Experiment, FixedLoadRangeIsHonoured) {
+  ExperimentConfig config = miniConfig();
+  config.autoLoadRange = false;
+  config.maxLoadPerPort = 0.01;
+  config.loadPoints = 4;
+  const ExperimentResults results = runExperiment(config);
+  for (const Cell& cell : results.cells) {
+    ASSERT_FALSE(cell.curve.empty());
+    EXPECT_EQ(cell.curve.size(), 4u);
+    // Grid top = 0.01 * 4 ports.
+    EXPECT_DOUBLE_EQ(cell.curve.back().offeredLoad, 0.04);
+    EXPECT_DOUBLE_EQ(cell.curve.front().offeredLoad, 0.01);
+  }
+}
+
+TEST(ExperimentConfig, PaperScaleMatchesThePaper) {
+  const ExperimentConfig config = ExperimentConfig::paperScale();
+  EXPECT_EQ(config.switches, 128u);
+  EXPECT_EQ(config.samples, 10u);
+  EXPECT_EQ(config.sim.packetLengthFlits, 128u);
+  EXPECT_EQ(config.policies.size(), 3u);
+  EXPECT_EQ(config.portConfigs, (std::vector<unsigned>{4, 8}));
+}
+
+}  // namespace
+}  // namespace downup::stats

@@ -1,0 +1,98 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generate.hpp"
+
+namespace downup::stats {
+namespace {
+
+using topo::Topology;
+using tree::CoordinatedTree;
+using tree::TreePolicy;
+
+TEST(PaperMetrics, HandComputedOnAStar) {
+  // Star: hub 0 (degree 4) + leaves 1..4 (degree 1).
+  const Topology topo = topo::star(5);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+
+  // Hub output channels carry 0.4 each; leaf outputs 0.1 each.
+  std::vector<double> channelUtil(topo.channelCount(), 0.0);
+  for (topo::NodeId leaf = 1; leaf <= 4; ++leaf) {
+    channelUtil[topo.channel(0, leaf)] = 0.4;
+    channelUtil[topo.channel(leaf, 0)] = 0.1;
+  }
+  const PaperMetrics metrics = computePaperMetrics(topo, ct, channelUtil);
+
+  // Node utilization: hub = 4*0.4/4 = 0.4; each leaf = 0.1/1 = 0.1.
+  EXPECT_DOUBLE_EQ(metrics.nodeUtilization[0], 0.4);
+  for (topo::NodeId leaf = 1; leaf <= 4; ++leaf) {
+    EXPECT_DOUBLE_EQ(metrics.nodeUtilization[leaf], 0.1);
+  }
+  EXPECT_DOUBLE_EQ(metrics.meanNodeUtilization, (0.4 + 4 * 0.1) / 5.0);
+
+  // Traffic load = population stddev of {0.4, 0.1 x4} = sqrt(0.0144) = 0.12.
+  EXPECT_NEAR(metrics.trafficLoad, 0.12, 1e-12);
+
+  // Every node sits in levels 0-1 of a star tree: hotspot share is 100%.
+  EXPECT_DOUBLE_EQ(metrics.hotspotDegreePercent, 100.0);
+
+  // All leaves of the coordinated tree are the star leaves.
+  EXPECT_DOUBLE_EQ(metrics.leafUtilization, 0.1);
+}
+
+TEST(PaperMetrics, HotspotShareOnADeeperTree) {
+  // Line 0-1-2-3 rooted at 0: levels 0,1,2,3.
+  const Topology topo = topo::line(4);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  std::vector<double> channelUtil(topo.channelCount(), 0.0);
+  channelUtil[topo.channel(0, 1)] = 0.3;  // node 0 util = 0.3/1
+  channelUtil[topo.channel(1, 2)] = 0.1;  // node 1 util = 0.1/2
+  channelUtil[topo.channel(3, 2)] = 0.2;  // node 3 util = 0.2/1
+  const PaperMetrics metrics = computePaperMetrics(topo, ct, channelUtil);
+  // Levels 0-1 hold nodes 0 and 1: (0.3 + 0.05) / (0.3 + 0.05 + 0 + 0.2).
+  EXPECT_NEAR(metrics.hotspotDegreePercent, 100.0 * 0.35 / 0.55, 1e-9);
+  // The only coordinated-tree leaf is node 3.
+  EXPECT_DOUBLE_EQ(metrics.leafUtilization, 0.2);
+}
+
+TEST(PaperMetrics, ZeroTrafficIsAllZeros) {
+  const Topology topo = topo::ring(6);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  const std::vector<double> channelUtil(topo.channelCount(), 0.0);
+  const PaperMetrics metrics = computePaperMetrics(topo, ct, channelUtil);
+  EXPECT_DOUBLE_EQ(metrics.meanNodeUtilization, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.trafficLoad, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.hotspotDegreePercent, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.leafUtilization, 0.0);
+}
+
+TEST(PaperMetrics, RejectsSizeMismatch) {
+  const Topology topo = topo::ring(4);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  const std::vector<double> wrongSize(3, 0.0);
+  EXPECT_THROW(computePaperMetrics(topo, ct, wrongSize),
+               std::invalid_argument);
+}
+
+TEST(PaperMetrics, UniformUtilizationHasZeroTrafficLoad) {
+  const Topology topo = topo::torus(4, 4);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  const std::vector<double> channelUtil(topo.channelCount(), 0.25);
+  const PaperMetrics metrics = computePaperMetrics(topo, ct, channelUtil);
+  EXPECT_DOUBLE_EQ(metrics.meanNodeUtilization, 0.25);
+  EXPECT_NEAR(metrics.trafficLoad, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace downup::stats

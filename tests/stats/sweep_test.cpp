@@ -1,0 +1,93 @@
+#include "stats/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "routing/updown.hpp"
+#include "topology/generate.hpp"
+
+namespace downup::stats {
+namespace {
+
+TEST(LoadGrid, EvenlySpacedEndingAtHi) {
+  const auto loads = loadGrid(0.4, 4);
+  ASSERT_EQ(loads.size(), 4u);
+  EXPECT_DOUBLE_EQ(loads[0], 0.1);
+  EXPECT_DOUBLE_EQ(loads[1], 0.2);
+  EXPECT_DOUBLE_EQ(loads[2], 0.3);
+  EXPECT_DOUBLE_EQ(loads[3], 0.4);
+}
+
+TEST(LoadGrid, RejectsBadArguments) {
+  EXPECT_THROW(loadGrid(0.0, 4), std::invalid_argument);
+  EXPECT_THROW(loadGrid(0.4, 0), std::invalid_argument);
+}
+
+TEST(FindSaturation, PicksThePeak) {
+  std::vector<SweepPoint> sweep(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    sweep[i].offeredLoad = 0.1 * static_cast<double>(i + 1);
+  }
+  sweep[0].stats.acceptedFlitsPerNodePerCycle = 0.10;
+  sweep[1].stats.acceptedFlitsPerNodePerCycle = 0.18;
+  sweep[2].stats.acceptedFlitsPerNodePerCycle = 0.22;
+  sweep[3].stats.acceptedFlitsPerNodePerCycle = 0.21;  // past saturation
+  const Saturation saturation = findSaturation(sweep);
+  EXPECT_EQ(saturation.peakIndex, 2u);
+  EXPECT_DOUBLE_EQ(saturation.maxAccepted, 0.22);
+  EXPECT_DOUBLE_EQ(saturation.saturationLoad, 0.3);
+}
+
+TEST(FindSaturation, EmptySweep) {
+  const Saturation saturation = findSaturation(std::vector<SweepPoint>{});
+  EXPECT_DOUBLE_EQ(saturation.maxAccepted, 0.0);
+}
+
+class SweepSimTest : public ::testing::Test {
+ protected:
+  SweepSimTest()
+      : topo_(topo::torus(4, 4)),
+        routing_([this] {
+          util::Rng rng(1);
+          const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+              topo_, tree::TreePolicy::kM1SmallestFirst, rng);
+          return routing::buildUpDown(topo_, ct);
+        }()),
+        traffic_(topo_.nodeCount()) {
+    config_.packetLengthFlits = 8;
+    config_.warmupCycles = 500;
+    config_.measureCycles = 3000;
+  }
+
+  topo::Topology topo_;
+  routing::Routing routing_;
+  sim::UniformTraffic traffic_;
+  sim::SimConfig config_;
+};
+
+TEST_F(SweepSimTest, AcceptedIsMonotoneAtLowLoads) {
+  const auto loads = loadGrid(0.09, 3);  // well below saturation
+  const auto sweep =
+      runSweep(routing_.table(), traffic_, loads, config_,
+               {.stopAtSaturation = false});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_LT(sweep[0].stats.acceptedFlitsPerNodePerCycle,
+            sweep[1].stats.acceptedFlitsPerNodePerCycle);
+  EXPECT_LT(sweep[1].stats.acceptedFlitsPerNodePerCycle,
+            sweep[2].stats.acceptedFlitsPerNodePerCycle);
+}
+
+TEST_F(SweepSimTest, EarlyStopTruncatesPastSaturation) {
+  const auto loads = loadGrid(1.0, 10);
+  const auto full = runSweep(routing_.table(), traffic_, loads, config_,
+                             {.stopAtSaturation = false});
+  const auto stopped = runSweep(routing_.table(), traffic_, loads, config_);
+  EXPECT_EQ(full.size(), 10u);
+  EXPECT_LT(stopped.size(), full.size());
+  // The early-stopped sweep still reaches (close to) the same peak.
+  const double fullPeak = findSaturation(full).maxAccepted;
+  const double stoppedPeak = findSaturation(stopped).maxAccepted;
+  EXPECT_GE(stoppedPeak, fullPeak * 0.9);
+}
+
+}  // namespace
+}  // namespace downup::stats

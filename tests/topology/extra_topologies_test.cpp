@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/generate.hpp"
+#include "topology/properties.hpp"
+#include "tree/graphviz.hpp"
+#include "util/rng.hpp"
+
+namespace downup::topo {
+namespace {
+
+TEST(RandomRegular, ProducesConnectedRegularGraphs) {
+  util::Rng rng(1);
+  for (const auto& [n, d] : {std::pair{10u, 3u}, {16u, 4u}, {24u, 3u},
+                             {32u, 6u}, {64u, 4u}}) {
+    const Topology topo = randomRegular(n, d, rng);
+    EXPECT_EQ(topo.nodeCount(), n);
+    EXPECT_EQ(topo.linkCount(), n * d / 2);
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(topo.degree(v), d);
+    EXPECT_TRUE(isConnected(topo));
+  }
+}
+
+TEST(RandomRegular, RejectsInfeasibleParameters) {
+  util::Rng rng(1);
+  EXPECT_THROW(randomRegular(5, 3, rng), std::invalid_argument);  // odd n*d
+  EXPECT_THROW(randomRegular(4, 4, rng), std::invalid_argument);  // d >= n
+  EXPECT_THROW(randomRegular(4, 0, rng), std::invalid_argument);
+}
+
+TEST(Petersen, HasTheKnownStructure) {
+  const Topology topo = petersen();
+  EXPECT_EQ(topo.nodeCount(), 10u);
+  EXPECT_EQ(topo.linkCount(), 15u);
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(topo.degree(v), 3u);
+  EXPECT_EQ(diameter(topo), 2u);
+  EXPECT_TRUE(bridges(topo).empty());
+  EXPECT_TRUE(articulationPoints(topo).empty());
+}
+
+TEST(Dumbbell, BridgeIsDetected) {
+  const Topology topo = dumbbell(4);
+  EXPECT_EQ(topo.nodeCount(), 8u);
+  EXPECT_TRUE(isConnected(topo));
+  const auto bridgeLinks = bridges(topo);
+  ASSERT_EQ(bridgeLinks.size(), 1u);
+  const auto [a, b] = topo.linkEnds(bridgeLinks[0]);
+  EXPECT_TRUE((a == 0 && b == 4) || (a == 4 && b == 0));
+  const auto points = articulationPoints(topo);
+  EXPECT_EQ(points, (std::vector<NodeId>{0, 4}));
+}
+
+TEST(Bridges, EveryLinkOfATreeIsABridge) {
+  const Topology topo = star(6);
+  EXPECT_EQ(bridges(topo).size(), topo.linkCount());
+  const auto points = articulationPoints(topo);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0], 0u);
+}
+
+TEST(Bridges, RingHasNone) {
+  EXPECT_TRUE(bridges(ring(7)).empty());
+  EXPECT_TRUE(articulationPoints(ring(7)).empty());
+}
+
+TEST(Bridges, LineInteriorNodesAreArticulation) {
+  const Topology topo = line(5);
+  EXPECT_EQ(bridges(topo).size(), 4u);
+  EXPECT_EQ(articulationPoints(topo), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(Bridges, MatchBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(seed);
+    const Topology topo = randomIrregular(18, {.maxPorts = 3}, rng);
+    const auto fast = bridges(topo);
+    // Brute force: a link is a bridge iff removing it disconnects.
+    std::vector<LinkId> slow;
+    for (LinkId skip = 0; skip < topo.linkCount(); ++skip) {
+      Topology reduced(topo.nodeCount());
+      for (LinkId l = 0; l < topo.linkCount(); ++l) {
+        if (l == skip) continue;
+        const auto [a, b] = topo.linkEnds(l);
+        reduced.addLink(a, b);
+      }
+      if (!isConnected(reduced)) slow.push_back(skip);
+    }
+    EXPECT_EQ(fast, slow) << "seed " << seed;
+  }
+}
+
+TEST(Graphviz, PlainExportMentionsEveryLink) {
+  const Topology topo = ring(4);
+  std::ostringstream out;
+  tree::exportGraphviz(topo, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("graph downup {"), std::string::npos);
+  EXPECT_NE(text.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(text.find("n3 -- n0"), std::string::npos);
+}
+
+TEST(Graphviz, AnnotatedExportMarksCrossLinks) {
+  const Topology topo = paperFigure1();
+  util::Rng rng(1);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  std::ostringstream out;
+  tree::exportGraphviz(topo, ct, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("style=dashed"), std::string::npos);
+  EXPECT_NE(text.find("style=bold"), std::string::npos);
+  EXPECT_NE(text.find("(0,0)"), std::string::npos);  // root coordinates
+}
+
+}  // namespace
+}  // namespace downup::topo

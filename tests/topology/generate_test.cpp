@@ -1,0 +1,153 @@
+#include "topology/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/properties.hpp"
+
+namespace downup::topo {
+namespace {
+
+struct IrregularCase {
+  NodeId nodes;
+  unsigned ports;
+  std::uint64_t seed;
+};
+
+class RandomIrregularTest : public ::testing::TestWithParam<IrregularCase> {};
+
+TEST_P(RandomIrregularTest, ConnectedAndDegreeCapped) {
+  const auto [nodes, ports, seed] = GetParam();
+  util::Rng rng(seed);
+  const Topology topo = randomIrregular(nodes, {.maxPorts = ports}, rng);
+  EXPECT_EQ(topo.nodeCount(), nodes);
+  EXPECT_TRUE(isConnected(topo));
+  for (NodeId v = 0; v < nodes; ++v) EXPECT_LE(topo.degree(v), ports);
+}
+
+TEST_P(RandomIrregularTest, SaturatesFreePorts) {
+  // After generation no two non-adjacent switches may both have free ports.
+  const auto [nodes, ports, seed] = GetParam();
+  util::Rng rng(seed);
+  const Topology topo = randomIrregular(nodes, {.maxPorts = ports}, rng);
+  std::vector<NodeId> open;
+  for (NodeId v = 0; v < nodes; ++v) {
+    if (topo.degree(v) < ports) open.push_back(v);
+  }
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    for (std::size_t j = i + 1; j < open.size(); ++j) {
+      EXPECT_TRUE(topo.hasLink(open[i], open[j]))
+          << open[i] << " and " << open[j] << " both have free ports";
+    }
+  }
+}
+
+TEST_P(RandomIrregularTest, DeterministicForSeed) {
+  const auto [nodes, ports, seed] = GetParam();
+  util::Rng rng1(seed);
+  util::Rng rng2(seed);
+  const Topology a = randomIrregular(nodes, {.maxPorts = ports}, rng1);
+  const Topology b = randomIrregular(nodes, {.maxPorts = ports}, rng2);
+  ASSERT_EQ(a.linkCount(), b.linkCount());
+  for (LinkId l = 0; l < a.linkCount(); ++l) {
+    EXPECT_EQ(a.linkEnds(l), b.linkEnds(l));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomIrregularTest,
+    ::testing::Values(IrregularCase{8, 3, 1}, IrregularCase{16, 4, 2},
+                      IrregularCase{32, 4, 3}, IrregularCase{32, 8, 4},
+                      IrregularCase{64, 4, 5}, IrregularCase{64, 8, 6},
+                      IrregularCase{128, 4, 7}, IrregularCase{128, 8, 8},
+                      IrregularCase{5, 2, 9}, IrregularCase{100, 6, 10}));
+
+TEST(RandomIrregular, TargetLinksRespected) {
+  util::Rng rng(11);
+  const Topology topo =
+      randomIrregular(32, {.maxPorts = 8, .targetLinks = 40}, rng);
+  EXPECT_EQ(topo.linkCount(), 40u);
+  EXPECT_TRUE(isConnected(topo));
+}
+
+TEST(RandomIrregular, RejectsBadArguments) {
+  util::Rng rng(1);
+  EXPECT_THROW(randomIrregular(1, {.maxPorts = 4}, rng), std::invalid_argument);
+  EXPECT_THROW(randomIrregular(8, {.maxPorts = 1}, rng), std::invalid_argument);
+}
+
+TEST(RegularTopologies, Ring) {
+  const Topology topo = ring(6);
+  EXPECT_EQ(topo.linkCount(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(topo.degree(v), 2u);
+  EXPECT_EQ(diameter(topo), 3u);
+  EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(RegularTopologies, Line) {
+  const Topology topo = line(5);
+  EXPECT_EQ(topo.linkCount(), 4u);
+  EXPECT_EQ(topo.degree(0), 1u);
+  EXPECT_EQ(topo.degree(2), 2u);
+  EXPECT_EQ(diameter(topo), 4u);
+}
+
+TEST(RegularTopologies, Mesh) {
+  const Topology topo = mesh(4, 3);
+  EXPECT_EQ(topo.nodeCount(), 12u);
+  EXPECT_EQ(topo.linkCount(), 3u * 3 + 4u * 2);  // horizontal + vertical
+  EXPECT_EQ(diameter(topo), 5u);
+  EXPECT_TRUE(topo.hasLink(0, 1));
+  EXPECT_TRUE(topo.hasLink(0, 4));
+  EXPECT_FALSE(topo.hasLink(3, 4));  // no wraparound
+}
+
+TEST(RegularTopologies, Torus) {
+  const Topology topo = torus(4, 4);
+  EXPECT_EQ(topo.nodeCount(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(topo.degree(v), 4u);
+  EXPECT_EQ(diameter(topo), 4u);
+  EXPECT_TRUE(topo.hasLink(0, 3));   // row wrap
+  EXPECT_TRUE(topo.hasLink(0, 12));  // column wrap
+}
+
+TEST(RegularTopologies, TorusOfWidthTwoSkipsDuplicateWrap) {
+  const Topology topo = torus(2, 3);
+  // Width-2 wrap links would duplicate mesh links; they must be skipped.
+  EXPECT_EQ(componentCount(topo), 1u);
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) EXPECT_LE(topo.degree(v), 4u);
+}
+
+TEST(RegularTopologies, Hypercube) {
+  const Topology topo = hypercube(4);
+  EXPECT_EQ(topo.nodeCount(), 16u);
+  EXPECT_EQ(topo.linkCount(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(topo.degree(v), 4u);
+  EXPECT_EQ(diameter(topo), 4u);
+}
+
+TEST(RegularTopologies, StarAndComplete) {
+  const Topology s = star(7);
+  EXPECT_EQ(s.degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(s.degree(v), 1u);
+
+  const Topology k = complete(5);
+  EXPECT_EQ(k.linkCount(), 10u);
+  EXPECT_EQ(diameter(k), 1u);
+}
+
+TEST(PaperFigure1, MatchesTheDescribedNetwork) {
+  const Topology topo = paperFigure1();
+  EXPECT_EQ(topo.nodeCount(), 5u);
+  EXPECT_EQ(topo.linkCount(), 6u);
+  // v1..v5 are ids 0..4.
+  EXPECT_TRUE(topo.hasLink(0, 4));  // v1-v5
+  EXPECT_TRUE(topo.hasLink(4, 1));  // v5-v2
+  EXPECT_TRUE(topo.hasLink(0, 2));  // v1-v3
+  EXPECT_TRUE(topo.hasLink(0, 3));  // v1-v4
+  EXPECT_TRUE(topo.hasLink(2, 4));  // v3-v5
+  EXPECT_TRUE(topo.hasLink(1, 3));  // v2-v4
+  EXPECT_TRUE(isConnected(topo));
+}
+
+}  // namespace
+}  // namespace downup::topo

@@ -1,0 +1,81 @@
+#include "topology/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/generate.hpp"
+#include "util/rng.hpp"
+
+namespace downup::topo {
+namespace {
+
+TEST(TopologyIo, RoundTripPreservesLinks) {
+  util::Rng rng(17);
+  const Topology original = randomIrregular(24, {.maxPorts = 4}, rng);
+  std::stringstream buffer;
+  save(original, buffer);
+  const Topology restored = load(buffer);
+  ASSERT_EQ(restored.nodeCount(), original.nodeCount());
+  ASSERT_EQ(restored.linkCount(), original.linkCount());
+  for (LinkId l = 0; l < original.linkCount(); ++l) {
+    EXPECT_EQ(restored.linkEnds(l), original.linkEnds(l));
+  }
+}
+
+TEST(TopologyIo, AcceptsCommentsAndBlankLines) {
+  std::istringstream in(
+      "downup-topo v1\n"
+      "# a comment\n"
+      "\n"
+      "nodes 3\n"
+      "link 0 1\n"
+      "# another\n"
+      "link 1 2\n");
+  const Topology topo = load(in);
+  EXPECT_EQ(topo.nodeCount(), 3u);
+  EXPECT_EQ(topo.linkCount(), 2u);
+}
+
+TEST(TopologyIo, RejectsMissingHeader) {
+  std::istringstream in("nodes 3\nlink 0 1\n");
+  EXPECT_THROW(load(in), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsLinkBeforeNodes) {
+  std::istringstream in("downup-topo v1\nlink 0 1\n");
+  EXPECT_THROW(load(in), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsDuplicateLinkWithLineNumber) {
+  std::istringstream in(
+      "downup-topo v1\nnodes 3\nlink 0 1\nlink 1 0\n");
+  try {
+    load(in);
+    FAIL() << "expected failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+  }
+}
+
+TEST(TopologyIo, RejectsUnknownKeyword) {
+  std::istringstream in("downup-topo v1\nnodes 3\nedge 0 1\n");
+  EXPECT_THROW(load(in), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsEmptyInput) {
+  std::istringstream in("");
+  EXPECT_THROW(load(in), std::runtime_error);
+}
+
+TEST(TopologyIo, FileRoundTrip) {
+  const Topology original = ring(8);
+  const std::string path = ::testing::TempDir() + "/downup_io_test.topo";
+  saveFile(original, path);
+  const Topology restored = loadFile(path);
+  EXPECT_EQ(restored.linkCount(), original.linkCount());
+  EXPECT_THROW(loadFile("/nonexistent/nowhere.topo"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace downup::topo

@@ -1,0 +1,78 @@
+#include "topology/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generate.hpp"
+#include "util/rng.hpp"
+
+namespace downup::topo {
+namespace {
+
+TEST(BfsDistances, LineDistancesAreExact) {
+  const Topology topo = line(5);
+  const auto dist = bfsDistances(topo, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(BfsDistances, DisconnectedMarksUnreachable) {
+  Topology topo(4);
+  topo.addLink(0, 1);
+  topo.addLink(2, 3);
+  const auto dist = bfsDistances(topo, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Connectivity, CountsComponents) {
+  Topology topo(6);
+  topo.addLink(0, 1);
+  topo.addLink(1, 2);
+  topo.addLink(3, 4);
+  EXPECT_EQ(componentCount(topo), 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_FALSE(isConnected(topo));
+  topo.addLink(2, 3);
+  topo.addLink(4, 5);
+  EXPECT_TRUE(isConnected(topo));
+}
+
+TEST(Diameter, ThrowsOnDisconnected) {
+  Topology topo(3);
+  topo.addLink(0, 1);
+  EXPECT_THROW(diameter(topo), std::runtime_error);
+}
+
+TEST(AverageDistance, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(averageDistance(complete(6)), 1.0);
+}
+
+TEST(AverageDistance, RingOfFive) {
+  // Distances from any node in a 5-ring: 1,1,2,2 -> mean 1.5.
+  EXPECT_DOUBLE_EQ(averageDistance(ring(5)), 1.5);
+}
+
+TEST(DegreeHistogram, Star) {
+  const auto histogram = degreeHistogram(star(5));
+  ASSERT_EQ(histogram.size(), 5u);
+  EXPECT_EQ(histogram[1], 4u);
+  EXPECT_EQ(histogram[4], 1u);
+  EXPECT_EQ(histogram[0], 0u);
+}
+
+TEST(AverageDegree, RingIsTwo) {
+  EXPECT_DOUBLE_EQ(averageDegree(ring(7)), 2.0);
+  EXPECT_DOUBLE_EQ(averageDegree(Topology(3)), 0.0);
+}
+
+TEST(Properties, RandomIrregularInvariants) {
+  util::Rng rng(23);
+  const Topology topo = randomIrregular(40, {.maxPorts = 4}, rng);
+  EXPECT_TRUE(isConnected(topo));
+  EXPECT_LE(averageDegree(topo), 4.0);
+  EXPECT_GE(diameter(topo), 2u);
+  EXPECT_GE(averageDistance(topo), 1.0);
+  EXPECT_LE(averageDistance(topo), static_cast<double>(diameter(topo)));
+}
+
+}  // namespace
+}  // namespace downup::topo

@@ -1,0 +1,109 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generate.hpp"
+
+namespace downup::topo {
+namespace {
+
+TEST(Topology, EmptyHasNoLinks) {
+  Topology topo(4);
+  EXPECT_EQ(topo.nodeCount(), 4u);
+  EXPECT_EQ(topo.linkCount(), 0u);
+  EXPECT_EQ(topo.channelCount(), 0u);
+  EXPECT_EQ(topo.degree(0), 0u);
+  EXPECT_TRUE(topo.neighbors(0).empty());
+}
+
+TEST(Topology, AddLinkCreatesBothChannels) {
+  Topology topo(3);
+  const LinkId l = topo.addLink(0, 2);
+  EXPECT_EQ(topo.linkCount(), 1u);
+  EXPECT_EQ(topo.channelCount(), 2u);
+
+  const ChannelId forward = topo.channel(0, 2);
+  const ChannelId backward = topo.channel(2, 0);
+  ASSERT_NE(forward, kInvalidChannel);
+  ASSERT_NE(backward, kInvalidChannel);
+  EXPECT_EQ(Topology::reverseChannel(forward), backward);
+  EXPECT_EQ(Topology::reverseChannel(backward), forward);
+  EXPECT_EQ(Topology::linkOf(forward), l);
+  EXPECT_EQ(topo.channelSrc(forward), 0u);
+  EXPECT_EQ(topo.channelDst(forward), 2u);
+  EXPECT_EQ(topo.channelSrc(backward), 2u);
+  EXPECT_EQ(topo.channelDst(backward), 0u);
+}
+
+TEST(Topology, NeighborsSortedAscending) {
+  Topology topo(5);
+  topo.addLink(2, 4);
+  topo.addLink(2, 0);
+  topo.addLink(2, 3);
+  topo.addLink(2, 1);
+  const auto neighbors = topo.neighbors(2);
+  ASSERT_EQ(neighbors.size(), 4u);
+  for (std::size_t i = 0; i + 1 < neighbors.size(); ++i) {
+    EXPECT_LT(neighbors[i], neighbors[i + 1]);
+  }
+}
+
+TEST(Topology, OutputChannelsParallelToNeighbors) {
+  Topology topo(4);
+  topo.addLink(1, 3);
+  topo.addLink(1, 0);
+  topo.addLink(1, 2);
+  const auto neighbors = topo.neighbors(1);
+  const auto channels = topo.outputChannels(1);
+  ASSERT_EQ(neighbors.size(), channels.size());
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    EXPECT_EQ(topo.channelSrc(channels[i]), 1u);
+    EXPECT_EQ(topo.channelDst(channels[i]), neighbors[i]);
+    EXPECT_EQ(topo.channel(1, neighbors[i]), channels[i]);
+  }
+}
+
+TEST(Topology, HasLinkIsSymmetric) {
+  Topology topo(3);
+  topo.addLink(0, 1);
+  EXPECT_TRUE(topo.hasLink(0, 1));
+  EXPECT_TRUE(topo.hasLink(1, 0));
+  EXPECT_FALSE(topo.hasLink(0, 2));
+  EXPECT_FALSE(topo.hasLink(2, 1));
+}
+
+TEST(Topology, RejectsSelfLoop) {
+  Topology topo(3);
+  EXPECT_THROW(topo.addLink(1, 1), std::invalid_argument);
+}
+
+TEST(Topology, RejectsDuplicateLink) {
+  Topology topo(3);
+  topo.addLink(0, 1);
+  EXPECT_THROW(topo.addLink(0, 1), std::invalid_argument);
+  EXPECT_THROW(topo.addLink(1, 0), std::invalid_argument);
+}
+
+TEST(Topology, RejectsOutOfRangeEndpoint) {
+  Topology topo(3);
+  EXPECT_THROW(topo.addLink(0, 3), std::invalid_argument);
+  EXPECT_THROW(topo.addLink(7, 1), std::invalid_argument);
+}
+
+TEST(Topology, ChannelForMissingLinkIsInvalid) {
+  Topology topo(3);
+  topo.addLink(0, 1);
+  EXPECT_EQ(topo.channel(0, 2), kInvalidChannel);
+  EXPECT_EQ(topo.channel(9, 0), kInvalidChannel);
+}
+
+TEST(Topology, LinkEndsMatchInsertion) {
+  Topology topo(4);
+  const LinkId l = topo.addLink(3, 1);
+  const auto [a, b] = topo.linkEnds(l);
+  EXPECT_EQ(a, 3u);
+  EXPECT_EQ(b, 1u);
+}
+
+}  // namespace
+}  // namespace downup::topo

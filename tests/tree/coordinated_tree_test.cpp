@@ -1,0 +1,228 @@
+#include "tree/coordinated_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/generate.hpp"
+#include "topology/properties.hpp"
+
+namespace downup::tree {
+namespace {
+
+using topo::NodeId;
+using topo::Topology;
+
+/// The coordinated tree of Figure 1(c): root v1; preorder v1,v5,v2,v3,v4.
+CoordinatedTree figure1Tree(const Topology& topo) {
+  // ids: v1=0, v2=1, v3=2, v4=3, v5=4.
+  const std::vector<NodeId> parents = {topo::kInvalidNode, 4, 0, 0, 0};
+  const std::vector<std::uint32_t> rank = {0, 2, 3, 4, 1};
+  return CoordinatedTree::fromParents(topo, parents, 0, rank);
+}
+
+TEST(Figure1Tree, CoordinatesMatchThePaper) {
+  const Topology topo = topo::paperFigure1();
+  const CoordinatedTree ct = figure1Tree(topo);
+
+  // "Y(v1) = 0, X(v2) = 2" (Section 3).
+  EXPECT_EQ(ct.y(0), 0u);
+  EXPECT_EQ(ct.x(1), 2u);
+
+  // Preorder: v1, v5, v2, v3, v4.
+  EXPECT_EQ(ct.x(0), 0u);
+  EXPECT_EQ(ct.x(4), 1u);
+  EXPECT_EQ(ct.x(2), 3u);
+  EXPECT_EQ(ct.x(3), 4u);
+
+  // Levels: v1 root, v5/v3/v4 at level 1, v2 at level 2.
+  EXPECT_EQ(ct.y(4), 1u);
+  EXPECT_EQ(ct.y(2), 1u);
+  EXPECT_EQ(ct.y(3), 1u);
+  EXPECT_EQ(ct.y(1), 2u);
+
+  // "v3 is the right node of v5, left node of v4, right-down node of v1":
+  EXPECT_GT(ct.x(2), ct.x(4));
+  EXPECT_EQ(ct.y(2), ct.y(4));
+  EXPECT_LT(ct.x(2), ct.x(3));
+  EXPECT_EQ(ct.y(2), ct.y(3));
+  EXPECT_GT(ct.x(2), ct.x(0));
+  EXPECT_GT(ct.y(2), ct.y(0));
+
+  // Tree links vs cross links.
+  EXPECT_TRUE(ct.isTreeLink(0, 4));
+  EXPECT_TRUE(ct.isTreeLink(4, 1));
+  EXPECT_TRUE(ct.isTreeLink(0, 2));
+  EXPECT_TRUE(ct.isTreeLink(0, 3));
+  EXPECT_FALSE(ct.isTreeLink(2, 4));
+  EXPECT_FALSE(ct.isTreeLink(1, 3));
+}
+
+TEST(BuildBfs, M1OnFigure1Topology) {
+  const Topology topo = topo::paperFigure1();
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  EXPECT_EQ(ct.root(), 0u);
+  // Node 0's neighbors are 2,3,4 -> all children; node 1 discovered via 3
+  // (smallest-id BFS order processes node 2 first, but 2's unvisited
+  // neighbor set is empty after... node 2 adj = {0,4}; node 3 adj = {0,1}).
+  EXPECT_EQ(ct.parent(2), 0u);
+  EXPECT_EQ(ct.parent(3), 0u);
+  EXPECT_EQ(ct.parent(4), 0u);
+  EXPECT_EQ(ct.parent(1), 3u);
+  // Preorder M1: 0, then children ascending: 2 (no children), 3 -> 1, 4.
+  EXPECT_EQ(ct.x(0), 0u);
+  EXPECT_EQ(ct.x(2), 1u);
+  EXPECT_EQ(ct.x(3), 2u);
+  EXPECT_EQ(ct.x(1), 3u);
+  EXPECT_EQ(ct.x(4), 4u);
+}
+
+struct TreeCase {
+  topo::NodeId nodes;
+  unsigned ports;
+  std::uint64_t seed;
+  TreePolicy policy;
+};
+
+class TreePropertyTest : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(TreePropertyTest, StructuralInvariants) {
+  const auto [nodes, ports, seed, policy] = GetParam();
+  util::Rng topoRng(seed);
+  const Topology topo = topo::randomIrregular(nodes, {.maxPorts = ports}, topoRng);
+  util::Rng treeRng(seed + 1000);
+  const CoordinatedTree ct = CoordinatedTree::build(topo, policy, treeRng);
+
+  // X is a permutation of 0..n-1; preorder()[x(v)] == v.
+  std::set<std::uint32_t> xs;
+  for (NodeId v = 0; v < nodes; ++v) {
+    xs.insert(ct.x(v));
+    EXPECT_EQ(ct.preorder()[ct.x(v)], v);
+  }
+  EXPECT_EQ(xs.size(), nodes);
+  EXPECT_EQ(*xs.rbegin(), nodes - 1u);
+
+  // Y equals BFS level from the root, for every node (BFS tree property).
+  const auto dist = topo::bfsDistances(topo, ct.root());
+  for (NodeId v = 0; v < nodes; ++v) EXPECT_EQ(ct.y(v), dist[v]);
+  EXPECT_TRUE(ct.isBfsTree(topo));
+
+  // Parent edges exist and descend one level; X(parent) < X(child).
+  for (NodeId v = 0; v < nodes; ++v) {
+    if (v == ct.root()) {
+      EXPECT_EQ(ct.parent(v), topo::kInvalidNode);
+      continue;
+    }
+    const NodeId p = ct.parent(v);
+    EXPECT_TRUE(topo.hasLink(p, v));
+    EXPECT_EQ(ct.y(v), ct.y(p) + 1);
+    EXPECT_LT(ct.x(p), ct.x(v));
+  }
+
+  // Level populations sum to n; leaves are exactly the childless nodes.
+  std::uint32_t population = 0;
+  for (std::uint32_t count : ct.levelPopulation()) population += count;
+  EXPECT_EQ(population, nodes);
+  const auto leaves = ct.leaves();
+  EXPECT_FALSE(leaves.empty());
+  for (NodeId leaf : leaves) EXPECT_TRUE(ct.children(leaf).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSizes, TreePropertyTest,
+    ::testing::Values(
+        TreeCase{16, 4, 1, TreePolicy::kM1SmallestFirst},
+        TreeCase{16, 4, 1, TreePolicy::kM2Random},
+        TreeCase{16, 4, 1, TreePolicy::kM3LargestFirst},
+        TreeCase{64, 4, 2, TreePolicy::kM1SmallestFirst},
+        TreeCase{64, 4, 2, TreePolicy::kM2Random},
+        TreeCase{64, 4, 2, TreePolicy::kM3LargestFirst},
+        TreeCase{128, 8, 3, TreePolicy::kM1SmallestFirst},
+        TreeCase{128, 8, 3, TreePolicy::kM2Random},
+        TreeCase{128, 8, 3, TreePolicy::kM3LargestFirst},
+        TreeCase{9, 2, 4, TreePolicy::kM1SmallestFirst},
+        TreeCase{33, 5, 5, TreePolicy::kM2Random}));
+
+TEST(BuildBfs, M1AndM3ReversePreorderOfSiblings) {
+  const Topology topo = topo::star(6);
+  util::Rng rng(1);
+  const CoordinatedTree m1 =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng);
+  const CoordinatedTree m3 =
+      CoordinatedTree::build(topo, TreePolicy::kM3LargestFirst, rng);
+  // Star children of the root: M1 visits 1..5 ascending, M3 descending.
+  for (NodeId v = 1; v < 6; ++v) {
+    EXPECT_EQ(m1.x(v), v);
+    EXPECT_EQ(m3.x(v), 6 - v);
+  }
+}
+
+TEST(BuildBfs, M2IsDeterministicGivenSeed) {
+  util::Rng topoRng(9);
+  const Topology topo = topo::randomIrregular(40, {.maxPorts = 4}, topoRng);
+  util::Rng rngA(55);
+  util::Rng rngB(55);
+  const CoordinatedTree a = CoordinatedTree::build(topo, TreePolicy::kM2Random, rngA);
+  const CoordinatedTree b = CoordinatedTree::build(topo, TreePolicy::kM2Random, rngB);
+  for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(a.x(v), b.x(v));
+}
+
+TEST(BuildBfs, CustomRoot) {
+  const Topology topo = topo::line(4);
+  util::Rng rng(1);
+  const CoordinatedTree ct =
+      CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng, 3);
+  EXPECT_EQ(ct.root(), 3u);
+  EXPECT_EQ(ct.y(0), 3u);
+  EXPECT_EQ(ct.depth(), 3u);
+}
+
+TEST(BuildBfs, ThrowsOnDisconnectedOrBadRoot) {
+  Topology topo(4);
+  topo.addLink(0, 1);
+  topo.addLink(2, 3);
+  util::Rng rng(1);
+  EXPECT_THROW(CoordinatedTree::build(topo, TreePolicy::kM1SmallestFirst, rng),
+               std::invalid_argument);
+  const Topology connected = topo::ring(4);
+  EXPECT_THROW(
+      CoordinatedTree::build(connected, TreePolicy::kM1SmallestFirst, rng, 9),
+      std::invalid_argument);
+}
+
+TEST(FromParents, RejectsBadInput) {
+  const Topology topo = topo::ring(4);
+  // Wrong size.
+  EXPECT_THROW(CoordinatedTree::fromParents(topo, std::vector<NodeId>{0, 1}, 0),
+               std::invalid_argument);
+  // Parent edge not in topology: 0-2 is not a ring link.
+  const std::vector<NodeId> badParents = {topo::kInvalidNode, 0, 0, 2};
+  EXPECT_THROW(CoordinatedTree::fromParents(topo, badParents, 0),
+               std::invalid_argument);
+  // Cycle in the "tree": 1<-2, 2<-1.
+  const std::vector<NodeId> cyclic = {topo::kInvalidNode, 2, 1, 0};
+  EXPECT_THROW(CoordinatedTree::fromParents(topo, cyclic, 0),
+               std::invalid_argument);
+}
+
+TEST(Lca, OnFigure1Tree) {
+  const Topology topo = topo::paperFigure1();
+  const CoordinatedTree ct = figure1Tree(topo);
+  EXPECT_EQ(ct.lowestCommonAncestor(1, 2), 0u);  // v2 and v3 -> v1
+  EXPECT_EQ(ct.lowestCommonAncestor(1, 4), 4u);  // v2 and v5 -> v5
+  EXPECT_EQ(ct.lowestCommonAncestor(2, 3), 0u);
+  EXPECT_EQ(ct.lowestCommonAncestor(0, 1), 0u);
+  EXPECT_EQ(ct.lowestCommonAncestor(3, 3), 3u);
+}
+
+TEST(PolicyNames, AreStable) {
+  EXPECT_EQ(toString(TreePolicy::kM1SmallestFirst), "M1");
+  EXPECT_EQ(toString(TreePolicy::kM2Random), "M2");
+  EXPECT_EQ(toString(TreePolicy::kM3LargestFirst), "M3");
+}
+
+}  // namespace
+}  // namespace downup::tree

@@ -1,0 +1,55 @@
+#include "tree/dfs_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/generate.hpp"
+#include "util/rng.hpp"
+
+namespace downup::tree {
+namespace {
+
+TEST(DfsTree, LineVisitsInOrder) {
+  const topo::Topology topo = topo::line(5);
+  const DfsTree dt = DfsTree::build(topo);
+  for (topo::NodeId v = 0; v < 5; ++v) EXPECT_EQ(dt.order(v), v);
+  EXPECT_EQ(dt.parent(0), topo::kInvalidNode);
+  for (topo::NodeId v = 1; v < 5; ++v) EXPECT_EQ(dt.parent(v), v - 1);
+}
+
+TEST(DfsTree, RingGoesDeepNotWide) {
+  const topo::Topology topo = topo::ring(6);
+  const DfsTree dt = DfsTree::build(topo);
+  // DFS from 0 prefers neighbor 1, then 2, ... producing a path, unlike BFS.
+  EXPECT_EQ(dt.order(1), 1u);
+  EXPECT_EQ(dt.order(5), 5u);
+  EXPECT_EQ(dt.parent(5), 4u);
+}
+
+TEST(DfsTree, OrdersAreAPermutation) {
+  util::Rng rng(3);
+  const topo::Topology topo = topo::randomIrregular(50, {.maxPorts = 4}, rng);
+  const DfsTree dt = DfsTree::build(topo, 7);
+  EXPECT_EQ(dt.root(), 7u);
+  EXPECT_EQ(dt.order(7), 0u);
+  std::set<std::uint32_t> orders;
+  for (topo::NodeId v = 0; v < 50; ++v) orders.insert(dt.order(v));
+  EXPECT_EQ(orders.size(), 50u);
+  // Parent always has a smaller DFS index and a real link.
+  for (topo::NodeId v = 0; v < 50; ++v) {
+    if (v == 7) continue;
+    EXPECT_TRUE(topo.hasLink(dt.parent(v), v));
+    EXPECT_LT(dt.order(dt.parent(v)), dt.order(v));
+  }
+}
+
+TEST(DfsTree, ThrowsOnDisconnectedOrBadRoot) {
+  topo::Topology topo(4);
+  topo.addLink(0, 1);
+  EXPECT_THROW(DfsTree::build(topo), std::invalid_argument);
+  EXPECT_THROW(DfsTree::build(topo::ring(4), 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace downup::tree

@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace downup::util {
+namespace {
+
+TEST(Cli, ParsesTypedOptions) {
+  Cli cli("prog", "test");
+  auto ports = cli.option<int>("ports", 4, "port count");
+  auto rate = cli.option<double>("rate", 0.1, "injection rate");
+  auto name = cli.option<std::string>("name", "default", "label");
+  auto full = cli.flag("full", "paper scale");
+
+  std::string error;
+  EXPECT_TRUE(cli.tryParse({"--ports", "8", "--rate", "0.25", "--name", "x",
+                            "--full"},
+                           &error))
+      << error;
+  EXPECT_EQ(*ports, 8);
+  EXPECT_DOUBLE_EQ(*rate, 0.25);
+  EXPECT_EQ(*name, "x");
+  EXPECT_TRUE(*full);
+}
+
+TEST(Cli, DefaultsSurviveEmptyArgs) {
+  Cli cli("prog", "test");
+  auto ports = cli.option<int>("ports", 4, "port count");
+  auto full = cli.flag("full", "paper scale");
+  std::string error;
+  EXPECT_TRUE(cli.tryParse({}, &error));
+  EXPECT_EQ(*ports, 4);
+  EXPECT_FALSE(*full);
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli("prog", "test");
+  auto seed = cli.option<std::uint64_t>("seed", 1, "rng seed");
+  std::string error;
+  EXPECT_TRUE(cli.tryParse({"--seed=12345"}, &error)) << error;
+  EXPECT_EQ(*seed, 12345u);
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  Cli cli("prog", "test");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"--bogus", "1"}, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadValue) {
+  Cli cli("prog", "test");
+  auto ports = cli.option<int>("ports", 4, "port count");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"--ports", "eight"}, &error));
+  EXPECT_NE(error.find("ports"), std::string::npos);
+  EXPECT_EQ(*ports, 4);
+}
+
+TEST(Cli, RejectsMissingValue) {
+  Cli cli("prog", "test");
+  cli.option<int>("ports", 4, "port count");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"--ports"}, &error));
+}
+
+TEST(Cli, RejectsValueOnFlag) {
+  Cli cli("prog", "test");
+  cli.flag("full", "paper scale");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"--full=yes"}, &error));
+}
+
+TEST(Cli, RejectsPositional) {
+  Cli cli("prog", "test");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"positional"}, &error));
+}
+
+TEST(Cli, HelpSignals) {
+  Cli cli("prog", "test");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"--help"}, &error));
+  EXPECT_EQ(error, "help");
+}
+
+TEST(Cli, UsageMentionsOptionsAndDefaults) {
+  Cli cli("prog", "does things");
+  cli.option<int>("ports", 4, "port count");
+  cli.flag("full", "paper scale");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--ports"), std::string::npos);
+  EXPECT_NE(usage.find("default: 4"), std::string::npos);
+  EXPECT_NE(usage.find("--full"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace downup::util

@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace downup::util {
+namespace {
+
+TEST(CsvWriter, PlainRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b", "c"});
+  csv.cell("x").cell(1).cell(2.5);
+  csv.endRow();
+  EXPECT_EQ(out.str(), "a,b,c\nx,1,2.5\n");
+  EXPECT_EQ(csv.rowsWritten(), 1u);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell("has,comma").cell("has\"quote").cell("has\nnewline");
+  csv.endRow();
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\"\n");
+}
+
+TEST(CsvWriter, NumericFormatting) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell(-3LL).cell(42u).cell(0.000125).cell(std::size_t{7});
+  csv.endRow();
+  EXPECT_EQ(out.str(), "-3,42,0.000125,7\n");
+}
+
+TEST(CsvWriter, HeaderAfterRowThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.cell("x");
+  csv.endRow();
+  EXPECT_THROW(csv.header({"late"}), std::logic_error);
+}
+
+TEST(CsvWriter, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace downup::util

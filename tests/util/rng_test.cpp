@@ -1,0 +1,147 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace downup::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromSeedZero) {
+  // Reference values from the SplitMix64 reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_TRUE(std::is_permutation(shuffled.begin(), shuffled.end(),
+                                  values.begin()));
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(17);
+  std::vector<int> values(64);
+  for (int i = 0; i < 64; ++i) values[i] = i;
+  auto shuffled = values;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_NE(shuffled, values);  // probability of identity is ~1/64!
+}
+
+TEST(Rng, PickDrawsOnlyFromTheSpan) {
+  Rng rng(19);
+  const std::vector<int> items = {10, 20, 30};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 3000; ++i) {
+    const int value = rng.pick(std::span<const int>(items));
+    ASSERT_TRUE(value == 10 || value == 20 || value == 30);
+    ++counts[static_cast<std::size_t>(value / 10 - 1)];
+  }
+  for (int count : counts) EXPECT_GT(count, 800);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(21);
+  Rng child = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == child()) ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  Rng rng(31);
+  const auto perm = randomPermutation(100, rng);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RandomPermutation, EmptyAndSingle) {
+  Rng rng(33);
+  EXPECT_TRUE(randomPermutation(0, rng).empty());
+  const auto one = randomPermutation(1, rng);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+}  // namespace
+}  // namespace downup::util

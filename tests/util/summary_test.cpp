@@ -1,0 +1,121 @@
+#include "util/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace downup::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat stat;
+  stat.add(5.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStat, KnownPopulation) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, SampleVarianceUsesNMinusOne) {
+  RunningStat stat;
+  for (double x : {1.0, 2.0, 3.0}) stat.add(x);
+  EXPECT_DOUBLE_EQ(stat.sampleVariance(), 1.0);
+  EXPECT_NEAR(stat.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream) {
+  RunningStat left;
+  RunningStat right;
+  RunningStat combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    left.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 70; ++i) {
+    const double x = i * -0.21 + 10.0;
+    right.add(x);
+    combined.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat stat;
+  stat.add(1.0);
+  stat.add(3.0);
+  RunningStat empty;
+  stat.merge(empty);
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+
+  RunningStat target;
+  target.merge(stat);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(MeanAndStddev, SpanHelpers) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(populationStddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(populationStddev({}), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInputAndClamping) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 9.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram histogram(0.0, 10.0, 5);
+  histogram.add(0.5);    // bin 0
+  histogram.add(3.0);    // bin 1
+  histogram.add(9.99);   // bin 4
+  histogram.add(-5.0);   // clamps to bin 0
+  histogram.add(100.0);  // clamps to bin 4
+  EXPECT_EQ(histogram.total(), 5u);
+  EXPECT_EQ(histogram.binValue(0), 2u);
+  EXPECT_EQ(histogram.binValue(1), 1u);
+  EXPECT_EQ(histogram.binValue(2), 0u);
+  EXPECT_EQ(histogram.binValue(4), 2u);
+  EXPECT_DOUBLE_EQ(histogram.binLow(1), 2.0);
+}
+
+}  // namespace
+}  // namespace downup::util
