@@ -2,7 +2,20 @@
 // topology generation, coordinated-tree construction, direction
 // classification, the ADDG-based turn rule, the release and repair passes,
 // routing-table construction, and raw simulator cycle throughput.
+//
+// On top of the google-benchmark registrations, main() first runs a fixed
+// scenario suite (simulator cycles/sec at near-idle, mid-load and
+// near-saturation offered loads on the 128-switch reference topology) and
+// writes the results to BENCH_micro.json — machine-readable, with the git
+// revision and a UTC timestamp — so the perf trajectory is tracked across
+// PRs.  Set DOWNUP_BENCH_JSON to change the output path ("" disables).
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
 
 #include "core/downup_routing.hpp"
 #include "routing/cdg.hpp"
@@ -149,6 +162,108 @@ void BM_SimulatorCycles(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCycles);
 
+// --- BENCH_micro.json scenario suite ---
+
+constexpr int kScenarioWarmSteps = 20000;   // reach the steady state
+constexpr int kScenarioTimedSteps = 200000;
+
+struct Scenario {
+  const char* name;
+  double offeredLoad;  // flits/node/cycle
+};
+
+constexpr Scenario kScenarios[] = {
+    {"near_idle", 0.002},
+    {"mid_load", 0.05},
+    {"near_saturation", 0.10},  // saturation probes at ~0.105 on this topo
+};
+
+double scenarioCyclesPerSec(const routing::Routing& routing,
+                            const sim::TrafficPattern& traffic, double load) {
+  sim::SimConfig config;
+  config.packetLengthFlits = 128;
+  config.warmupCycles = 0;
+  config.measureCycles = 1u << 30;  // stepped manually
+  sim::WormholeNetwork net(routing.table(), traffic, load, config);
+  for (int i = 0; i < kScenarioWarmSteps; ++i) net.step();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kScenarioTimedSteps; ++i) net.step();
+  const auto t1 = std::chrono::steady_clock::now();
+  return kScenarioTimedSteps / std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::string gitRevision() {
+  std::string rev;
+  if (std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buffer[64];
+    if (std::fgets(buffer, sizeof buffer, pipe) != nullptr) rev = buffer;
+    pclose(pipe);
+  }
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+std::string utcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+void writeScenarioJson(const char* path) {
+  const topo::Topology topo = makeTopology(128, 4);
+  util::Rng rng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  const routing::Routing routing = core::buildDownUp(topo, ct);
+  const sim::UniformTraffic traffic(topo.nodeCount());
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench_micro: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_micro.scenarios\",\n");
+  std::fprintf(out, "  \"gitRev\": \"%s\",\n", gitRevision().c_str());
+  std::fprintf(out, "  \"timestampUtc\": \"%s\",\n", utcTimestamp().c_str());
+  std::fprintf(out,
+               "  \"methodology\": {\"switches\": 128, \"maxPorts\": 4, "
+               "\"packetLengthFlits\": 128, \"warmSteps\": %d, "
+               "\"timedSteps\": %d},\n",
+               kScenarioWarmSteps, kScenarioTimedSteps);
+  std::fprintf(out, "  \"scenarios\": [\n");
+  const std::size_t count = std::size(kScenarios);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double cps =
+        scenarioCyclesPerSec(routing, traffic, kScenarios[i].offeredLoad);
+    std::printf("bench_micro %-16s %12.0f cycles/sec\n", kScenarios[i].name,
+                cps);
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"offeredLoad\": %g, "
+                 "\"cyclesPerSec\": %.0f}%s\n",
+                 kScenarios[i].name, kScenarios[i].offeredLoad, cps,
+                 i + 1 < count ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("bench_micro: wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* jsonPath = std::getenv("DOWNUP_BENCH_JSON");
+  if (jsonPath == nullptr) jsonPath = "BENCH_micro.json";
+  if (jsonPath[0] != '\0') writeScenarioJson(jsonPath);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,6 +9,7 @@ RoutingTable RoutingTable::build(const TurnPermissions& perms) {
   table.perms_ = &perms;
   const Topology& topo = perms.topology();
   const NodeId n = topo.nodeCount();
+  table.nodeCount_ = n;
   table.channelCount_ = topo.channelCount();
   table.steps_.assign(static_cast<std::size_t>(n) * table.channelCount_,
                       kNoPath);
@@ -41,7 +42,64 @@ RoutingTable RoutingTable::build(const TurnPermissions& perms) {
       }
     }
   }
+  table.buildSuccessorIndexes();
   return table;
+}
+
+void RoutingTable::buildSuccessorIndexes() {
+  const Topology& topo = perms_->topology();
+  const NodeId n = nodeCount_;
+
+  // Candidate enumeration order must match the adjacency order used by the
+  // appending queries below: the simulator's random pick indexes into these
+  // rows, so reordering would change RNG-driven routing decisions.
+  first_.offsets.assign(static_cast<std::size_t>(n) * n + 1, 0);
+  next_.offsets.assign(static_cast<std::size_t>(n) * channelCount_ + 1, 0);
+  nextAny_.offsets.assign(static_cast<std::size_t>(n) * channelCount_ + 1, 0);
+  first_.entries.clear();
+  next_.entries.clear();
+  nextAny_.entries.clear();
+
+  for (NodeId dst = 0; dst < n; ++dst) {
+    const auto* steps = &steps_[static_cast<std::size_t>(dst) * channelCount_];
+
+    for (NodeId src = 0; src < n; ++src) {
+      if (src != dst) {
+        std::uint16_t best = kNoPath;
+        for (ChannelId c : topo.outputChannels(src)) {
+          best = std::min(best, steps[c]);
+        }
+        if (best != kNoPath) {
+          for (ChannelId c : topo.outputChannels(src)) {
+            if (steps[c] == best) first_.entries.push_back(c);
+          }
+        }
+      }
+      first_.offsets[static_cast<std::size_t>(dst) * n + src + 1] =
+          static_cast<std::uint32_t>(first_.entries.size());
+    }
+
+    for (ChannelId in = 0; in < channelCount_; ++in) {
+      const std::uint16_t remaining = steps[in];
+      if (remaining != kNoPath && remaining > 1) {  // <=1: dst(in) == dst
+        const NodeId via = topo.channelDst(in);
+        for (ChannelId next : topo.outputChannels(via)) {
+          if (steps[next] != remaining - 1) continue;
+          if (perms_->allowed(via, in, next)) next_.entries.push_back(next);
+          if (next != Topology::reverseChannel(in)) {
+            nextAny_.entries.push_back(next);
+          }
+        }
+      }
+      const std::size_t row = static_cast<std::size_t>(dst) * channelCount_ + in;
+      next_.offsets[row + 1] = static_cast<std::uint32_t>(next_.entries.size());
+      nextAny_.offsets[row + 1] =
+          static_cast<std::uint32_t>(nextAny_.entries.size());
+    }
+  }
+  first_.entries.shrink_to_fit();
+  next_.entries.shrink_to_fit();
+  nextAny_.entries.shrink_to_fit();
 }
 
 std::uint16_t RoutingTable::distance(NodeId src, NodeId dst) const noexcept {
@@ -55,37 +113,20 @@ std::uint16_t RoutingTable::distance(NodeId src, NodeId dst) const noexcept {
 
 void RoutingTable::firstChannels(NodeId src, NodeId dst,
                                  std::vector<ChannelId>& out) const {
-  const std::uint16_t best = distance(src, dst);
-  if (best == kNoPath || best == 0) return;
-  for (ChannelId c : perms_->topology().outputChannels(src)) {
-    if (channelSteps(dst, c) == best) out.push_back(c);
-  }
+  const auto row = firstChannels(src, dst);
+  out.insert(out.end(), row.begin(), row.end());
 }
 
 void RoutingTable::nextChannels(ChannelId in, NodeId dst,
                                 std::vector<ChannelId>& out) const {
-  const Topology& topo = perms_->topology();
-  const NodeId via = topo.channelDst(in);
-  const std::uint16_t remaining = channelSteps(dst, in);
-  if (remaining == kNoPath || remaining <= 1) return;  // <=1: v == dst
-  for (ChannelId next : topo.outputChannels(via)) {
-    if (channelSteps(dst, next) == remaining - 1 &&
-        perms_->allowed(via, in, next)) {
-      out.push_back(next);
-    }
-  }
+  const auto row = nextChannels(in, dst);
+  out.insert(out.end(), row.begin(), row.end());
 }
 
 void RoutingTable::nextChannelsAnyTurn(ChannelId in, NodeId dst,
                                        std::vector<ChannelId>& out) const {
-  const Topology& topo = perms_->topology();
-  const NodeId via = topo.channelDst(in);
-  const std::uint16_t remaining = channelSteps(dst, in);
-  if (remaining == kNoPath || remaining <= 1) return;
-  for (ChannelId next : topo.outputChannels(via)) {
-    if (next == Topology::reverseChannel(in)) continue;
-    if (channelSteps(dst, next) == remaining - 1) out.push_back(next);
-  }
+  const auto row = nextChannelsAnyTurn(in, dst);
+  out.insert(out.end(), row.begin(), row.end());
 }
 
 bool RoutingTable::allPairsConnected() const noexcept {

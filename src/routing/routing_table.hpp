@@ -13,9 +13,16 @@
 // with steps(d, o) == steps(d, in) - 1 lies on a globally minimal legal
 // path, and all such channels are candidates (Section 5 of the paper routes
 // on "the shortest possible paths", choosing among them at random).
+//
+// Route computation is throughput-critical for the simulator, so build()
+// additionally materialises the candidate relation as three CSR successor
+// indexes (first hop per (dst, node); legal and any-turn continuations per
+// (dst, in-channel)).  The simulator's allocation fast path iterates those
+// via spans — no per-header scratch vectors, no candidate recomputation.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "routing/turns.hpp"
@@ -42,13 +49,20 @@ class RoutingTable {
   /// 0 when src == dst.
   std::uint16_t distance(NodeId src, NodeId dst) const noexcept;
 
-  /// Appends to `out` every output channel of src that starts a minimal
-  /// legal path to dst (injection: no input-channel constraint).
-  void firstChannels(NodeId src, NodeId dst, std::vector<ChannelId>& out) const;
+  // --- allocation-free candidate queries (the simulator's fast path) ---
 
-  /// Appends to `out` every output channel at v == dst(in) that continues a
-  /// minimal legal path to dst, honouring the turn constraint against `in`.
-  void nextChannels(ChannelId in, NodeId dst, std::vector<ChannelId>& out) const;
+  /// Every output channel of src that starts a minimal legal path to dst
+  /// (injection: no input-channel constraint), in outputChannels(src) order.
+  std::span<const ChannelId> firstChannels(NodeId src, NodeId dst) const noexcept {
+    return first_.row(static_cast<std::size_t>(dst) * nodeCount_ + src);
+  }
+
+  /// Every output channel at v == dst(in) that continues a minimal legal
+  /// path to dst, honouring the turn constraint against `in`, in
+  /// outputChannels(v) order.
+  std::span<const ChannelId> nextChannels(ChannelId in, NodeId dst) const noexcept {
+    return next_.row(static_cast<std::size_t>(dst) * channelCount_ + in);
+  }
 
   /// Like nextChannels but ignoring the turn rule (U-turns still excluded):
   /// every output whose legal-steps potential is exactly one less than
@@ -56,6 +70,15 @@ class RoutingTable {
   /// escape-channel routing scheme (sim/config.hpp): because steps(d, c) is
   /// defined over *legal* continuations, a turn-legal escape successor
   /// always exists from any channel this relation can reach.
+  std::span<const ChannelId> nextChannelsAnyTurn(ChannelId in,
+                                                 NodeId dst) const noexcept {
+    return nextAny_.row(static_cast<std::size_t>(dst) * channelCount_ + in);
+  }
+
+  // --- appending variants (batch/analysis callers) ---
+
+  void firstChannels(NodeId src, NodeId dst, std::vector<ChannelId>& out) const;
+  void nextChannels(ChannelId in, NodeId dst, std::vector<ChannelId>& out) const;
   void nextChannelsAnyTurn(ChannelId in, NodeId dst,
                            std::vector<ChannelId>& out) const;
 
@@ -67,11 +90,26 @@ class RoutingTable {
   double averagePathLength() const;
 
  private:
+  /// Compressed sparse rows of channel ids (one row per (dst, key) pair).
+  struct Csr {
+    std::vector<std::uint32_t> offsets;  // rows + 1
+    std::vector<ChannelId> entries;
+
+    std::span<const ChannelId> row(std::size_t r) const noexcept {
+      return {entries.data() + offsets[r], offsets[r + 1] - offsets[r]};
+    }
+  };
+
   RoutingTable() = default;
+  void buildSuccessorIndexes();
 
   const TurnPermissions* perms_ = nullptr;
   std::uint32_t channelCount_ = 0;
+  std::uint32_t nodeCount_ = 0;
   std::vector<std::uint16_t> steps_;  // [dst * channelCount_ + channel]
+  Csr first_;    // rows: dst * nodeCount_ + node
+  Csr next_;     // rows: dst * channelCount_ + in
+  Csr nextAny_;  // rows: dst * channelCount_ + in
 };
 
 }  // namespace downup::routing

@@ -1,0 +1,104 @@
+// Dense bitset id set for the simulator's active-set scheduler.
+//
+// The engine's per-cycle phases must visit elements in the same order the
+// original full scans did — ascending id for arbitration, and ascending id
+// rotated by the cycle's round-robin offset for allocation — or arbitration
+// winners and RNG draw order (and therefore every statistic) would change.
+// A bitmap gives exactly that order from a plain word scan while keeping
+// insert/erase O(1), so membership churn (a handful of transitions per flit
+// movement) costs nothing even when the in-flight set is large.  Iteration
+// touches range/64 words per cycle — a few cache lines for every network
+// in the evaluation — plus one bit-extraction per member.
+//
+// Visitors may erase ids at or before the one being visited (each word's
+// bits are snapshotted as the scan reaches it) but must not insert.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace downup::sim {
+
+class ActiveIdSet {
+ public:
+  /// Sets the id range [0, range); clears the set.
+  void resize(std::uint32_t range) {
+    words_.assign((range + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  /// Removes every id without changing the range.
+  void clear() noexcept {
+    if (count_ == 0) return;
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+  }
+
+  bool empty() const noexcept { return count_ == 0; }
+  std::uint32_t size() const noexcept { return count_; }
+
+  bool contains(std::uint32_t id) const noexcept {
+    return (words_[id >> 6] >> (id & 63)) & 1;
+  }
+
+  /// Idempotent insert.
+  void insert(std::uint32_t id) noexcept {
+    std::uint64_t& word = words_[id >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    count_ += !(word & bit);
+    word |= bit;
+  }
+
+  /// Idempotent erase.
+  void erase(std::uint32_t id) noexcept {
+    std::uint64_t& word = words_[id >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    count_ -= !!(word & bit);
+    word &= ~bit;
+  }
+
+  /// Visits every id in ascending order.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    if (count_ == 0) return;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      visitBits(words_[w], static_cast<std::uint32_t>(w << 6), fn);
+    }
+  }
+
+  /// Visits every id in ascending order starting from the first id >= start
+  /// and wrapping around — the order a full scan `(i + start) % range`
+  /// would visit the members in.
+  template <typename Fn>
+  void forEachRotated(std::uint32_t start, Fn&& fn) const {
+    if (count_ == 0) return;
+    const std::size_t startWord = start >> 6;
+    const std::uint64_t upper = ~std::uint64_t{0} << (start & 63);
+    visitBits(words_[startWord] & upper,
+              static_cast<std::uint32_t>(startWord << 6), fn);
+    for (std::size_t w = startWord + 1; w < words_.size(); ++w) {
+      visitBits(words_[w], static_cast<std::uint32_t>(w << 6), fn);
+    }
+    for (std::size_t w = 0; w < startWord; ++w) {
+      visitBits(words_[w], static_cast<std::uint32_t>(w << 6), fn);
+    }
+    visitBits(words_[startWord] & ~upper,
+              static_cast<std::uint32_t>(startWord << 6), fn);
+  }
+
+ private:
+  template <typename Fn>
+  static void visitBits(std::uint64_t bits, std::uint32_t base, Fn&& fn) {
+    while (bits != 0) {
+      fn(base + static_cast<std::uint32_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace downup::sim

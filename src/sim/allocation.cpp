@@ -1,0 +1,197 @@
+// Allocation phase: header routing and output-VC / ejection-port claims.
+//
+// Only VCs holding an unrouted header (pendingHeaders_) and sources with a
+// queued but unplaced packet (routableSources_) are visited, in the exact
+// rotated order the historical full scan used — the rotating allocOffset_
+// gives through-traffic fairness AND doubles as the active-set iteration
+// order, so RNG draws happen in the same sequence as before the active-set
+// refactor.
+//
+// Candidate channels come straight from the RoutingTable's CSR successor
+// index as spans: the fast path performs no vector copies and no heap
+// allocation per header.
+#include "sim/network.hpp"
+
+namespace downup::sim {
+
+void WormholeNetwork::allocateOutputs() {
+  // Wake claimants parked at nodes where a VC or ejection port freed during
+  // the previous transfer phase.  Re-inserting restores the exact rotated
+  // visit order below, and every claimant the historical full scan could
+  // have routed this cycle is back in its set (attempts it skipped while
+  // parked were guaranteed failures with no side effects).
+  if (!dirtyNodes_.empty()) {
+    dirtyNodes_.forEach([this](std::uint32_t node) {
+      for (std::uint32_t vcId : parkedHeaders_[node]) {
+        pendingHeaders_.insert(vcId);
+      }
+      parkedHeaders_[node].clear();
+      if (parkedSource_[node]) {
+        parkedSource_[node] = 0;
+        routableSources_.insert(node);
+      }
+    });
+    dirtyNodes_.clear();
+  }
+
+  // Network headers first (through-traffic priority), rotating start for
+  // fairness; then injection headers.
+  if (!pendingHeaders_.empty()) {
+    pendingHeaders_.forEachRotated(
+        allocOffset_ % totalVcs_, [this](std::uint32_t vcId) {
+          // Set invariant: owner set, out == kNoOut, buffered > 0.  The
+          // only per-visit condition is the 1-cycle routing delay.
+          if (vcs_[vcId].headReadyAt >= now_) return;
+          routeHeader(vcId);
+          if (vcs_[vcId].out != kNoOut) {
+            pendingHeaders_.erase(vcId);
+          } else if (parkingEnabled_) {
+            pendingHeaders_.erase(vcId);
+            parkedHeaders_[topo_->channelDst(vcChannel(vcId))].push_back(vcId);
+          }
+        });
+  }
+  if (!routableSources_.empty()) {
+    routableSources_.forEachRotated(
+        allocOffset_ % topo_->nodeCount(), [this](std::uint32_t node) {
+          // Set invariant: queue non-empty, out == kNoOut.
+          Source& source = sources_[node];
+          if (packets_[source.queue.front()].genTime >= now_) return;
+          routeSource(node);
+          if (source.out != kNoOut) {
+            routableSources_.erase(node);
+          } else if (parkingEnabled_) {
+            routableSources_.erase(node);
+            parkedSource_[node] = 1;
+          }
+        });
+  }
+}
+
+void WormholeNetwork::routeHeader(std::uint32_t vcId) {
+  Vc& vc = vcs_[vcId];
+  const ChannelId in = vcChannel(vcId);
+  const topo::NodeId node = topo_->channelDst(in);
+  const topo::NodeId dst = packets_[vc.owner].dst;
+  vc.out = (dst == node) ? claimEjectPort(vc.owner, node)
+                         : claimOutputVc(vc.owner, node, in, dst);
+  // A routed VC has buffered > 0 by the pendingHeaders_ invariant, so its
+  // flits become forwardable the moment the claim lands.
+  if (vc.out != kNoOut) markMovable(vcId);
+}
+
+void WormholeNetwork::routeSource(topo::NodeId node) {
+  Source& source = sources_[node];
+  const PacketId pid = source.queue.front();
+  source.out = claimOutputVc(pid, node, topo::kInvalidChannel,
+                             packets_[pid].dst);
+  if (source.out != kNoOut) busySources_.insert(node);
+}
+
+std::uint32_t WormholeNetwork::commitClaim(PacketId pid, std::uint32_t vcId) {
+  vcs_[vcId].owner = pid;
+  ++ownedVcs_;
+  if (config_.tracePackets) {
+    if (tracedPaths_.size() <= pid) tracedPaths_.resize(pid + 1);
+    tracedPaths_[pid].push_back(vcChannel(vcId));
+  }
+  return vcId;
+}
+
+std::uint32_t WormholeNetwork::claimEscapeAdaptive(PacketId pid,
+                                                   topo::NodeId node,
+                                                   ChannelId in,
+                                                   topo::NodeId dst) {
+  Packet& packet = packets_[pid];
+  if (!packet.onEscape) {
+    // Adaptive class first: VCs >= 1 of every output one potential step
+    // closer, turn rule ignored.
+    const std::span<const ChannelId> adaptive =
+        (in == topo::kInvalidChannel) ? table_->firstChannels(node, dst)
+                                      : table_->nextChannelsAnyTurn(in, dst);
+    candidateVcs_.clear();
+    for (ChannelId ch : adaptive) {
+      for (std::uint32_t v = 1; v < vcCount_; ++v) {
+        const std::uint32_t vcId = ch * vcCount_ + v;
+        if (vcs_[vcId].owner == kNoPacket) candidateVcs_.push_back(vcId);
+      }
+    }
+    if (!candidateVcs_.empty()) {
+      return commitClaim(pid, candidateVcs_[rng_.below(candidateVcs_.size())]);
+    }
+  }
+  // Escape class: VC 0 of turn-legal minimal outputs; sticky once taken.
+  const std::span<const ChannelId> escape =
+      (in == topo::kInvalidChannel) ? table_->firstChannels(node, dst)
+                                    : table_->nextChannels(in, dst);
+  candidateVcs_.clear();
+  for (ChannelId ch : escape) {
+    const std::uint32_t vcId = ch * vcCount_;
+    if (vcs_[vcId].owner == kNoPacket) candidateVcs_.push_back(vcId);
+  }
+  if (candidateVcs_.empty()) return kNoOut;
+  packet.onEscape = true;
+  return commitClaim(pid, candidateVcs_[rng_.below(candidateVcs_.size())]);
+}
+
+std::uint32_t WormholeNetwork::claimOutputVc(PacketId pid, topo::NodeId node,
+                                             ChannelId in, topo::NodeId dst) {
+  if (config_.escapeAdaptiveRouting) {
+    return claimEscapeAdaptive(pid, node, in, dst);
+  }
+  std::span<const ChannelId> candidates;
+  const bool misroute = config_.misrouteProbability > 0.0 &&
+                        rng_.chance(config_.misrouteProbability);
+  if (misroute) {
+    // Non-minimal adaptive mode: every output that respects the turn rule
+    // and from which the destination remains reachable is a candidate.
+    misrouteChannels_.clear();
+    const auto& perms = table_->permissions();
+    for (ChannelId c : topo_->outputChannels(node)) {
+      if (table_->channelSteps(dst, c) == routing::kNoPath) continue;
+      if (in != topo::kInvalidChannel && !perms.allowed(node, in, c)) {
+        continue;  // allowed() also excludes the U-turn back over `in`
+      }
+      misrouteChannels_.push_back(c);
+    }
+    candidates = misrouteChannels_;
+  } else if (in == topo::kInvalidChannel) {
+    candidates = table_->firstChannels(node, dst);
+  } else {
+    candidates = table_->nextChannels(in, dst);
+  }
+  if (!config_.adaptiveSelection) {
+    // Deterministic mode: the route is fixed a priori — wait for VC 0 of
+    // the first legal output channel, never divert to a free alternative.
+    if (candidates.empty()) return kNoOut;
+    const std::uint32_t vcId = candidates.front() * vcCount_;
+    if (vcs_[vcId].owner != kNoPacket) return kNoOut;
+    return commitClaim(pid, vcId);
+  }
+
+  candidateVcs_.clear();
+  for (ChannelId ch : candidates) {
+    for (std::uint32_t v = 0; v < vcCount_; ++v) {
+      const std::uint32_t vcId = ch * vcCount_ + v;
+      if (vcs_[vcId].owner == kNoPacket) candidateVcs_.push_back(vcId);
+    }
+  }
+  if (candidateVcs_.empty()) return kNoOut;
+  // Random pick among free minimal candidates = the paper's random choice
+  // among shortest legal paths.
+  return commitClaim(pid, candidateVcs_[rng_.below(candidateVcs_.size())]);
+}
+
+std::uint32_t WormholeNetwork::claimEjectPort(PacketId pid,
+                                              topo::NodeId node) {
+  const std::uint32_t base = node * config_.ejectionPortsPerNode;
+  for (std::uint32_t p = 0; p < config_.ejectionPortsPerNode; ++p) {
+    if (ejectOwner_[base + p] == kNoPacket) {
+      ejectOwner_[base + p] = pid;
+      return ejectBase_ + base + p;
+    }
+  }
+  return kNoOut;
+}
+
+}  // namespace downup::sim

@@ -1,10 +1,11 @@
+// Engine core: construction, the cycle loop, traffic generation, the
+// deadlock watchdog and stats assembly.  The per-phase machinery lives in
+// allocation.cpp / arbitration.cpp / flow_control.cpp.
 #include "sim/network.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-
-#include "util/summary.hpp"
 
 namespace downup::sim {
 
@@ -16,7 +17,9 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
       pattern_(&pattern),
       config_(config),
       injectionRate_(injectionRate),
-      rng_(config.seed) {
+      rng_(config.seed),
+      telemetry_(table.topology().channelCount(),
+                 config.timelineBucketCycles) {
   config_.validate();
   if (injectionRate < 0.0 || injectionRate > 1.0) {
     throw std::invalid_argument(
@@ -39,21 +42,39 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
   inputRoundRobin_.assign(topo_->channelCount(), 0);
   outputRoundRobin_.assign(outputResources_, 0);
   resourceRequests_.assign(outputResources_, {});
-  channelFlits_.assign(topo_->channelCount(), 0);
+  movableVcs_.assign(topo_->channelCount(), 0);
+  pendingHeaders_.resize(totalVcs_);
+  routableSources_.resize(topo_->nodeCount());
+  activeChannels_.resize(topo_->channelCount());
+  busySources_.resize(topo_->nodeCount());
+  // Misrouting draws RNG on every claim attempt, so blocked claimants must
+  // keep re-attempting each cycle to preserve the draw sequence.
+  parkingEnabled_ = config_.misrouteProbability <= 0.0;
+  dirtyNodes_.resize(topo_->nodeCount());
+  parkedHeaders_.assign(topo_->nodeCount(), {});
+  parkedSource_.assign(topo_->nodeCount(), 0);
   if (config_.burstFactor > 1.0) {
     burstOn_.assign(topo_->nodeCount(), false);
   }
+}
+
+void WormholeNetwork::enqueuePacket(topo::NodeId src, topo::NodeId dst) {
+  const auto pid = static_cast<PacketId>(packets_.size());
+  packets_.push_back(Packet{src, dst, now_});
+  Source& source = sources_[src];
+  // An empty queue means no output VC is claimed either, so the source
+  // becomes allocatable exactly now.
+  if (source.queue.empty()) routableSources_.insert(src);
+  source.queue.push_back(pid);
+  ++packetsGenerated_;
 }
 
 PacketId WormholeNetwork::injectPacket(topo::NodeId src, topo::NodeId dst) {
   if (src >= topo_->nodeCount() || dst >= topo_->nodeCount() || src == dst) {
     throw std::invalid_argument("injectPacket: bad endpoints");
   }
-  const auto pid = static_cast<PacketId>(packets_.size());
-  packets_.push_back(Packet{src, dst, now_, kNeverEjected});
-  sources_[src].queue.push_back(pid);
-  ++packetsGenerated_;
-  return pid;
+  enqueuePacket(src, dst);
+  return static_cast<PacketId>(packets_.size() - 1);
 }
 
 std::uint64_t WormholeNetwork::flitsInFlight() const noexcept {
@@ -73,14 +94,9 @@ void WormholeNetwork::step() {
   // Deadlock watchdog: traffic is in flight but nothing has moved for a
   // long time.  With a correct (acyclic) turn rule this can never fire;
   // the failure-injection tests rely on it firing when rules are broken.
-  bool inFlight = false;
-  for (const Vc& vc : vcs_) {
-    if (vc.owner != kNoPacket) {
-      inFlight = true;
-      break;
-    }
-  }
-  if (movedThisCycle_ || !inFlight) {
+  // ownedVcs_ is maintained by the claim/release paths, replacing the
+  // historical every-cycle scan over all VCs.
+  if (movedThisCycle_ || ownedVcs_ == 0) {
     idleCycles_ = 0;
   } else if (++idleCycles_ >= config_.deadlockThresholdCycles) {
     deadlocked_ = true;
@@ -91,24 +107,28 @@ void WormholeNetwork::step() {
   ++allocOffset_;
 }
 
-void WormholeNetwork::deliverArrivals() {
-  auto& slot = arrivals_[now_ % (kPipelineCycles + 1)];
-  for (std::uint32_t vcId : slot) {
-    Vc& vc = vcs_[vcId];
-    assert(vc.owner != kNoPacket && "arrival into unowned VC");
-    assert(vc.buffered < config_.bufferDepthFlits && "buffer overflow");
-    ++vc.buffered;
-    if (vc.entered++ == 0) vc.headReadyAt = now_;
-  }
-  slot.clear();
-}
-
 void WormholeNetwork::generateTraffic() {
   if (genProbability_ <= 0.0) return;
-  const bool bursty = config_.burstFactor > 1.0;
-  for (topo::NodeId node = 0; node < topo_->nodeCount(); ++node) {
+  const topo::NodeId nodeCount = topo_->nodeCount();
+  if (config_.burstFactor <= 1.0) {
+    // Smooth-traffic fast path: one Bernoulli draw per node per cycle is the
+    // engine's largest fixed cost, so keep the loop body to the draw and a
+    // rare tail.  The draw sequence itself is pinned — it interleaves with
+    // routing's draws on the shared RNG stream.
+    const double probability = genProbability_;
+    const std::size_t queueCap = config_.sourceQueueCapPackets;
+    for (topo::NodeId node = 0; node < nodeCount; ++node) {
+      if (!rng_.chance(probability)) continue;
+      if (sources_[node].queue.size() >= queueCap) continue;
+      const topo::NodeId dst = pattern_->destination(node, rng_);
+      assert(dst != node && "traffic pattern produced src == dst");
+      enqueuePacket(node, dst);
+    }
+    return;
+  }
+  for (topo::NodeId node = 0; node < nodeCount; ++node) {
     double probability = genProbability_;
-    if (bursty) {
+    {
       // Two-state ON/OFF modulation with duty cycle 1/burstFactor keeps the
       // mean rate equal to the configured load.
       const double onMean = config_.burstOnMeanCycles;
@@ -122,277 +142,10 @@ void WormholeNetwork::generateTraffic() {
       probability = std::min(1.0, genProbability_ * config_.burstFactor);
     }
     if (!rng_.chance(probability)) continue;
-    Source& source = sources_[node];
-    if (source.queue.size() >= config_.sourceQueueCapPackets) continue;
+    if (sources_[node].queue.size() >= config_.sourceQueueCapPackets) continue;
     const topo::NodeId dst = pattern_->destination(node, rng_);
     assert(dst != node && "traffic pattern produced src == dst");
-    const auto pid = static_cast<PacketId>(packets_.size());
-    packets_.push_back(Packet{node, dst, now_});
-    source.queue.push_back(pid);
-    ++packetsGenerated_;
-  }
-}
-
-void WormholeNetwork::allocateOutputs() {
-  // Network headers first (through-traffic priority), rotating start for
-  // fairness; then injection headers.
-  for (std::uint32_t i = 0; i < totalVcs_; ++i) {
-    const std::uint32_t vcId = (i + allocOffset_) % totalVcs_;
-    const Vc& vc = vcs_[vcId];
-    if (vc.owner != kNoPacket && vc.out == kNoOut && vc.buffered > 0 &&
-        vc.headReadyAt < now_) {
-      routeHeader(vcId);
-    }
-  }
-  const topo::NodeId n = topo_->nodeCount();
-  for (topo::NodeId i = 0; i < n; ++i) {
-    const topo::NodeId node = (i + allocOffset_) % n;
-    const Source& source = sources_[node];
-    if (source.out == kNoOut && !source.queue.empty() &&
-        packets_[source.queue.front()].genTime < now_) {
-      routeSource(node);
-    }
-  }
-}
-
-void WormholeNetwork::routeHeader(std::uint32_t vcId) {
-  Vc& vc = vcs_[vcId];
-  const ChannelId in = vcChannel(vcId);
-  const topo::NodeId node = topo_->channelDst(in);
-  const topo::NodeId dst = packets_[vc.owner].dst;
-  vc.out = (dst == node) ? claimEjectPort(vc.owner, node)
-                         : claimOutputVc(vc.owner, node, in, dst);
-}
-
-void WormholeNetwork::routeSource(topo::NodeId node) {
-  Source& source = sources_[node];
-  const PacketId pid = source.queue.front();
-  source.out = claimOutputVc(pid, node, topo::kInvalidChannel,
-                             packets_[pid].dst);
-}
-
-std::uint32_t WormholeNetwork::commitClaim(PacketId pid, std::uint32_t vcId) {
-  vcs_[vcId].owner = pid;
-  if (config_.tracePackets) {
-    if (tracedPaths_.size() <= pid) tracedPaths_.resize(pid + 1);
-    tracedPaths_[pid].push_back(vcChannel(vcId));
-  }
-  return vcId;
-}
-
-std::uint32_t WormholeNetwork::claimEscapeAdaptive(PacketId pid,
-                                                   topo::NodeId node,
-                                                   ChannelId in,
-                                                   topo::NodeId dst) {
-  Packet& packet = packets_[pid];
-  if (!packet.onEscape) {
-    // Adaptive class first: VCs >= 1 of every output one potential step
-    // closer, turn rule ignored.
-    candidateChannels_.clear();
-    if (in == topo::kInvalidChannel) {
-      table_->firstChannels(node, dst, candidateChannels_);
-    } else {
-      table_->nextChannelsAnyTurn(in, dst, candidateChannels_);
-    }
-    candidateVcs_.clear();
-    for (ChannelId ch : candidateChannels_) {
-      for (std::uint32_t v = 1; v < vcCount_; ++v) {
-        const std::uint32_t vcId = ch * vcCount_ + v;
-        if (vcs_[vcId].owner == kNoPacket) candidateVcs_.push_back(vcId);
-      }
-    }
-    if (!candidateVcs_.empty()) {
-      return commitClaim(pid, candidateVcs_[rng_.below(candidateVcs_.size())]);
-    }
-  }
-  // Escape class: VC 0 of turn-legal minimal outputs; sticky once taken.
-  candidateChannels_.clear();
-  if (in == topo::kInvalidChannel) {
-    table_->firstChannels(node, dst, candidateChannels_);
-  } else {
-    table_->nextChannels(in, dst, candidateChannels_);
-  }
-  candidateVcs_.clear();
-  for (ChannelId ch : candidateChannels_) {
-    const std::uint32_t vcId = ch * vcCount_;
-    if (vcs_[vcId].owner == kNoPacket) candidateVcs_.push_back(vcId);
-  }
-  if (candidateVcs_.empty()) return kNoOut;
-  packet.onEscape = true;
-  return commitClaim(pid, candidateVcs_[rng_.below(candidateVcs_.size())]);
-}
-
-std::uint32_t WormholeNetwork::claimOutputVc(PacketId pid, topo::NodeId node,
-                                             ChannelId in, topo::NodeId dst) {
-  if (config_.escapeAdaptiveRouting) {
-    return claimEscapeAdaptive(pid, node, in, dst);
-  }
-  candidateChannels_.clear();
-  const bool misroute = config_.misrouteProbability > 0.0 &&
-                        rng_.chance(config_.misrouteProbability);
-  if (misroute) {
-    // Non-minimal adaptive mode: every output that respects the turn rule
-    // and from which the destination remains reachable is a candidate.
-    const auto& perms = table_->permissions();
-    for (ChannelId c : topo_->outputChannels(node)) {
-      if (table_->channelSteps(dst, c) == routing::kNoPath) continue;
-      if (in != topo::kInvalidChannel && !perms.allowed(node, in, c)) {
-        continue;  // allowed() also excludes the U-turn back over `in`
-      }
-      candidateChannels_.push_back(c);
-    }
-  } else if (in == topo::kInvalidChannel) {
-    table_->firstChannels(node, dst, candidateChannels_);
-  } else {
-    table_->nextChannels(in, dst, candidateChannels_);
-  }
-  if (!config_.adaptiveSelection) {
-    // Deterministic mode: the route is fixed a priori — wait for VC 0 of
-    // the first legal output channel, never divert to a free alternative.
-    if (candidateChannels_.empty()) return kNoOut;
-    const std::uint32_t vcId = candidateChannels_.front() * vcCount_;
-    if (vcs_[vcId].owner != kNoPacket) return kNoOut;
-    return commitClaim(pid, vcId);
-  }
-
-  candidateVcs_.clear();
-  for (ChannelId ch : candidateChannels_) {
-    for (std::uint32_t v = 0; v < vcCount_; ++v) {
-      const std::uint32_t vcId = ch * vcCount_ + v;
-      if (vcs_[vcId].owner == kNoPacket) candidateVcs_.push_back(vcId);
-    }
-  }
-  if (candidateVcs_.empty()) return kNoOut;
-  // Random pick among free minimal candidates = the paper's random choice
-  // among shortest legal paths.
-  return commitClaim(pid, candidateVcs_[rng_.below(candidateVcs_.size())]);
-}
-
-std::uint32_t WormholeNetwork::claimEjectPort(PacketId pid,
-                                              topo::NodeId node) {
-  const std::uint32_t base = node * config_.ejectionPortsPerNode;
-  for (std::uint32_t p = 0; p < config_.ejectionPortsPerNode; ++p) {
-    if (ejectOwner_[base + p] == kNoPacket) {
-      ejectOwner_[base + p] = pid;
-      return ejectBase_ + base + p;
-    }
-  }
-  return kNoOut;
-}
-
-void WormholeNetwork::transferFlits() {
-  // Level 1: one flit per input physical channel per cycle (round-robin
-  // among that channel's VCs); each source queue is its own input port.
-  proposedMoves_.clear();
-  const std::uint32_t channels = topo_->channelCount();
-  for (ChannelId c = 0; c < channels; ++c) {
-    const std::uint32_t rr = inputRoundRobin_[c];
-    for (std::uint32_t k = 0; k < vcCount_; ++k) {
-      const std::uint32_t v = (rr + k) % vcCount_;
-      const std::uint32_t vcId = c * vcCount_ + v;
-      const Vc& vc = vcs_[vcId];
-      if (vc.owner == kNoPacket || vc.out == kNoOut || vc.buffered == 0) continue;
-      if (!isEject(vc.out) && credit_[vc.out] == 0) continue;
-      proposedMoves_.push_back(Move{false, vcId, vc.out});
-      inputRoundRobin_[c] = v + 1;
-      break;
-    }
-  }
-  for (topo::NodeId node = 0; node < topo_->nodeCount(); ++node) {
-    const Source& source = sources_[node];
-    if (source.out == kNoOut || source.queue.empty()) continue;
-    if (credit_[source.out] == 0) continue;  // sources never eject
-    proposedMoves_.push_back(Move{true, node, source.out});
-  }
-
-  // Level 2: one flit per output resource (physical channel or ejection
-  // port) per cycle, round-robin among requesters.
-  touchedResources_.clear();
-  for (const Move& move : proposedMoves_) {
-    const std::uint32_t resource = isEject(move.out)
-                                       ? channels + (move.out - ejectBase_)
-                                       : vcChannel(move.out);
-    if (resourceRequests_[resource].empty()) {
-      touchedResources_.push_back(resource);
-    }
-    resourceRequests_[resource].push_back(move);
-  }
-  for (std::uint32_t resource : touchedResources_) {
-    auto& requests = resourceRequests_[resource];
-    const std::uint32_t pick =
-        outputRoundRobin_[resource]++ % static_cast<std::uint32_t>(requests.size());
-    const Move& winner = requests[pick];
-    executeMove(winner.fromSource, winner.index);
-    requests.clear();
-  }
-}
-
-void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
-  movedThisCycle_ = true;
-  const std::uint32_t len = config_.packetLengthFlits;
-
-  PacketId pid;
-  std::uint32_t out;
-  std::uint32_t flitIdx;
-  if (fromSource) {
-    Source& source = sources_[index];
-    pid = source.queue.front();
-    out = source.out;
-    flitIdx = source.sent++;
-    if (flitIdx == 0) packets_[pid].injectTime = now_;
-  } else {
-    Vc& vc = vcs_[index];
-    pid = vc.owner;
-    out = vc.out;
-    flitIdx = vc.sent++;
-    --vc.buffered;
-    ++credit_[index];  // the slot frees for whoever feeds this VC
-  }
-  const bool isTail = flitIdx + 1 == len;
-  const bool measuring = now_ >= config_.warmupCycles;
-
-  if (isEject(out)) {
-    if (measuring) ++flitsEjectedMeasured_;
-    if (config_.timelineBucketCycles > 0) {
-      const auto bucket =
-          static_cast<std::size_t>(now_ / config_.timelineBucketCycles);
-      if (acceptedTimeline_.size() <= bucket) {
-        acceptedTimeline_.resize(bucket + 1, 0);
-      }
-      ++acceptedTimeline_[bucket];
-    }
-    if (isTail) {
-      ejectOwner_[out - ejectBase_] = kNoPacket;
-      ++packetsEjectedTotal_;
-      Packet& packet = packets_[pid];
-      packet.ejectTime = now_;
-      if (packet.genTime >= config_.warmupCycles) {
-        latencies_.push_back(static_cast<double>(now_ - packet.genTime + 1));
-        queueingDelays_.push_back(
-            static_cast<double>(packet.injectTime - packet.genTime));
-        if (measuring) ++packetsEjectedMeasured_;
-      }
-    }
-  } else {
-    --credit_[out];
-    arrivals_[(now_ + kPipelineCycles) % (kPipelineCycles + 1)].push_back(out);
-    if (measuring) ++channelFlits_[vcChannel(out)];
-  }
-
-  if (isTail) {
-    if (fromSource) {
-      Source& source = sources_[index];
-      source.queue.pop_front();
-      source.sent = 0;
-      source.out = kNoOut;
-    } else {
-      Vc& vc = vcs_[index];
-      assert(vc.buffered == 0 && "flits behind the tail");
-      vc.owner = kNoPacket;
-      vc.out = kNoOut;
-      vc.entered = 0;
-      vc.sent = 0;
-    }
+    enqueuePacket(node, dst);
   }
 }
 
@@ -408,27 +161,8 @@ RunStats WormholeNetwork::collectStats() const {
   stats.cycles = now_;
   stats.deadlocked = deadlocked_;
   stats.packetsGenerated = packetsGenerated_;
-  stats.packetsEjectedMeasured = packetsEjectedMeasured_;
-  stats.flitsEjectedMeasured = flitsEjectedMeasured_;
   stats.offeredLoad = injectionRate_;
-
-  if (!latencies_.empty()) {
-    stats.avgLatency = util::mean(latencies_);
-    stats.p50Latency = util::quantile(latencies_, 0.5);
-    stats.p99Latency = util::quantile(latencies_, 0.99);
-    stats.avgQueueingDelay = util::mean(queueingDelays_);
-    stats.avgNetworkLatency = stats.avgLatency - stats.avgQueueingDelay;
-  }
-  const double cycles = static_cast<double>(std::max<std::uint64_t>(1, measuredCycles_));
-  stats.acceptedFlitsPerNodePerCycle =
-      static_cast<double>(flitsEjectedMeasured_) /
-      (cycles * static_cast<double>(topo_->nodeCount()));
-  stats.channelUtilization.resize(channelFlits_.size());
-  for (std::size_t c = 0; c < channelFlits_.size(); ++c) {
-    stats.channelUtilization[c] =
-        static_cast<double>(channelFlits_[c]) / cycles;
-  }
-  stats.acceptedTimeline = acceptedTimeline_;
+  telemetry_.fill(stats, measuredCycles_, topo_->nodeCount());
   return stats;
 }
 

@@ -20,16 +20,39 @@
 // allocation until its tail flit leaves that VC's buffer; a blocked header
 // therefore stalls its whole chain of channels upstream, which is exactly
 // what makes channel-dependency cycles deadlock.
+//
+// The engine is layered into one translation unit per concern, all operating
+// on this class's state through narrow seams:
+//   network.cpp      — construction, the cycle loop, traffic generation, the
+//                      deadlock watchdog, stats assembly;
+//   allocation.cpp   — header routing and output-VC / ejection-port claims
+//                      (the RoutingTable span fast path, no scratch allocs);
+//   arbitration.cpp  — the two-level switch allocation of transferFlits;
+//   flow_control.cpp — pipeline arrivals, credits, flit movement;
+//   telemetry.*      — measurement bookkeeping behind the Telemetry class.
+//
+// Per-cycle cost scales with in-flight traffic, not network size: the
+// allocation and arbitration phases walk ActiveIdSets (pending headers,
+// routable sources, channels with movable flits, busy injection queues)
+// instead of scanning every VC, and the watchdog reads an owned-VC counter
+// maintained by the claim/release paths.  Active sets iterate in the exact
+// order the historical full scans visited their members (ascending ids,
+// rotated by the allocation round-robin offset), so arbitration winners,
+// RNG draw order and every statistic are bit-for-bit unchanged — see
+// tests/sim/golden_run_test.cpp.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "routing/routing_table.hpp"
+#include "sim/active_set.hpp"
 #include "sim/config.hpp"
+#include "sim/telemetry.hpp"
 #include "sim/traffic.hpp"
 #include "util/rng.hpp"
 
@@ -89,9 +112,10 @@ class WormholeNetwork {
   std::size_t sourceQueueLength(topo::NodeId node) const {
     return sources_[node].queue.size();
   }
-  /// Latency of the i-th measured packet (test introspection).
-  const std::vector<double>& measuredLatencies() const noexcept {
-    return latencies_;
+  /// Measured packet latencies in delivery order, while the streaming
+  /// summary still holds them exactly (test introspection).
+  std::span<const double> measuredLatencies() const noexcept {
+    return telemetry_.exactLatencies();
   }
 
   RunStats collectStats() const;
@@ -126,8 +150,15 @@ class WormholeNetwork {
   std::uint32_t vcChannel(std::uint32_t vc) const noexcept { return vc / vcCount_; }
   bool isEject(std::uint32_t out) const noexcept { return out >= ejectBase_; }
 
+  // --- flow_control.cpp ---
   void deliverArrivals();
+  void executeMove(bool fromSource, std::uint32_t index);
+
+  // --- network.cpp ---
   void generateTraffic();
+  void enqueuePacket(topo::NodeId src, topo::NodeId dst);
+
+  // --- allocation.cpp ---
   void allocateOutputs();
   void routeHeader(std::uint32_t vcId);
   void routeSource(topo::NodeId node);
@@ -143,8 +174,24 @@ class WormholeNetwork {
   /// Claims `vcId` for `pid`, recording the trace hop; returns vcId.
   std::uint32_t commitClaim(PacketId pid, std::uint32_t vcId);
   std::uint32_t claimEjectPort(PacketId pid, topo::NodeId node);
+
+  // --- arbitration.cpp ---
   void transferFlits();
-  void executeMove(bool fromSource, std::uint32_t index);
+
+  // --- active-set bookkeeping (inline: called on every state transition) ---
+  /// VC `vcId` gained a forwardable flit (out claimed with flits buffered,
+  /// or a flit arrived into a routed VC with an empty buffer).
+  void markMovable(std::uint32_t vcId) {
+    if (movableVcs_[vcChannel(vcId)]++ == 0) {
+      activeChannels_.insert(vcChannel(vcId));
+    }
+  }
+  /// VC `vcId` drained its buffer (nothing forwardable on it any more).
+  void unmarkMovable(std::uint32_t vcId) {
+    if (--movableVcs_[vcChannel(vcId)] == 0) {
+      activeChannels_.erase(vcChannel(vcId));
+    }
+  }
 
   const RoutingTable* table_;
   const topo::Topology* topo_;
@@ -175,8 +222,28 @@ class WormholeNetwork {
   std::vector<std::uint32_t> inputRoundRobin_;    // per physical channel
   std::vector<std::uint32_t> outputRoundRobin_;   // per output resource
 
+  // Active sets: per-cycle work scales with these, not with network size.
+  ActiveIdSet pendingHeaders_;   // VCs: owner set, out unset, flits buffered
+  ActiveIdSet routableSources_;  // nodes: queue non-empty, no output claimed
+  ActiveIdSet activeChannels_;   // channels with movableVcs_[c] > 0
+  ActiveIdSet busySources_;      // nodes with an output VC claimed
+  std::vector<std::uint32_t> movableVcs_;  // per channel: VCs with sendable flits
+  std::uint32_t ownedVcs_ = 0;             // VCs owned by a packet (watchdog)
+
+  // Blocked-claimant parking.  A failed claim is side-effect-free (no RNG
+  // draw, no state change) unless misrouting is enabled, and its candidate
+  // resources are exactly the output VCs and ejection ports of one node —
+  // so instead of re-attempting every cycle, blocked headers/sources leave
+  // their active set and wait per node until a resource of that node frees.
+  // Wakes are conservative (any free at the node re-attempts everything
+  // parked there), which is safe because failed re-attempts are no-ops.
+  bool parkingEnabled_ = false;  // off when misrouting draws RNG per attempt
+  ActiveIdSet dirtyNodes_;       // nodes with a resource freed this transfer
+  std::vector<std::vector<std::uint32_t>> parkedHeaders_;  // per node: vc ids
+  std::vector<std::uint8_t> parkedSource_;                 // per node flag
+
   // Scratch buffers reused every cycle.
-  std::vector<ChannelId> candidateChannels_;
+  std::vector<ChannelId> misrouteChannels_;
   std::vector<std::uint32_t> candidateVcs_;
   struct Move {
     bool fromSource;
@@ -196,13 +263,8 @@ class WormholeNetwork {
   // Statistics.
   std::uint64_t packetsGenerated_ = 0;
   std::uint64_t packetsEjectedTotal_ = 0;
-  std::uint64_t packetsEjectedMeasured_ = 0;
-  std::uint64_t flitsEjectedMeasured_ = 0;
   std::uint64_t measuredCycles_ = 0;
-  std::vector<std::uint64_t> channelFlits_;  // per physical channel
-  std::vector<double> latencies_;
-  std::vector<double> queueingDelays_;
-  std::vector<std::uint64_t> acceptedTimeline_;
+  Telemetry telemetry_;
 };
 
 }  // namespace downup::sim

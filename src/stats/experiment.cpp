@@ -33,6 +33,17 @@ const Cell* ExperimentResults::find(unsigned ports, tree::TreePolicy policy,
   return nullptr;
 }
 
+Cell* ExperimentResults::find(unsigned ports, tree::TreePolicy policy,
+                              core::Algorithm algorithm) noexcept {
+  for (Cell& cell : cells) {
+    if (cell.ports == ports && cell.policy == policy &&
+        cell.algorithm == algorithm) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
 namespace {
 
 std::uint64_t mixSeed(std::uint64_t base, std::uint64_t a, std::uint64_t b,
@@ -65,7 +76,8 @@ struct CellOutcome {
 /// algorithm.  Outcome layout: [policyIdx * algorithms + algoIdx].
 std::vector<CellOutcome> runSample(const ExperimentConfig& config,
                                    unsigned ports, unsigned sample,
-                                   const std::vector<double>& loads) {
+                                   const std::vector<double>& loads,
+                                   util::ThreadPool* pool) {
   std::vector<CellOutcome> outcomes(config.policies.size() *
                                     config.algorithms.size());
   util::Rng topoRng(mixSeed(config.baseSeed, ports, sample, 1));
@@ -92,7 +104,7 @@ std::vector<CellOutcome> runSample(const ExperimentConfig& config,
                   static_cast<std::uint64_t>(policy) * 16 +
                       static_cast<std::uint64_t>(algorithm));
       const std::vector<SweepPoint> sweep =
-          runSweep(routing.table(), traffic, loads, simConfig);
+          runSweep(routing.table(), traffic, loads, simConfig, {}, pool);
       if (sweep.empty()) continue;
 
       CellOutcome& outcome =
@@ -139,7 +151,7 @@ ExperimentResults runExperiment(const ExperimentConfig& config) {
   }
   const auto cellOf = [&results](unsigned ports, tree::TreePolicy policy,
                                  core::Algorithm algorithm) -> Cell& {
-    return const_cast<Cell&>(*results.find(ports, policy, algorithm));
+    return *results.find(ports, policy, algorithm);
   };
 
   std::unique_ptr<util::ThreadPool> pool;
@@ -179,18 +191,18 @@ ExperimentResults runExperiment(const ExperimentConfig& config) {
 
     // Simulate samples (in parallel when configured), then fold in sample
     // order so aggregation is identical at any thread count.
+    // Samples fan out across the pool; inside each sample the load points
+    // fan out again (runSweep's pool overload).  Both levels use the
+    // work-sharing parallelFor, so the nesting cannot deadlock.
     std::vector<std::vector<CellOutcome>> bySample(config.samples);
-    const auto task = [&config, &bySample, ports, &loads](std::size_t sample) {
-      bySample[sample] =
-          runSample(config, ports, static_cast<unsigned>(sample), loads);
+    util::ThreadPool* poolPtr = pool.get();
+    const auto task = [&config, &bySample, ports, &loads,
+                       poolPtr](std::size_t sample) {
+      bySample[sample] = runSample(config, ports,
+                                   static_cast<unsigned>(sample), loads,
+                                   poolPtr);
     };
-    if (pool) {
-      util::parallelFor(*pool, config.samples, task);
-    } else {
-      for (std::size_t sample = 0; sample < config.samples; ++sample) {
-        task(sample);
-      }
-    }
+    util::parallelFor(poolPtr, config.samples, task);
 
     for (unsigned sample = 0; sample < config.samples; ++sample) {
       for (std::size_t policyIdx = 0; policyIdx < config.policies.size();

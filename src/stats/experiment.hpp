@@ -45,9 +45,11 @@ struct ExperimentConfig {
   unsigned loadPoints = 8;
   std::uint64_t baseSeed = 2004;
   bool verbose = false;  // progress lines on stderr
-  /// Worker threads for the per-sample simulations (0 = hardware
-  /// concurrency, 1 = serial).  Results are bit-identical at any width:
-  /// samples are simulated independently and reduced in a fixed order.
+  /// Worker threads for the simulations (0 = hardware concurrency,
+  /// 1 = serial).  Samples fan out across the pool and each sample's load
+  /// points fan out within it (nested work-sharing).  Results are
+  /// bit-identical at any width: every simulation is an independent
+  /// fixed-seed run and aggregation folds in a fixed order.
   unsigned threads = 1;
 
   /// The paper's setup: 128 switches, 10 samples, longer windows.
@@ -88,6 +90,8 @@ struct ExperimentResults {
 
   const Cell* find(unsigned ports, tree::TreePolicy policy,
                    core::Algorithm algorithm) const noexcept;
+  Cell* find(unsigned ports, tree::TreePolicy policy,
+             core::Algorithm algorithm) noexcept;
 };
 
 ExperimentResults runExperiment(const ExperimentConfig& config);

@@ -2,7 +2,32 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace downup::stats {
+
+namespace {
+
+/// The serial sweep's early-stop rule, applied to already-simulated points:
+/// returns how many leading points the serial loop would have produced.
+std::size_t saturationCut(std::span<const SweepPoint> sweep,
+                          const SweepOptions& options) {
+  double bestAccepted = 0.0;
+  unsigned stagnant = 0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const double accepted = sweep[i].stats.acceptedFlitsPerNodePerCycle;
+    if (accepted > bestAccepted * options.improvementFactor) {
+      bestAccepted = accepted;
+      stagnant = 0;
+    } else if (++stagnant >= options.stagnantLimit) {
+      return i + 1;
+    }
+    bestAccepted = std::max(bestAccepted, accepted);
+  }
+  return sweep.size();
+}
+
+}  // namespace
 
 std::vector<double> loadGrid(double hi, unsigned points) {
   if (hi <= 0.0 || points == 0) {
@@ -39,6 +64,29 @@ std::vector<SweepPoint> runSweep(const routing::RoutingTable& table,
       }
       bestAccepted = std::max(bestAccepted, accepted);
     }
+  }
+  return sweep;
+}
+
+std::vector<SweepPoint> runSweep(const routing::RoutingTable& table,
+                                 const sim::TrafficPattern& pattern,
+                                 std::span<const double> loads,
+                                 const sim::SimConfig& config,
+                                 const SweepOptions& options,
+                                 util::ThreadPool* pool) {
+  if (pool == nullptr || pool->threadCount() <= 1 || loads.size() <= 1) {
+    return runSweep(table, pattern, loads, config, options);
+  }
+  // Every load point is an independent fixed-seed simulation, so the points
+  // can be computed in any order; only the early-stop decision is serial,
+  // and replaying it afterwards truncates to the exact serial prefix.
+  std::vector<SweepPoint> sweep(loads.size());
+  util::parallelFor(*pool, loads.size(), [&](std::size_t i) {
+    sweep[i].offeredLoad = loads[i];
+    sweep[i].stats = sim::simulate(table, pattern, loads[i], config);
+  });
+  if (options.stopAtSaturation) {
+    sweep.resize(saturationCut(sweep, options));
   }
   return sweep;
 }

@@ -6,6 +6,10 @@
 
 #include "sim/engine.hpp"
 
+namespace downup::util {
+class ThreadPool;
+}
+
 namespace downup::stats {
 
 struct SweepPoint {
@@ -30,6 +34,19 @@ std::vector<SweepPoint> runSweep(const routing::RoutingTable& table,
                                  std::span<const double> loads,
                                  const sim::SimConfig& config,
                                  const SweepOptions& options = {});
+
+/// Parallel variant: fans the load points out across `pool` (the calling
+/// thread participates, so this nests safely inside an outer parallelFor),
+/// then applies the serial early-stop scan post hoc, so the returned prefix
+/// is identical to the serial overload at any thread count.  The tradeoff:
+/// points past the saturation cut are simulated and discarded.  A null or
+/// single-thread pool falls back to the serial path, which skips them.
+std::vector<SweepPoint> runSweep(const routing::RoutingTable& table,
+                                 const sim::TrafficPattern& pattern,
+                                 std::span<const double> loads,
+                                 const sim::SimConfig& config,
+                                 const SweepOptions& options,
+                                 util::ThreadPool* pool);
 
 struct Saturation {
   double saturationLoad = 0.0;   // offered load of the peak point

@@ -48,6 +48,68 @@ double quantile(std::span<const double> xs, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+QuantileSketch::QuantileSketch(std::size_t exactCap, std::size_t bins)
+    : exactCap_(std::max<std::size_t>(1, exactCap)),
+      binCount_(std::max<std::size_t>(2, bins)) {}
+
+void QuantileSketch::add(double x) {
+  sum_ += x;
+  ++count_;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  if (collapsed_.empty()) {
+    values_.push_back(x);
+    if (values_.size() >= exactCap_) collapse();
+    return;
+  }
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(collapsed_.size()) - 1);
+  ++collapsed_[static_cast<std::size_t>(idx)];
+}
+
+void QuantileSketch::collapse() {
+  // Span the observed range with headroom above: latency-style streams only
+  // grow their upper tail after warm-up, so values below lo_ are rare and
+  // clamp into the first bin.
+  lo_ = min_;
+  const double range = std::max(max_ - min_, 1.0);
+  width_ = 1.5 * range / static_cast<double>(binCount_);
+  collapsed_.assign(binCount_, 0);
+  for (double x : values_) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(collapsed_.size()) - 1);
+    ++collapsed_[static_cast<std::size_t>(idx)];
+  }
+  values_.clear();
+  values_.shrink_to_fit();
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (collapsed_.empty()) return util::quantile(values_, q);
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(count_ - 1);
+  // Find the bin containing rank floor(pos) and interpolate inside it,
+  // assuming values spread evenly across the bin.
+  std::uint64_t seen = 0;
+  const auto rank = static_cast<std::uint64_t>(pos);
+  for (std::size_t b = 0; b < collapsed_.size(); ++b) {
+    const std::uint64_t inBin = collapsed_[b];
+    if (inBin == 0) continue;
+    if (seen + inBin > rank) {
+      const double within =
+          (static_cast<double>(rank - seen) + (pos - static_cast<double>(rank))) /
+          static_cast<double>(inBin);
+      const double value = lo_ + width_ * (static_cast<double>(b) + within);
+      return std::clamp(value, min_, max_);
+    }
+    seen += inBin;
+  }
+  return max_;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
   assert(bins > 0 && hi > lo);

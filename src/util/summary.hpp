@@ -60,6 +60,52 @@ double populationStddev(std::span<const double> xs) noexcept;
 /// q-quantile (0 <= q <= 1) by linear interpolation on a sorted copy.
 double quantile(std::span<const double> xs, double q);
 
+/// Bounded-memory streaming summary of a value stream: exact mean (running
+/// sum in insertion order, so it reproduces mean() over the same values
+/// bit-for-bit) plus quantiles.  Quantiles are *exact* — identical to
+/// quantile() on the full sample — until `exactCap` values have been added;
+/// beyond that the buffer collapses into a fixed-width histogram spanning
+/// the observed range and quantiles are interpolated within bins (error
+/// bounded by the bin width; the tracked min/max clamp the extremes).  This
+/// keeps per-run memory O(exactCap + bins) regardless of how many packets a
+/// measurement window delivers.
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(std::size_t exactCap = 1 << 16,
+                          std::size_t bins = 4096);
+
+  void add(double x);
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// q-quantile (0 <= q <= 1); 0 for an empty sketch.
+  double quantile(double q) const;
+
+  /// True while every added value is still held exactly.
+  bool exact() const noexcept { return collapsed_.empty(); }
+  /// The raw values (insertion order) while exact(); empty afterwards.
+  std::span<const double> exactValues() const noexcept { return values_; }
+
+ private:
+  void collapse();
+
+  std::size_t exactCap_;
+  std::size_t binCount_;
+  std::vector<double> values_;      // exact phase (insertion order)
+  std::vector<std::uint64_t> collapsed_;  // histogram phase (empty = exact)
+  double lo_ = 0.0;
+  double width_ = 1.0;
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
 /// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
 class Histogram {
  public:

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace downup::util {
 
@@ -55,12 +57,65 @@ void ThreadPool::workerLoop() {
   }
 }
 
+namespace {
+
+/// Shared state of one parallelFor call.  Pool workers and the calling
+/// thread all pull indexes from `next`; whoever finishes the last item
+/// signals `done`.  The caller drains indexes itself, so even with every
+/// pool worker busy (or recursively waiting on groups of their own) the
+/// group always completes — that is what makes nesting deadlock-free.
+struct WorkGroup {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> finished{0};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::mutex mutex;
+  std::condition_variable done;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      (*fn)(i);
+      if (finished.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard lock(mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void parallelFor(ThreadPool& pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+  if (n == 0) return;
+  if (n == 1 || pool.threadCount() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  pool.wait();
+  auto group = std::make_shared<WorkGroup>();
+  group->n = n;
+  group->fn = &fn;
+  // n - 1 helpers at most: the caller is the n-th executor.
+  const std::size_t helpers = std::min(pool.threadCount(), n - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool.submit([group] { group->drain(); });
+  }
+  group->drain();
+  std::unique_lock lock(group->mutex);
+  group->done.wait(lock, [&group] {
+    return group->finished.load(std::memory_order_acquire) == group->n;
+  });
+}
+
+void parallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->threadCount() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  parallelFor(*pool, n, fn);
 }
 
 }  // namespace downup::util

@@ -1,7 +1,13 @@
 // A small fixed-size thread pool used to parallelise embarrassingly-parallel
-// experiment sweeps (independent simulation runs).  The simulator itself is
+// experiment work (independent simulation runs).  The simulator itself is
 // single-threaded and deterministic; parallelism lives only at the
 // run-per-task granularity, so results are identical at any pool width.
+//
+// Two layers of fan-out are supported: parallelFor() uses a work-sharing
+// group in which the *calling* thread also executes items, so it is safe to
+// call from inside a pool task (nested fan-out — e.g. samples across the
+// pool, load points within each sample).  A nested caller always drains its
+// own group, so no cyclic wait between pool workers can form.
 #pragma once
 
 #include <condition_variable>
@@ -28,7 +34,9 @@ class ThreadPool {
   /// Enqueues a task; tasks must not throw (std::terminate otherwise).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished.  Do NOT call from
+  /// inside a pool task (a worker waiting on the pool it runs in deadlocks);
+  /// nested code should use parallelFor instead.
   void wait();
 
  private:
@@ -44,7 +52,16 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// The calling thread participates, so this may be invoked from inside a
+/// pool task (nested parallelism) without risk of deadlock.  Item execution
+/// order is unspecified; callers needing determinism must fold indexed
+/// results in a fixed order.
 void parallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+/// Like the reference overload, but `pool == nullptr` (or a single-thread
+/// pool) runs serially on the calling thread.
+void parallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& fn);
 
 }  // namespace downup::util

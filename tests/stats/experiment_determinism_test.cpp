@@ -1,0 +1,63 @@
+// runExperiment must produce identical results at any thread count: every
+// simulation is an independent fixed-seed run, samples and load points fan
+// out across the work-sharing pool, and aggregation folds in a fixed order.
+// This compares a serial run against a 4-thread run field by field.
+#include <gtest/gtest.h>
+
+#include "stats/experiment.hpp"
+
+namespace downup::stats {
+namespace {
+
+ExperimentConfig smallConfig(unsigned threads) {
+  ExperimentConfig config;
+  config.portConfigs = {4};
+  config.switches = 16;
+  config.samples = 3;
+  config.sim.warmupCycles = 300;
+  config.sim.measureCycles = 1500;
+  config.loadPoints = 5;
+  config.threads = threads;
+  return config;
+}
+
+void expectSameStat(const util::RunningStat& a, const util::RunningStat& b) {
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+  if (a.count() > 0) {
+    EXPECT_DOUBLE_EQ(a.min(), b.min());
+    EXPECT_DOUBLE_EQ(a.max(), b.max());
+  }
+}
+
+TEST(ExperimentDeterminismTest, SerialAndParallelRunsAreIdentical) {
+  const ExperimentResults serial = runExperiment(smallConfig(1));
+  const ExperimentResults parallel = runExperiment(smallConfig(4));
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const Cell& a = serial.cells[i];
+    const Cell& b = parallel.cells[i];
+    ASSERT_EQ(a.ports, b.ports);
+    ASSERT_EQ(a.policy, b.policy);
+    ASSERT_EQ(a.algorithm, b.algorithm);
+
+    expectSameStat(a.nodeUtilization, b.nodeUtilization);
+    expectSameStat(a.trafficLoad, b.trafficLoad);
+    expectSameStat(a.hotspotPercent, b.hotspotPercent);
+    expectSameStat(a.leafUtilization, b.leafUtilization);
+    expectSameStat(a.maxAccepted, b.maxAccepted);
+    expectSameStat(a.zeroLoadLatency, b.zeroLoadLatency);
+    expectSameStat(a.avgPathLength, b.avgPathLength);
+
+    ASSERT_EQ(a.curve.size(), b.curve.size());
+    for (std::size_t p = 0; p < a.curve.size(); ++p) {
+      EXPECT_DOUBLE_EQ(a.curve[p].offeredLoad, b.curve[p].offeredLoad);
+      expectSameStat(a.curve[p].accepted, b.curve[p].accepted);
+      expectSameStat(a.curve[p].latency, b.curve[p].latency);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace downup::stats

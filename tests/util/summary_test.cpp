@@ -102,6 +102,66 @@ TEST(Quantile, UnsortedInputAndClamping) {
   EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
 }
 
+TEST(QuantileSketch, EmptyIsZero) {
+  QuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_TRUE(sketch.exact());
+}
+
+TEST(QuantileSketch, ExactPhaseMatchesSpanHelpers) {
+  QuantileSketch sketch;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = (i * 7919) % 997 * 0.25;
+    sketch.add(x);
+    xs.push_back(x);
+  }
+  ASSERT_TRUE(sketch.exact());
+  EXPECT_EQ(sketch.count(), xs.size());
+  // Exact phase is bit-for-bit: the mean is a running sum in insertion
+  // order and quantiles delegate to util::quantile on the full sample.
+  EXPECT_DOUBLE_EQ(sketch.mean(), mean(xs));
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.99), quantile(xs, 0.99));
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  ASSERT_EQ(sketch.exactValues().size(), xs.size());
+  EXPECT_DOUBLE_EQ(sketch.exactValues()[17], xs[17]);
+}
+
+TEST(QuantileSketch, CollapsedPhaseStaysClose) {
+  QuantileSketch sketch(/*exactCap=*/256, /*bins=*/512);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = static_cast<double>((i * 131) % 1000);
+    sketch.add(x);
+    xs.push_back(x);
+  }
+  EXPECT_FALSE(sketch.exact());
+  EXPECT_TRUE(sketch.exactValues().empty());
+  EXPECT_EQ(sketch.count(), xs.size());
+  // The mean stays exact through the collapse; quantiles are interpolated
+  // within fixed-width bins, so the error is bounded by the bin width.
+  EXPECT_DOUBLE_EQ(sketch.mean(), mean(xs));
+  const double binWidth = 1.5 * 1000.0 / 512.0;
+  EXPECT_NEAR(sketch.quantile(0.5), quantile(xs, 0.5), binWidth);
+  EXPECT_NEAR(sketch.quantile(0.99), quantile(xs, 0.99), binWidth);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 999.0);
+  // Extreme quantiles clamp to the tracked min/max, never off the range.
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 999.0);
+}
+
+TEST(QuantileSketch, ConstantStreamCollapses) {
+  QuantileSketch sketch(/*exactCap=*/8, /*bins=*/16);
+  for (int i = 0; i < 100; ++i) sketch.add(42.0);
+  EXPECT_FALSE(sketch.exact());
+  EXPECT_DOUBLE_EQ(sketch.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 42.0);
+}
+
 TEST(Histogram, BinsAndClamps) {
   Histogram histogram(0.0, 10.0, 5);
   histogram.add(0.5);    // bin 0

@@ -54,5 +54,29 @@ TEST(ParallelFor, EmptyRange) {
   SUCCEED();
 }
 
+TEST(ParallelFor, NestedFanOutCompletesWithoutDeadlock) {
+  // Outer items fan out across the pool; each outer item fans out again
+  // from inside a pool task.  The work-sharing group has the calling thread
+  // drain its own items, so this must complete at any pool width.
+  ThreadPool pool(2);
+  static constexpr std::size_t kOuter = 8;
+  static constexpr std::size_t kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallelFor(pool, kOuter, [&](std::size_t outer) {
+    parallelFor(pool, kInner, [&hits, outer](std::size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsSerially) {
+  std::vector<int> order;
+  parallelFor(nullptr, 5, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // single-threaded: no race
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
 }  // namespace
 }  // namespace downup::util
