@@ -14,10 +14,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
 #include <string>
 
 #include "core/downup_routing.hpp"
+#include "obs/export.hpp"
 #include "routing/cdg.hpp"
 #include "routing/path_analysis.hpp"
 #include "routing/verify.hpp"
@@ -192,28 +192,6 @@ double scenarioCyclesPerSec(const routing::Routing& routing,
   return kScenarioTimedSteps / std::chrono::duration<double>(t1 - t0).count();
 }
 
-std::string gitRevision() {
-  std::string rev;
-  if (std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
-    char buffer[64];
-    if (std::fgets(buffer, sizeof buffer, pipe) != nullptr) rev = buffer;
-    pclose(pipe);
-  }
-  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
-    rev.pop_back();
-  }
-  return rev.empty() ? "unknown" : rev;
-}
-
-std::string utcTimestamp() {
-  const std::time_t now = std::time(nullptr);
-  std::tm tm{};
-  gmtime_r(&now, &tm);
-  char buffer[32];
-  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &tm);
-  return buffer;
-}
-
 void writeScenarioJson(const char* path) {
   const topo::Topology topo = makeTopology(128, 4);
   util::Rng rng(3);
@@ -229,8 +207,9 @@ void writeScenarioJson(const char* path) {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"bench_micro.scenarios\",\n");
-  std::fprintf(out, "  \"gitRev\": \"%s\",\n", gitRevision().c_str());
-  std::fprintf(out, "  \"timestampUtc\": \"%s\",\n", utcTimestamp().c_str());
+  std::fprintf(out, "  \"gitRev\": \"%s\",\n", obs::gitRevision().c_str());
+  std::fprintf(out, "  \"timestampUtc\": \"%s\",\n",
+               obs::utcTimestamp().c_str());
   std::fprintf(out,
                "  \"methodology\": {\"switches\": 128, \"maxPorts\": 4, "
                "\"packetLengthFlits\": 128, \"warmSteps\": %d, "

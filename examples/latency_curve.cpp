@@ -3,12 +3,20 @@
 // a single-sample version of the paper's Figure 8 that finishes in seconds.
 //
 //   ./latency_curve --switches 32 --ports 4 --traffic uniform
+//
+// --metrics-out reruns the heaviest sweep point with the observability
+// layer attached and writes both algorithms' metrics JSONL (<path>.lturn /
+// <path>.downup) — the quick way to get per-tree-level blocked-cycle
+// histograms for a topology of your own.
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <sstream>
 
 #include "core/downup_routing.hpp"
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
 #include "sim/engine.hpp"
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
@@ -25,6 +33,10 @@ int main(int argc, char** argv) {
   auto points = cli.option<int>("points", 8, "sweep points");
   auto trafficName = cli.option<std::string>(
       "traffic", "uniform", "traffic pattern: uniform | hotspot | permutation");
+  auto metricsOut = cli.option<std::string>(
+      "metrics-out", "",
+      "rerun the heaviest load with metrics and write JSONL here "
+      "(suffixed .lturn / .downup)");
   cli.parse(argc, argv);
 
   util::Rng rng(*seed);
@@ -91,5 +103,24 @@ int main(int argc, char** argv) {
             << stats::findSaturation(lturnSweep).maxAccepted << ", downup "
             << stats::findSaturation(downupSweep).maxAccepted
             << " flits/clock/node\n";
+
+  if (!metricsOut->empty()) {
+    for (const auto& [name, r] :
+         {std::pair<const char*, const routing::Routing*>{"lturn", &lturn},
+          std::pair<const char*, const routing::Routing*>{"downup",
+                                                          &downup}}) {
+      obs::Observer observer({.metrics = true}, topo, &ct);
+      sim::SimConfig obsConfig = config;
+      obsConfig.observer = &observer;
+      sim::WormholeNetwork net(r->table(), *pattern, loads.back(), obsConfig);
+      net.run();
+      const std::string path = *metricsOut + "." + name;
+      std::ofstream out(path);
+      obs::writeMetricsJsonl(*observer.metrics(), &topo,
+                             obsConfig.measureCycles, out);
+      std::cout << "wrote metrics JSONL (" << name << " at load "
+                << loads.back() << "): " << path << "\n";
+    }
+  }
   return 0;
 }

@@ -1,15 +1,68 @@
 // Path tracing: run a short simulation with tracing enabled, print a few
-// packets' actual channel walks with per-hop directions, and dump one
-// switch's firmware-style turn-permission table.
+// packets' actual channel walks with per-hop directions, dump one switch's
+// firmware-style turn-permission table, and compare one packet pair's
+// per-hop turns under DOWN/UP vs L-turn routing.
 //
-//   ./trace_paths --switches 16 --ports 4 --packets 6
+// With the observability flags the same run also produces machine-readable
+// artifacts: --trace-out writes a Chrome trace_event JSON (open it in
+// https://ui.perfetto.dev or chrome://tracing), --trace-jsonl the raw event
+// log, --metrics-out the turn/level/blocked-cycle metrics JSONL.
+//
+//   ./trace_paths --switches 16 --ports 4 --packets 6 --trace-out trace.json
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/downup_routing.hpp"
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
 #include "routing/serialize.hpp"
 #include "sim/network.hpp"
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+using namespace downup;
+
+std::string_view dirName(std::uint8_t dir) {
+  if (dir >= routing::kDirCount) return "INJECT";
+  return routing::toString(static_cast<routing::Dir>(dir));
+}
+
+// Injects src -> dst into a fresh single-packet deterministic run and
+// prints the turn taken at every hop, from the packet tracer's events.
+void traceOnePacket(const routing::Routing& routing, topo::NodeId src,
+                    topo::NodeId dst) {
+  const topo::Topology& topo = routing.table().topology();
+  obs::Observer observer({.traceSampleEvery = 1}, topo);
+  sim::SimConfig config;
+  config.packetLengthFlits = 4;
+  config.warmupCycles = 0;
+  config.measureCycles = 1u << 20;  // stepped manually
+  config.adaptiveSelection = false;  // fixed route: the table's first choice
+  config.observer = &observer;
+  const sim::UniformTraffic traffic(topo.nodeCount());
+  sim::WormholeNetwork net(routing.table(), traffic, 0.0, config);
+  const sim::PacketId pid = net.injectPacket(src, dst);
+  for (int i = 0; i < 100000 && net.packetsEjected() < 1; ++i) net.step();
+
+  for (const auto& event : observer.tracer()->packetEvents(pid)) {
+    if (event.kind != obs::TraceEventKind::kVcAllocated) continue;
+    std::cout << "    cycle " << event.cycle << "  node " << event.node;
+    if (event.channel == obs::PacketTracer::kNoChannel) {
+      std::cout << "  T(" << dirName(event.fromDir) << " -> EJECT)\n";
+    } else {
+      std::cout << "  T(" << dirName(event.fromDir) << " -> "
+                << dirName(event.toDir) << ")  channel to "
+                << topo.channelDst(event.channel) << "\n";
+    }
+  }
+  std::cout << "    ejected at cycle " << net.packetEjectTime(pid) << " ("
+            << routing.table().distance(src, dst) << " legal-minimum hops)\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace downup;
@@ -19,6 +72,12 @@ int main(int argc, char** argv) {
   auto ports = cli.option<int>("ports", 4, "ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 5, "seed");
   auto packets = cli.option<int>("packets", 6, "packets to print");
+  auto traceOut = cli.option<std::string>(
+      "trace-out", "", "write a Chrome trace_event JSON (Perfetto) here");
+  auto traceJsonl =
+      cli.option<std::string>("trace-jsonl", "", "write the trace JSONL here");
+  auto metricsOut = cli.option<std::string>(
+      "metrics-out", "", "write the metrics JSONL here");
   cli.parse(argc, argv);
 
   util::Rng rng(*seed);
@@ -30,12 +89,16 @@ int main(int argc, char** argv) {
       topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
   const routing::Routing routing = core::buildDownUp(topo, ct);
 
+  // Every 4th packet is traced: enough to cover the printed walks without
+  // buffering the whole run.
+  obs::Observer observer({.metrics = true, .traceSampleEvery = 4}, topo, &ct);
   sim::SimConfig config;
   config.packetLengthFlits = 16;
   config.warmupCycles = 0;
   config.measureCycles = 100000;
   config.tracePackets = true;
   config.seed = *seed + 2;
+  config.observer = &observer;
   const sim::UniformTraffic traffic(topo.nodeCount());
   sim::WormholeNetwork net(routing.table(), traffic, 0.1, config);
   const auto wanted = static_cast<std::uint64_t>(*packets);
@@ -71,5 +134,53 @@ int main(int argc, char** argv) {
   }
   std::cout << "\nSwitch turn-permission table (busiest switch):\n\n";
   routing::exportSwitchConfig(routing, busiest, std::cout);
+
+  // One packet pair, DOWN/UP vs L-turn: same endpoints, per-hop turns side
+  // by side — the concrete view of how the two turn models steer traffic
+  // differently around the root.
+  topo::NodeId pairSrc = 0;
+  topo::NodeId pairDst = 1;
+  std::uint32_t best = 0;
+  for (topo::NodeId a = 0; a < topo.nodeCount(); ++a) {
+    for (topo::NodeId b = 0; b < topo.nodeCount(); ++b) {
+      const std::uint32_t d = routing.table().distance(a, b);
+      if (a != b && d != routing::kNoPath && d > best) {
+        best = d;
+        pairSrc = a;
+        pairDst = b;
+      }
+    }
+  }
+  const routing::Routing lturn =
+      core::buildRouting(core::Algorithm::kLTurn, topo, ct);
+  std::cout << "\nPacket pair " << pairSrc << " <-> " << pairDst
+            << ", per-hop turns:\n";
+  for (const auto& [name, r] :
+       {std::pair<const char*, const routing::Routing*>{"downup", &routing},
+        std::pair<const char*, const routing::Routing*>{"lturn", &lturn}}) {
+    std::cout << "\n  [" << name << "] " << pairSrc << " -> " << pairDst
+              << ":\n";
+    traceOnePacket(*r, pairSrc, pairDst);
+    std::cout << "  [" << name << "] " << pairDst << " -> " << pairSrc
+              << ":\n";
+    traceOnePacket(*r, pairDst, pairSrc);
+  }
+
+  if (!traceOut->empty()) {
+    std::ofstream out(*traceOut);
+    obs::writeChromeTrace(*observer.tracer(), &topo, out);
+    std::cout << "\nwrote Chrome trace (open in Perfetto): " << *traceOut
+              << "\n";
+  }
+  if (!traceJsonl->empty()) {
+    std::ofstream out(*traceJsonl);
+    obs::writeTraceJsonl(*observer.tracer(), &topo, out);
+    std::cout << "wrote trace JSONL: " << *traceJsonl << "\n";
+  }
+  if (!metricsOut->empty()) {
+    std::ofstream out(*metricsOut);
+    obs::writeMetricsJsonl(*observer.metrics(), &topo, net.now(), out);
+    std::cout << "wrote metrics JSONL: " << *metricsOut << "\n";
+  }
   return 0;
 }

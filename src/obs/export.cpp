@@ -1,0 +1,229 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+#include <string_view>
+
+namespace downup::obs {
+
+namespace {
+
+std::string_view rowName(std::uint32_t row) {
+  if (row >= routing::kDirCount) return "INJECT";
+  return routing::toString(static_cast<routing::Dir>(row));
+}
+
+std::string turnName(std::uint32_t fromRow, std::uint32_t toDir) {
+  std::string name(rowName(fromRow));
+  name += "->";
+  name += rowName(toDir);
+  return name;
+}
+
+}  // namespace
+
+std::string gitRevision() {
+  std::string rev;
+  if (std::FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buffer[64];
+    if (std::fgets(buffer, sizeof buffer, pipe) != nullptr) rev = buffer;
+    pclose(pipe);
+  }
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+std::string utcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buffer[32];
+  std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buffer;
+}
+
+void writeMetricsJsonl(const MetricsRegistry& metrics,
+                       const topo::Topology* topo,
+                       std::uint64_t measuredCycles, std::ostream& out) {
+  out << "{\"record\":\"meta\",\"schema\":\"obs_metrics/1\",\"gitRev\":\""
+      << gitRevision() << "\",\"timestampUtc\":\"" << utcTimestamp()
+      << "\",\"nodes\":" << metrics.nodeCount()
+      << ",\"channels\":" << metrics.channelCount()
+      << ",\"levels\":" << metrics.levelCount()
+      << ",\"measuredCycles\":" << measuredCycles << "}\n";
+  const auto levelFlits = metrics.levelFlits();
+  const auto levelBlocked = metrics.levelBlockedCycles();
+  const auto population = metrics.levelPopulation();
+  for (std::uint32_t l = 0; l < metrics.levelCount(); ++l) {
+    out << "{\"record\":\"level\",\"level\":" << l
+        << ",\"nodes\":" << population[l] << ",\"flits\":" << levelFlits[l]
+        << ",\"blockedCycles\":" << levelBlocked[l] << "}\n";
+  }
+  for (std::uint32_t from = 0; from < MetricsRegistry::kTurnRows; ++from) {
+    for (std::uint32_t to = 0; to < routing::kDirCount; ++to) {
+      const std::uint64_t taken = metrics.turnTaken(from, to);
+      const std::uint64_t blocked = metrics.turnBlockedCycles(from, to);
+      if (taken == 0 && blocked == 0) continue;
+      out << "{\"record\":\"turn\",\"from\":\"" << rowName(from)
+          << "\",\"to\":\"" << rowName(to) << "\",\"taken\":" << taken
+          << ",\"blockedCycles\":" << blocked << "}\n";
+    }
+  }
+  for (std::uint32_t v = 0; v < metrics.nodeCount(); ++v) {
+    const std::uint64_t blocked = metrics.nodeBlockedCycles(v);
+    if (blocked == 0) continue;
+    out << "{\"record\":\"node\",\"node\":" << v
+        << ",\"level\":" << metrics.nodeLevel(v)
+        << ",\"blockedCycles\":" << blocked << "}\n";
+  }
+  const auto channelFlits = metrics.channelFlits();
+  for (std::uint32_t c = 0; c < metrics.channelCount(); ++c) {
+    if (channelFlits[c] == 0) continue;
+    out << "{\"record\":\"channel\",\"channel\":" << c;
+    if (topo != nullptr) {
+      out << ",\"src\":" << topo->channelSrc(c)
+          << ",\"dst\":" << topo->channelDst(c);
+    }
+    out << ",\"flits\":" << channelFlits[c] << "}\n";
+  }
+}
+
+namespace {
+
+void writeEventJsonl(const PacketTracer::Event& event,
+                     const topo::Topology* topo, std::ostream& out) {
+  out << "{\"record\":\"event\",\"packet\":" << event.packet
+      << ",\"cycle\":" << event.cycle << ",\"kind\":\""
+      << toString(event.kind) << "\",\"node\":" << event.node;
+  if (event.channel != PacketTracer::kNoChannel) {
+    out << ",\"channel\":" << event.channel;
+    if (topo != nullptr) out << ",\"to\":" << topo->channelDst(event.channel);
+  }
+  if (event.toDir != PacketTracer::kNoDir) {
+    out << ",\"turn\":\"" << turnName(event.fromDir, event.toDir) << "\"";
+  }
+  if (event.kind == TraceEventKind::kBlocked) {
+    out << ",\"waited\":" << event.value;
+  }
+  out << "}\n";
+}
+
+}  // namespace
+
+void writeTraceJsonl(const PacketTracer& tracer, const topo::Topology* topo,
+                     std::ostream& out) {
+  out << "{\"record\":\"meta\",\"schema\":\"obs_trace/1\",\"gitRev\":\""
+      << gitRevision() << "\",\"timestampUtc\":\"" << utcTimestamp()
+      << "\",\"sampleEvery\":" << tracer.sampleEvery() << "}\n";
+  for (const PacketTracer::PacketInfo& packet : tracer.packets()) {
+    out << "{\"record\":\"packet\",\"packet\":" << packet.packet
+        << ",\"src\":" << packet.src << ",\"dst\":" << packet.dst
+        << ",\"genCycle\":" << packet.genCycle << "}\n";
+  }
+  for (const PacketTracer::Event& event : tracer.events()) {
+    writeEventJsonl(event, topo, out);
+  }
+}
+
+namespace {
+
+/// Emits one trace_event object, handling the leading comma.
+class ChromeEvents {
+ public:
+  explicit ChromeEvents(std::ostream& out) : out_(out) {}
+
+  std::ostream& next() {
+    out_ << (first_ ? "\n  " : ",\n  ");
+    first_ = false;
+    return out_;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void writeChromeTrace(const PacketTracer& tracer, const topo::Topology* topo,
+                      std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  ChromeEvents events(out);
+  for (const PacketTracer::PacketInfo& packet : tracer.packets()) {
+    events.next() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+                  << packet.packet << ",\"tid\":0,\"args\":{\"name\":\"packet "
+                  << packet.packet << "  n" << packet.src << " -> n"
+                  << packet.dst << "\"}}";
+    events.next() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+                  << packet.packet
+                  << ",\"tid\":0,\"args\":{\"name\":\"hops\"}}";
+    events.next() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+                  << packet.packet
+                  << ",\"tid\":1,\"args\":{\"name\":\"stalls\"}}";
+
+    const std::vector<PacketTracer::Event> lifecycle =
+        tracer.packetEvents(packet.packet);
+    for (std::size_t i = 0; i < lifecycle.size(); ++i) {
+      const PacketTracer::Event& event = lifecycle[i];
+      switch (event.kind) {
+        case TraceEventKind::kVcAllocated: {
+          // The hop span runs from this claim to the next claim (or the
+          // ejection); consecutive hops tile the packet's timeline.
+          std::uint64_t end = event.cycle + 1;
+          for (std::size_t j = i + 1; j < lifecycle.size(); ++j) {
+            if (lifecycle[j].kind == TraceEventKind::kVcAllocated ||
+                lifecycle[j].kind == TraceEventKind::kEjected) {
+              end = lifecycle[j].cycle;
+              break;
+            }
+          }
+          std::ostream& o = events.next();
+          o << "{\"name\":\"";
+          if (event.channel == PacketTracer::kNoChannel) {
+            o << "eject @n" << event.node;
+          } else {
+            o << "n" << event.node << " -> n"
+              << (topo != nullptr ? topo->channelDst(event.channel)
+                                  : event.channel);
+            if (event.toDir != PacketTracer::kNoDir) {
+              o << " [" << turnName(event.fromDir, event.toDir) << "]";
+            }
+          }
+          o << "\",\"ph\":\"X\",\"pid\":" << event.packet
+            << ",\"tid\":0,\"ts\":" << event.cycle << ",\"dur\":"
+            << (end > event.cycle ? end - event.cycle : 1)
+            << ",\"args\":{\"node\":" << event.node;
+          if (event.channel != PacketTracer::kNoChannel) {
+            o << ",\"channel\":" << event.channel;
+          }
+          o << "}}";
+          break;
+        }
+        case TraceEventKind::kBlocked:
+          events.next() << "{\"name\":\"blocked\",\"ph\":\"X\",\"pid\":"
+                        << event.packet << ",\"tid\":1,\"ts\":"
+                        << event.cycle - event.value << ",\"dur\":"
+                        << event.value << ",\"args\":{\"node\":" << event.node
+                        << ",\"waited\":" << event.value << "}}";
+          break;
+        case TraceEventKind::kGenerated:
+        case TraceEventKind::kInjected:
+        case TraceEventKind::kEjected:
+          events.next() << "{\"name\":\"" << toString(event.kind)
+                        << "\",\"ph\":\"i\",\"s\":\"p\",\"pid\":"
+                        << event.packet << ",\"tid\":0,\"ts\":" << event.cycle
+                        << ",\"args\":{\"node\":" << event.node << "}}";
+          break;
+        case TraceEventKind::kChannelCrossed:
+          // Covered by the hop span; skip to keep the timeline readable.
+          break;
+      }
+    }
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace downup::obs

@@ -1,0 +1,48 @@
+// Exporters for the observability subsystem, plus the run-provenance
+// helpers (git revision, UTC timestamp) every machine-readable artifact of
+// this repo stamps into its output.
+//
+// Formats (schemas documented in results/README.md):
+//   * metrics JSONL  — one self-describing record per line: a `meta` header
+//     (schema, gitRev, timestampUtc, dimensions) followed by `level`,
+//     `turn`, `node` and `channel` records (zero-valued rows are omitted);
+//   * trace JSONL    — a `meta` header, one `packet` record per sampled
+//     packet, one `event` record per lifecycle event;
+//   * Chrome trace_event JSON — loadable in chrome://tracing / Perfetto:
+//     each sampled packet is a process, tid 0 carries the per-hop spans
+//     (one "X" complete event per hop, named after the channel crossed and
+//     the turn taken), tid 1 the blocked spans, and inject/eject appear as
+//     instant events.  Timestamps are cycles interpreted as microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "topology/topology.hpp"
+
+namespace downup::obs {
+
+/// Short git revision of the working tree, or "unknown".
+std::string gitRevision();
+
+/// ISO-8601 UTC timestamp of "now".
+std::string utcTimestamp();
+
+/// Metrics registry as JSONL.  `topo` (optional) adds channel endpoints to
+/// the per-channel records.  `measuredCycles` (0 = unknown) is recorded in
+/// the meta line so utilization can be derived from the raw flit counts.
+void writeMetricsJsonl(const MetricsRegistry& metrics,
+                       const topo::Topology* topo,
+                       std::uint64_t measuredCycles, std::ostream& out);
+
+/// Tracer buffers as JSONL.
+void writeTraceJsonl(const PacketTracer& tracer, const topo::Topology* topo,
+                     std::ostream& out);
+
+/// Tracer buffers as Chrome trace_event JSON (Perfetto-loadable).
+void writeChromeTrace(const PacketTracer& tracer, const topo::Topology* topo,
+                      std::ostream& out);
+
+}  // namespace downup::obs

@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace downup::obs {
+
+MetricsRegistry::MetricsRegistry(std::uint32_t nodeCount,
+                                 std::uint32_t channelCount)
+    : nodeCount_(nodeCount),
+      nodeLevel_(nodeCount, 0),
+      channelLevel_(channelCount, 0),
+      levelPopulation_(1, nodeCount),
+      turnTaken_(kTurnCells, 0),
+      blockedNodeTurn_(static_cast<std::size_t>(nodeCount) * kTurnCells, 0),
+      channelFlits_(channelCount, 0),
+      levelFlits_(1, 0),
+      levelBlockedCycles_(1, 0) {}
+
+void MetricsRegistry::setLevels(std::span<const std::uint32_t> nodeLevel,
+                                std::span<const std::uint32_t> channelLevel) {
+  if (nodeLevel.size() != nodeLevel_.size() ||
+      channelLevel.size() != channelLevel_.size()) {
+    throw std::invalid_argument("MetricsRegistry::setLevels: size mismatch");
+  }
+  nodeLevel_.assign(nodeLevel.begin(), nodeLevel.end());
+  channelLevel_.assign(channelLevel.begin(), channelLevel.end());
+  std::uint32_t levels = 1;
+  for (std::uint32_t l : nodeLevel_) levels = std::max(levels, l + 1);
+  for (std::uint32_t l : channelLevel_) levels = std::max(levels, l + 1);
+  levelPopulation_.assign(levels, 0);
+  for (std::uint32_t l : nodeLevel_) ++levelPopulation_[l];
+  levelFlits_.assign(levels, 0);
+  levelBlockedCycles_.assign(levels, 0);
+}
+
+std::uint64_t MetricsRegistry::turnBlockedCycles(std::uint32_t fromRow,
+                                                 std::uint32_t toDir) const {
+  const std::uint32_t turn = fromRow * routing::kDirCount + toDir;
+  std::uint64_t total = 0;
+  for (std::uint32_t v = 0; v < nodeCount_; ++v) {
+    total += blockedNodeTurn_[static_cast<std::size_t>(v) * kTurnCells + turn];
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::nodeBlockedCycles(NodeId v) const {
+  const std::uint64_t* row =
+      blockedNodeTurn_.data() + static_cast<std::size_t>(v) * kTurnCells;
+  std::uint64_t total = 0;
+  for (std::uint32_t t = 0; t < kTurnCells; ++t) total += row[t];
+  return total;
+}
+
+std::uint64_t MetricsRegistry::totalBlockedCycles() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t x : blockedNodeTurn_) total += x;
+  return total;
+}
+
+std::uint64_t MetricsRegistry::totalTurnsTaken() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t x : turnTaken_) total += x;
+  return total;
+}
+
+std::vector<double> MetricsRegistry::channelUtilization(
+    std::uint64_t measuredCycles) const {
+  const double cycles =
+      static_cast<double>(std::max<std::uint64_t>(1, measuredCycles));
+  std::vector<double> utilization(channelFlits_.size());
+  for (std::size_t c = 0; c < channelFlits_.size(); ++c) {
+    utilization[c] = static_cast<double>(channelFlits_[c]) / cycles;
+  }
+  return utilization;
+}
+
+void MetricsRegistry::reset() {
+  std::fill(turnTaken_.begin(), turnTaken_.end(), 0);
+  std::fill(blockedNodeTurn_.begin(), blockedNodeTurn_.end(), 0);
+  std::fill(channelFlits_.begin(), channelFlits_.end(), 0);
+  std::fill(levelFlits_.begin(), levelFlits_.end(), 0);
+  std::fill(levelBlockedCycles_.begin(), levelBlockedCycles_.end(), 0);
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
+  if (other.nodeCount_ != nodeCount_ ||
+      other.channelFlits_.size() != channelFlits_.size() ||
+      other.levelFlits_.size() != levelFlits_.size()) {
+    throw std::invalid_argument("MetricsRegistry::mergeFrom: shape mismatch");
+  }
+  const std::lock_guard<std::mutex> lock(mergeMutex_);
+  for (std::size_t i = 0; i < turnTaken_.size(); ++i) {
+    turnTaken_[i] += other.turnTaken_[i];
+  }
+  for (std::size_t i = 0; i < blockedNodeTurn_.size(); ++i) {
+    blockedNodeTurn_[i] += other.blockedNodeTurn_[i];
+  }
+  for (std::size_t i = 0; i < channelFlits_.size(); ++i) {
+    channelFlits_[i] += other.channelFlits_[i];
+  }
+  for (std::size_t i = 0; i < levelFlits_.size(); ++i) {
+    levelFlits_[i] += other.levelFlits_[i];
+    levelBlockedCycles_[i] += other.levelBlockedCycles_[i];
+  }
+}
+
+}  // namespace downup::obs

@@ -1,0 +1,150 @@
+// Engine-wide metrics registry: named counters with per-node, per-turn
+// (direction-pair) and per-tree-level dimensions, recorded by the wormhole
+// engine through two narrow hooks and read back by reports and exporters.
+//
+// The registry answers the questions the paper's anti-hot-spot claim poses:
+//   * where does congestion form?   blocked-cycle attribution, keyed jointly
+//     by the node a header waited at and the turn it eventually took;
+//   * which turns carry traffic?    turn-usage counters split by direction
+//     pair, so released turns such as T(LU_CROSS -> RD_TREE) and
+//     T(RU_CROSS -> RD_TREE) are individually visible;
+//   * is the root region hot?       flits and blocked cycles bucketed by
+//     tree level Y (root-distance congestion histograms).
+//
+// Blocked-cycle attribution is computed at claim time — when a header
+// finally wins an output VC, the cycles it waited beyond the 1-clock routing
+// delay are charged to (node, turn) — so it is exact under both the
+// per-cycle re-attempt path and blocked-claimant parking, and costs nothing
+// per blocked cycle.  Headers still blocked when the run ends are not
+// charged (their turn is unknown); under-saturation runs deliver everything,
+// so the undercount only matters past saturation.
+//
+// Concurrency: record*() calls are single-writer (one simulation owns one
+// registry).  Parallel sweeps give each run its own registry and fold them
+// with mergeFrom(), which locks the destination and is safe to call
+// concurrently from a parallelFor.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "routing/direction.hpp"
+
+namespace downup::obs {
+
+using routing::ChannelId;
+using routing::NodeId;
+
+class MetricsRegistry {
+ public:
+  /// Turn rows are the 8 arrival directions plus one injection row (a
+  /// packet entering the network has no arrival direction).
+  static constexpr std::uint32_t kInjectRow =
+      static_cast<std::uint32_t>(routing::kDirCount);
+  static constexpr std::uint32_t kTurnRows = kInjectRow + 1;
+  static constexpr std::uint32_t kTurnCells =
+      kTurnRows * static_cast<std::uint32_t>(routing::kDirCount);
+
+  MetricsRegistry(std::uint32_t nodeCount, std::uint32_t channelCount);
+
+  /// Installs the tree-level dimension: nodeLevel[v] = Y(v), and each
+  /// channel is bucketed at min(Y(src), Y(dst)) — the end closer to the
+  /// root, so both directions of a root link count as root-level traffic.
+  /// Without levels every event lands in the single level 0.
+  void setLevels(std::span<const std::uint32_t> nodeLevel,
+                 std::span<const std::uint32_t> channelLevel);
+
+  // --- engine-facing recorders (single-writer, no allocation) ---
+
+  /// A header claimed an output VC at `node`, taking the turn
+  /// (fromRow -> toDir) after waiting `waitedCycles` beyond the routing
+  /// delay.  fromRow is index(dir(in)) or kInjectRow for injection.
+  void recordTurnClaim(NodeId node, std::uint32_t fromRow, std::uint32_t toDir,
+                       std::uint64_t waitedCycles) noexcept {
+    const std::uint32_t turn = fromRow * routing::kDirCount + toDir;
+    ++turnTaken_[turn];
+    if (waitedCycles > 0) {
+      blockedNodeTurn_[static_cast<std::size_t>(node) * kTurnCells + turn] +=
+          waitedCycles;
+      levelBlockedCycles_[nodeLevel_[node]] += waitedCycles;
+    }
+  }
+
+  /// A flit entered switch-to-switch channel `channel`.
+  void recordChannelFlit(ChannelId channel) noexcept {
+    ++channelFlits_[channel];
+    ++levelFlits_[channelLevel_[channel]];
+  }
+
+  // --- accessors ---
+
+  std::uint32_t nodeCount() const noexcept { return nodeCount_; }
+  std::uint32_t channelCount() const noexcept {
+    return static_cast<std::uint32_t>(channelFlits_.size());
+  }
+  std::uint32_t levelCount() const noexcept {
+    return static_cast<std::uint32_t>(levelFlits_.size());
+  }
+  std::uint32_t nodeLevel(NodeId v) const noexcept { return nodeLevel_[v]; }
+  /// Nodes per level (all at level 0 until setLevels).
+  std::span<const std::uint32_t> levelPopulation() const noexcept {
+    return levelPopulation_;
+  }
+
+  std::uint64_t turnTaken(std::uint32_t fromRow,
+                          std::uint32_t toDir) const noexcept {
+    return turnTaken_[fromRow * routing::kDirCount + toDir];
+  }
+  /// Blocked cycles summed over nodes for one turn.
+  std::uint64_t turnBlockedCycles(std::uint32_t fromRow,
+                                  std::uint32_t toDir) const;
+  /// Blocked cycles summed over turns for one node.
+  std::uint64_t nodeBlockedCycles(NodeId v) const;
+  /// Joint (node, turn) blocked cycles.
+  std::uint64_t blockedCycles(NodeId v, std::uint32_t fromRow,
+                              std::uint32_t toDir) const noexcept {
+    return blockedNodeTurn_[static_cast<std::size_t>(v) * kTurnCells +
+                            fromRow * routing::kDirCount + toDir];
+  }
+
+  std::span<const std::uint64_t> channelFlits() const noexcept {
+    return channelFlits_;
+  }
+  std::span<const std::uint64_t> levelFlits() const noexcept {
+    return levelFlits_;
+  }
+  std::span<const std::uint64_t> levelBlockedCycles() const noexcept {
+    return levelBlockedCycles_;
+  }
+
+  std::uint64_t totalBlockedCycles() const;
+  std::uint64_t totalTurnsTaken() const;
+
+  /// Channel utilization in flits/cycle given the measured window length.
+  std::vector<double> channelUtilization(std::uint64_t measuredCycles) const;
+
+  /// Clears every counter (sweep-sample reuse); keeps dimensions and levels.
+  void reset();
+
+  /// Folds `other` (same dimensions, std::invalid_argument otherwise) into
+  /// this registry.  Locks this registry, so concurrent merges are safe.
+  void mergeFrom(const MetricsRegistry& other);
+
+ private:
+  std::uint32_t nodeCount_;
+  std::vector<std::uint32_t> nodeLevel_;     // per node, default 0
+  std::vector<std::uint32_t> channelLevel_;  // per channel, default 0
+  std::vector<std::uint32_t> levelPopulation_;
+
+  std::vector<std::uint64_t> turnTaken_;       // [kTurnCells]
+  std::vector<std::uint64_t> blockedNodeTurn_; // [node * kTurnCells + turn]
+  std::vector<std::uint64_t> channelFlits_;    // per channel
+  std::vector<std::uint64_t> levelFlits_;      // per level
+  std::vector<std::uint64_t> levelBlockedCycles_;  // per level
+
+  std::mutex mergeMutex_;
+};
+
+}  // namespace downup::obs

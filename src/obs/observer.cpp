@@ -1,0 +1,46 @@
+#include "obs/observer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace downup::obs {
+
+Observer::Observer(const ObsOptions& options, const topo::Topology& topo,
+                   const tree::CoordinatedTree* ct)
+    : nodeCount_(topo.nodeCount()), channelCount_(topo.channelCount()) {
+  if (options.metrics) {
+    metrics_ = std::make_unique<MetricsRegistry>(nodeCount_, channelCount_);
+    if (ct != nullptr) {
+      std::vector<std::uint32_t> nodeLevel(nodeCount_);
+      for (topo::NodeId v = 0; v < nodeCount_; ++v) nodeLevel[v] = ct->y(v);
+      std::vector<std::uint32_t> channelLevel(channelCount_);
+      for (topo::ChannelId c = 0; c < channelCount_; ++c) {
+        channelLevel[c] =
+            std::min(ct->y(topo.channelSrc(c)), ct->y(topo.channelDst(c)));
+      }
+      metrics_->setLevels(nodeLevel, channelLevel);
+    }
+  }
+  if (options.traceSampleEvery > 0) {
+    tracer_ = std::make_unique<PacketTracer>(options.traceSampleEvery);
+  }
+  if (options.profilePhases) {
+    profiler_ = std::make_unique<PhaseProfiler>();
+  }
+}
+
+void Observer::attach(std::uint32_t nodeCount,
+                      std::uint32_t channelCount) const {
+  if (nodeCount != nodeCount_ || channelCount != channelCount_) {
+    throw std::invalid_argument(
+        "Observer: sized for a different topology than the simulation's");
+  }
+}
+
+void Observer::reset() {
+  if (metrics_) metrics_->reset();
+  if (tracer_) tracer_->clear();
+  if (profiler_) profiler_->reset();
+}
+
+}  // namespace downup::obs

@@ -1,0 +1,68 @@
+// The observability bundle a simulation run attaches to: an optional
+// metrics registry, an optional sampled packet tracer and an optional phase
+// profiler, sized for one topology and handed to the engine as a single
+// non-owning pointer (SimConfig::observer).
+//
+// The engine caches one raw pointer per component at construction and
+// guards every hook with a null check, so a run without an observer pays a
+// handful of never-taken branches and nothing else — golden runs are
+// bit-for-bit identical either way (hooks never draw RNG or alter
+// scheduling, so they are bit-for-bit identical even when enabled).
+//
+// An Observer must not be shared between concurrently running simulations
+// (its components are single-writer); parallel sweeps use one Observer per
+// run and MetricsRegistry::mergeFrom to fold results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/phase_profiler.hpp"
+#include "obs/trace.hpp"
+#include "topology/topology.hpp"
+#include "tree/coordinated_tree.hpp"
+
+namespace downup::obs {
+
+struct ObsOptions {
+  /// Collect the metrics registry (turn usage, blocked-cycle attribution,
+  /// root-distance histograms, per-channel flits).
+  bool metrics = false;
+  /// Trace every Nth packet's per-hop lifecycle; 0 disables tracing.
+  std::uint32_t traceSampleEvery = 0;
+  /// Time the engine phases with steady_clock.
+  bool profilePhases = false;
+};
+
+class Observer {
+ public:
+  /// Sizes the enabled components for `topo`.  When `ct` is given, the
+  /// metrics registry buckets nodes by tree level Y(v) and channels by
+  /// min(Y(src), Y(dst)); otherwise everything lands in level 0.
+  Observer(const ObsOptions& options, const topo::Topology& topo,
+           const tree::CoordinatedTree* ct = nullptr);
+
+  /// Engine handshake: throws std::invalid_argument when the observer was
+  /// sized for a different topology.
+  void attach(std::uint32_t nodeCount, std::uint32_t channelCount) const;
+
+  MetricsRegistry* metrics() noexcept { return metrics_.get(); }
+  const MetricsRegistry* metrics() const noexcept { return metrics_.get(); }
+  PacketTracer* tracer() noexcept { return tracer_.get(); }
+  const PacketTracer* tracer() const noexcept { return tracer_.get(); }
+  PhaseProfiler* profiler() noexcept { return profiler_.get(); }
+  const PhaseProfiler* profiler() const noexcept { return profiler_.get(); }
+
+  /// Clears every enabled component (reuse across sweep samples).
+  void reset();
+
+ private:
+  std::uint32_t nodeCount_;
+  std::uint32_t channelCount_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<PacketTracer> tracer_;
+  std::unique_ptr<PhaseProfiler> profiler_;
+};
+
+}  // namespace downup::obs

@@ -1,0 +1,50 @@
+// Wall-clock attribution of the engine's per-cycle phases, so a perf
+// regression can be pinned to allocation vs arbitration vs flow control
+// instead of showing up only as a lower aggregate cycles/sec.  The engine
+// times each phase with steady_clock only when a profiler is attached; the
+// detached path keeps the plain phase calls (see WormholeNetwork::step).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace downup::obs {
+
+class PhaseProfiler {
+ public:
+  enum Phase : std::uint8_t {
+    kFlowControl,  // pipeline arrivals into VC buffers
+    kTraffic,      // Bernoulli / burst packet generation
+    kAllocation,   // header routing and output-VC claims
+    kArbitration,  // two-level switch allocation + flit movement
+    kPhaseCount,
+  };
+
+  static const char* toString(Phase phase) noexcept;
+
+  void add(Phase phase, std::uint64_t nanos) noexcept {
+    nanos_[phase] += nanos;
+  }
+  void endCycle() noexcept { ++cycles_; }
+
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  std::uint64_t phaseNanos(Phase phase) const noexcept {
+    return nanos_[phase];
+  }
+  std::uint64_t totalNanos() const noexcept;
+
+  void reset() noexcept {
+    nanos_.fill(0);
+    cycles_ = 0;
+  }
+
+  /// One line per phase: total ms, share of the phase sum, ns/cycle.
+  void report(std::ostream& out) const;
+
+ private:
+  std::array<std::uint64_t, kPhaseCount> nanos_{};
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace downup::obs

@@ -1,0 +1,26 @@
+#include "obs/trace.hpp"
+
+namespace downup::obs {
+
+const char* toString(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kGenerated: return "generated";
+    case TraceEventKind::kInjected: return "injected";
+    case TraceEventKind::kBlocked: return "blocked";
+    case TraceEventKind::kVcAllocated: return "vc_allocated";
+    case TraceEventKind::kChannelCrossed: return "channel_crossed";
+    case TraceEventKind::kEjected: return "ejected";
+  }
+  return "unknown";
+}
+
+std::vector<PacketTracer::Event> PacketTracer::packetEvents(
+    std::uint32_t packet) const {
+  std::vector<Event> result;
+  for (const Event& event : events_) {
+    if (event.packet == packet) result.push_back(event);
+  }
+  return result;
+}
+
+}  // namespace downup::obs

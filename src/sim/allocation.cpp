@@ -12,6 +12,9 @@
 // allocation per header.
 #include "sim/network.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace downup::sim {
 
 void WormholeNetwork::allocateOutputs() {
@@ -77,7 +80,15 @@ void WormholeNetwork::routeHeader(std::uint32_t vcId) {
                          : claimOutputVc(vc.owner, node, in, dst);
   // A routed VC has buffered > 0 by the pendingHeaders_ invariant, so its
   // flits become forwardable the moment the claim lands.
-  if (vc.out != kNoOut) markMovable(vcId);
+  if (vc.out != kNoOut) {
+    markMovable(vcId);
+    if (obsClaims_) {
+      // The earliest possible claim is headReadyAt + 1 (the 1-clock routing
+      // delay); anything later is time spent blocked, counted here so the
+      // attribution is exact under blocked-claimant parking too.
+      observeClaim(vc.owner, node, in, vc.out, now_ - vc.headReadyAt - 1);
+    }
+  }
 }
 
 void WormholeNetwork::routeSource(topo::NodeId node) {
@@ -85,7 +96,43 @@ void WormholeNetwork::routeSource(topo::NodeId node) {
   const PacketId pid = source.queue.front();
   source.out = claimOutputVc(pid, node, topo::kInvalidChannel,
                              packets_[pid].dst);
-  if (source.out != kNoOut) busySources_.insert(node);
+  if (source.out != kNoOut) {
+    busySources_.insert(node);
+    // Injection claims carry no blocked attribution: time spent waiting in
+    // the source queue is already measured as queueing delay.
+    if (obsClaims_) observeClaim(pid, node, topo::kInvalidChannel, source.out, 0);
+  }
+}
+
+void WormholeNetwork::observeClaim(PacketId pid, topo::NodeId node,
+                                   ChannelId in, std::uint32_t out,
+                                   std::uint64_t waited) {
+  const bool eject = isEject(out);
+  const auto& perms = table_->permissions();
+  const std::uint32_t fromRow =
+      (in == topo::kInvalidChannel)
+          ? obs::MetricsRegistry::kInjectRow
+          : static_cast<std::uint32_t>(routing::index(perms.dir(in)));
+  const std::uint32_t toDir =
+      eject ? 0
+            : static_cast<std::uint32_t>(
+                  routing::index(perms.dir(vcChannel(out))));
+  if (metrics_ != nullptr && !eject && now_ >= config_.warmupCycles) {
+    metrics_->recordTurnClaim(node, fromRow, toDir, waited);
+  }
+  if (tracer_ != nullptr && tracer_->sampled(pid)) {
+    const std::uint32_t channel =
+        eject ? obs::PacketTracer::kNoChannel : vcChannel(out);
+    const auto from = static_cast<std::uint8_t>(fromRow);
+    const std::uint8_t to = eject ? obs::PacketTracer::kNoDir
+                                  : static_cast<std::uint8_t>(toDir);
+    if (waited > 0) {
+      tracer_->record(obs::TraceEventKind::kBlocked, pid, now_, node, channel,
+                      from, to, waited);
+    }
+    tracer_->record(obs::TraceEventKind::kVcAllocated, pid, now_, node,
+                    channel, from, to);
+  }
 }
 
 std::uint32_t WormholeNetwork::commitClaim(PacketId pid, std::uint32_t vcId) {

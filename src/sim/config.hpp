@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace downup::obs {
+class Observer;
+}
+
 namespace downup::sim {
 
 struct SimConfig {
@@ -61,6 +65,14 @@ struct SimConfig {
   /// legal shortest length and livelock is impossible.  Incompatible with
   /// misrouteProbability > 0 and with adaptiveSelection == false.
   bool escapeAdaptiveRouting = false;
+  /// Optional observability bundle (obs/observer.hpp): metrics registry,
+  /// sampled packet tracer, phase profiler.  Non-owning — the observer must
+  /// outlive the run and must not be shared between concurrently executing
+  /// simulations.  Null (the default) disables observability completely:
+  /// the engine's hot paths see only never-taken null checks, and results
+  /// are bit-for-bit identical either way (hooks never draw RNG or alter
+  /// scheduling).
+  obs::Observer* observer = nullptr;
   std::uint64_t seed = 1;
 
   /// Throws std::invalid_argument on nonsensical values.

@@ -6,6 +6,9 @@
 
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace downup::sim {
 
 void WormholeNetwork::deliverArrivals() {
@@ -41,7 +44,13 @@ void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
     pid = source.queue.front();
     out = source.out;
     flitIdx = source.sent++;
-    if (flitIdx == 0) packets_[pid].injectTime = now_;
+    if (flitIdx == 0) {
+      packets_[pid].injectTime = now_;
+      if (tracer_ != nullptr && tracer_->sampled(pid)) {
+        tracer_->record(obs::TraceEventKind::kInjected, pid, now_, index,
+                        obs::PacketTracer::kNoChannel);
+      }
+    }
   } else {
     Vc& vc = vcs_[index];
     pid = vc.owner;
@@ -57,10 +66,12 @@ void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
   if (isEject(out)) {
     telemetry_.recordEjectedFlit(now_, measuring);
     if (isTail) {
+      const topo::NodeId ejectNode =
+          (out - ejectBase_) / config_.ejectionPortsPerNode;
       ejectOwner_[out - ejectBase_] = kNoPacket;
       if (parkingEnabled_) {
         // A free ejection port wakes claimants parked at its node.
-        dirtyNodes_.insert((out - ejectBase_) / config_.ejectionPortsPerNode);
+        dirtyNodes_.insert(ejectNode);
       }
       ++packetsEjectedTotal_;
       Packet& packet = packets_[pid];
@@ -71,11 +82,22 @@ void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
             static_cast<double>(packet.injectTime - packet.genTime),
             measuring);
       }
+      if (tracer_ != nullptr && tracer_->sampled(pid)) {
+        tracer_->record(obs::TraceEventKind::kEjected, pid, now_, ejectNode,
+                        obs::PacketTracer::kNoChannel);
+      }
     }
   } else {
     --credit_[out];
     arrivals_[(now_ + kPipelineCycles) % (kPipelineCycles + 1)].push_back(out);
-    if (measuring) telemetry_.recordChannelFlit(vcChannel(out));
+    telemetry_.recordChannelFlit(vcChannel(out), measuring);
+    if (metrics_ != nullptr && measuring) {
+      metrics_->recordChannelFlit(vcChannel(out));
+    }
+    if (tracer_ != nullptr && flitIdx == 0 && tracer_->sampled(pid)) {
+      tracer_->record(obs::TraceEventKind::kChannelCrossed, pid, now_,
+                      topo_->channelSrc(vcChannel(out)), vcChannel(out));
+    }
   }
 
   if (isTail) {

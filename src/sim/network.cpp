@@ -5,7 +5,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+
+#include "obs/observer.hpp"
 
 namespace downup::sim {
 
@@ -56,11 +59,21 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
   if (config_.burstFactor > 1.0) {
     burstOn_.assign(topo_->nodeCount(), false);
   }
+  if (config_.observer != nullptr) {
+    config_.observer->attach(topo_->nodeCount(), topo_->channelCount());
+    metrics_ = config_.observer->metrics();
+    tracer_ = config_.observer->tracer();
+    profiler_ = config_.observer->profiler();
+    obsClaims_ = metrics_ != nullptr || tracer_ != nullptr;
+  }
 }
 
 void WormholeNetwork::enqueuePacket(topo::NodeId src, topo::NodeId dst) {
   const auto pid = static_cast<PacketId>(packets_.size());
   packets_.push_back(Packet{src, dst, now_});
+  if (tracer_ != nullptr && tracer_->sampled(pid)) {
+    tracer_->onGenerated(pid, src, dst, now_);
+  }
   Source& source = sources_[src];
   // An empty queue means no output VC is claimed either, so the source
   // becomes allocatable exactly now.
@@ -86,10 +99,14 @@ std::uint64_t WormholeNetwork::flitsInFlight() const noexcept {
 
 void WormholeNetwork::step() {
   movedThisCycle_ = false;
-  deliverArrivals();
-  generateTraffic();
-  allocateOutputs();
-  transferFlits();
+  if (profiler_ == nullptr) [[likely]] {
+    deliverArrivals();
+    generateTraffic();
+    allocateOutputs();
+    transferFlits();
+  } else {
+    runPhasesProfiled();
+  }
 
   // Deadlock watchdog: traffic is in flight but nothing has moved for a
   // long time.  With a correct (acyclic) turn rule this can never fire;
@@ -105,6 +122,28 @@ void WormholeNetwork::step() {
   if (now_ >= config_.warmupCycles) ++measuredCycles_;
   ++now_;
   ++allocOffset_;
+}
+
+void WormholeNetwork::runPhasesProfiled() {
+  using Clock = std::chrono::steady_clock;
+  const auto nanos = [](Clock::time_point a, Clock::time_point b) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+  const auto t0 = Clock::now();
+  deliverArrivals();
+  const auto t1 = Clock::now();
+  generateTraffic();
+  const auto t2 = Clock::now();
+  allocateOutputs();
+  const auto t3 = Clock::now();
+  transferFlits();
+  const auto t4 = Clock::now();
+  profiler_->add(obs::PhaseProfiler::kFlowControl, nanos(t0, t1));
+  profiler_->add(obs::PhaseProfiler::kTraffic, nanos(t1, t2));
+  profiler_->add(obs::PhaseProfiler::kAllocation, nanos(t2, t3));
+  profiler_->add(obs::PhaseProfiler::kArbitration, nanos(t3, t4));
+  profiler_->endCycle();
 }
 
 void WormholeNetwork::generateTraffic() {

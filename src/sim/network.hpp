@@ -56,6 +56,12 @@
 #include "sim/traffic.hpp"
 #include "util/rng.hpp"
 
+namespace downup::obs {
+class MetricsRegistry;
+class PacketTracer;
+class PhaseProfiler;
+}
+
 namespace downup::sim {
 
 using routing::ChannelId;
@@ -157,6 +163,9 @@ class WormholeNetwork {
   // --- network.cpp ---
   void generateTraffic();
   void enqueuePacket(topo::NodeId src, topo::NodeId dst);
+  /// The four engine phases wrapped in steady_clock timers (profiler
+  /// attached); the detached path calls them directly from step().
+  void runPhasesProfiled();
 
   // --- allocation.cpp ---
   void allocateOutputs();
@@ -174,6 +183,11 @@ class WormholeNetwork {
   /// Claims `vcId` for `pid`, recording the trace hop; returns vcId.
   std::uint32_t commitClaim(PacketId pid, std::uint32_t vcId);
   std::uint32_t claimEjectPort(PacketId pid, topo::NodeId node);
+  /// Observability hook for a successful claim: blocked-cycle and
+  /// turn-usage attribution plus tracer lifecycle events.  Only called when
+  /// an observer component is attached (obsClaims_).
+  void observeClaim(PacketId pid, topo::NodeId node, ChannelId in,
+                    std::uint32_t out, std::uint64_t waited);
 
   // --- arbitration.cpp ---
   void transferFlits();
@@ -265,6 +279,14 @@ class WormholeNetwork {
   std::uint64_t packetsEjectedTotal_ = 0;
   std::uint64_t measuredCycles_ = 0;
   Telemetry telemetry_;
+
+  // Observability (null = disabled; cached from config_.observer).  Hooks
+  // never draw RNG or change engine state, so runs are bit-for-bit
+  // identical whether or not an observer is attached.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::PacketTracer* tracer_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  bool obsClaims_ = false;  // metrics_ or tracer_ attached
 };
 
 }  // namespace downup::sim

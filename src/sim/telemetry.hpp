@@ -31,8 +31,13 @@ class Telemetry {
   /// measurement window.
   void recordDelivered(double latency, double queueingDelay, bool measuring);
 
-  /// A flit entered switch-to-switch channel `channel` (measured window).
-  void recordChannelFlit(std::uint32_t channel) { ++channelFlits_[channel]; }
+  /// A flit entered switch-to-switch channel `channel`.  Gated on the
+  /// measurement window internally, like the other recorders, so callers
+  /// cannot accidentally count warm-up flits into channel utilization
+  /// (whose divisor is the measured-cycle count).
+  void recordChannelFlit(std::uint32_t channel, bool measuring) {
+    if (measuring) ++channelFlits_[channel];
+  }
 
   std::uint64_t packetsEjectedMeasured() const noexcept {
     return packetsEjectedMeasured_;

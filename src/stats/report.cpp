@@ -1,9 +1,14 @@
 #include "stats/report.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 
 namespace downup::stats {
@@ -111,6 +116,117 @@ void writeMetricsCsv(const ExperimentResults& results,
         .cell(cell.nodeUtilization.count());
     csv.endRow();
   }
+}
+
+void printHotspotReport(std::ostream& out, const obs::MetricsRegistry& metrics,
+                        std::size_t topN) {
+  using routing::Dir;
+  constexpr std::uint32_t kDirs =
+      static_cast<std::uint32_t>(routing::kDirCount);
+  const auto rowName = [](std::uint32_t row) -> std::string {
+    if (row == obs::MetricsRegistry::kInjectRow) return "INJECT";
+    return std::string(routing::toString(static_cast<Dir>(row)));
+  };
+
+  // --- root-distance congestion histogram ---
+  out << "per-level congestion (level 0 = root)\n";
+  out << std::left << std::setw(8) << "level" << std::right << std::setw(8)
+      << "nodes" << std::setw(16) << "flits" << std::setw(16) << "blocked"
+      << std::setw(16) << "flits/node" << std::setw(16) << "blocked/node"
+      << "\n";
+  const auto levelFlits = metrics.levelFlits();
+  const auto levelBlocked = metrics.levelBlockedCycles();
+  const auto population = metrics.levelPopulation();
+  for (std::uint32_t level = 0; level < metrics.levelCount(); ++level) {
+    const double nodes = std::max<std::uint32_t>(population[level], 1);
+    out << std::left << std::setw(8) << level << std::right << std::setw(8)
+        << population[level] << std::setw(16) << levelFlits[level]
+        << std::setw(16) << levelBlocked[level] << std::fixed
+        << std::setprecision(1) << std::setw(16)
+        << static_cast<double>(levelFlits[level]) / nodes << std::setw(16)
+        << static_cast<double>(levelBlocked[level]) / nodes << "\n";
+  }
+
+  // --- most-blocked nodes ---
+  std::vector<std::pair<std::uint64_t, topo::NodeId>> ranked;
+  ranked.reserve(metrics.nodeCount());
+  for (topo::NodeId v = 0; v < metrics.nodeCount(); ++v) {
+    const std::uint64_t blocked = metrics.nodeBlockedCycles(v);
+    if (blocked > 0) ranked.emplace_back(blocked, v);
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  if (ranked.size() > topN) ranked.resize(topN);
+
+  const double totalBlocked =
+      std::max<double>(static_cast<double>(metrics.totalBlockedCycles()), 1.0);
+  out << "\ntop blocked nodes (" << ranked.size() << " of "
+      << metrics.nodeCount() << ")\n";
+  out << std::left << std::setw(8) << "node" << std::right << std::setw(8)
+      << "level" << std::setw(16) << "blocked" << std::setw(10) << "share"
+      << "  dominant turn\n";
+  for (const auto& [blocked, node] : ranked) {
+    std::uint64_t best = 0;
+    std::uint32_t bestRow = 0;
+    std::uint32_t bestDir = 0;
+    for (std::uint32_t row = 0; row < obs::MetricsRegistry::kTurnRows; ++row) {
+      for (std::uint32_t dir = 0; dir < kDirs; ++dir) {
+        const std::uint64_t cell = metrics.blockedCycles(node, row, dir);
+        if (cell > best) {
+          best = cell;
+          bestRow = row;
+          bestDir = dir;
+        }
+      }
+    }
+    out << std::left << std::setw(8) << node << std::right << std::setw(8)
+        << metrics.nodeLevel(node) << std::setw(16) << blocked << std::fixed
+        << std::setprecision(1) << std::setw(9)
+        << 100.0 * static_cast<double>(blocked) / totalBlocked << "%"
+        << "  T(" << rowName(bestRow) << " -> "
+        << routing::toString(static_cast<Dir>(bestDir)) << ")\n";
+  }
+
+  // --- turn usage, released turns always shown ---
+  const auto isReleased = [](std::uint32_t row, std::uint32_t dir) {
+    return dir == static_cast<std::uint32_t>(routing::index(Dir::kRdTree)) &&
+           (row == static_cast<std::uint32_t>(routing::index(Dir::kLuCross)) ||
+            row == static_cast<std::uint32_t>(routing::index(Dir::kRuCross)));
+  };
+  struct TurnRow {
+    std::uint64_t taken;
+    std::uint64_t blocked;
+    std::uint32_t row;
+    std::uint32_t dir;
+  };
+  std::vector<TurnRow> turns;
+  for (std::uint32_t row = 0; row < obs::MetricsRegistry::kTurnRows; ++row) {
+    for (std::uint32_t dir = 0; dir < kDirs; ++dir) {
+      const std::uint64_t taken = metrics.turnTaken(row, dir);
+      if (taken > 0 || isReleased(row, dir)) {
+        turns.push_back({taken, metrics.turnBlockedCycles(row, dir), row, dir});
+      }
+    }
+  }
+  std::sort(turns.begin(), turns.end(), [](const TurnRow& a, const TurnRow& b) {
+    return a.taken > b.taken;
+  });
+  const double totalTurns =
+      std::max<double>(static_cast<double>(metrics.totalTurnsTaken()), 1.0);
+  out << "\nturn usage (* = turn released by the DOWN/UP cycle analysis)\n";
+  out << std::left << std::setw(28) << "turn" << std::right << std::setw(14)
+      << "taken" << std::setw(10) << "share" << std::setw(16) << "blocked"
+      << "\n";
+  for (const TurnRow& turn : turns) {
+    std::ostringstream name;
+    name << "T(" << rowName(turn.row) << " -> "
+         << routing::toString(static_cast<Dir>(turn.dir)) << ")"
+         << (isReleased(turn.row, turn.dir) ? " *" : "");
+    out << std::left << std::setw(28) << name.str() << std::right
+        << std::setw(14) << turn.taken << std::fixed << std::setprecision(1)
+        << std::setw(9) << 100.0 * static_cast<double>(turn.taken) / totalTurns
+        << "%" << std::setw(16) << turn.blocked << "\n";
+  }
+  out << std::flush;
 }
 
 }  // namespace downup::stats

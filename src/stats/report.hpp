@@ -8,6 +8,10 @@
 
 #include "stats/experiment.hpp"
 
+namespace downup::obs {
+class MetricsRegistry;
+}
+
 namespace downup::stats {
 
 /// Extracts the reported scalar from a cell (e.g. mean node utilization).
@@ -32,5 +36,13 @@ void writeCurvesCsv(const ExperimentResults& results, const std::string& path);
 
 /// Writes every aggregated table metric as CSV to `path`.
 void writeMetricsCsv(const ExperimentResults& results, const std::string& path);
+
+/// Per-node hotspot report from an observability run: the per-tree-level
+/// congestion histogram (flits and header-blocked cycles, absolute and per
+/// node), the `topN` most-blocked nodes with their dominant turn, and the
+/// turn-usage table with the DOWN/UP released turns T(LU_CROSS -> RD_TREE)
+/// and T(RU_CROSS -> RD_TREE) always listed.
+void printHotspotReport(std::ostream& out, const obs::MetricsRegistry& metrics,
+                        std::size_t topN = 10);
 
 }  // namespace downup::stats

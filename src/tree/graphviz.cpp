@@ -1,8 +1,27 @@
 #include "tree/graphviz.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <ostream>
 
 namespace downup::tree {
+
+namespace {
+
+// Cold colour (white for node fills, mid-gray for edges so they stay
+// visible on a white page) to saturated red at frac 1, as a hex colour.
+void appendHeatColor(std::ostream& out, double frac, int coolLevel = 255) {
+  frac = std::clamp(frac, 0.0, 1.0);
+  const auto lerp = [frac](int from, int to) {
+    return static_cast<int>(from + (to - from) * frac + 0.5);
+  };
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", lerp(coolLevel, 255),
+                lerp(coolLevel, 0), lerp(coolLevel, 0));
+  out << buf;
+}
+
+}  // namespace
 
 void exportGraphviz(const topo::Topology& topo, std::ostream& out) {
   out << "graph downup {\n  node [shape=circle];\n";
@@ -27,6 +46,58 @@ void exportGraphviz(const topo::Topology& topo, const CoordinatedTree& ct,
     out << "  n" << a << " -- n" << b;
     if (!ct.isTreeLink(a, b)) out << " [style=dashed]";
     out << ";\n";
+  }
+  out << "}\n";
+}
+
+void exportGraphvizHeatmap(const topo::Topology& topo,
+                           const CoordinatedTree& ct,
+                           const HeatmapOverlay& overlay, std::ostream& out) {
+  const bool haveNodes = !overlay.nodeBlockedCycles.empty();
+  const bool haveChannels = !overlay.channelUtilization.empty();
+
+  std::uint64_t maxBlocked = 0;
+  if (haveNodes) {
+    for (std::uint64_t b : overlay.nodeBlockedCycles) {
+      maxBlocked = std::max(maxBlocked, b);
+    }
+  }
+  double maxUtil = 0.0;
+  if (haveChannels) {
+    for (double u : overlay.channelUtilization) maxUtil = std::max(maxUtil, u);
+  }
+
+  out << "graph downup {\n  node [shape=circle style=filled];\n";
+  for (topo::NodeId v = 0; v < topo.nodeCount(); ++v) {
+    out << "  n" << v << " [label=\"" << v << "\\n(" << ct.x(v) << ","
+        << ct.y(v) << ")\" fillcolor=\"";
+    const double frac =
+        (haveNodes && maxBlocked > 0)
+            ? static_cast<double>(overlay.nodeBlockedCycles[v]) /
+                  static_cast<double>(maxBlocked)
+            : 0.0;
+    appendHeatColor(out, frac);
+    out << "\"";
+    if (v == ct.root()) out << " penwidth=3";
+    out << "];\n";
+  }
+  for (topo::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    out << "  n" << a << " -- n" << b << " [";
+    if (!ct.isTreeLink(a, b)) out << "style=dashed ";
+    // Colour by the busier of the two directed channels of this link.
+    double util = 0.0;
+    if (haveChannels) {
+      util = std::max(overlay.channelUtilization[2 * l],
+                      overlay.channelUtilization[2 * l + 1]);
+    }
+    const double frac = (maxUtil > 0.0) ? util / maxUtil : 0.0;
+    out << "color=\"";
+    appendHeatColor(out, frac, 176);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.3f", util);
+    out << "\" penwidth=" << 1.0 + 5.0 * frac << " label=\"" << label
+        << "\" fontsize=9];\n";
   }
   out << "}\n";
 }

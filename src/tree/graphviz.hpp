@@ -4,7 +4,9 @@
 // algorithms are built on.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 
 #include "topology/topology.hpp"
 #include "tree/coordinated_tree.hpp"
@@ -17,5 +19,23 @@ void exportGraphviz(const topo::Topology& topo, std::ostream& out);
 /// Annotated with the coordinated tree.
 void exportGraphviz(const topo::Topology& topo, const CoordinatedTree& ct,
                     std::ostream& out);
+
+/// Measurement overlay for exportGraphvizHeatmap.  Either series may be
+/// empty (that dimension is simply not drawn); a non-empty series must be
+/// indexed exactly like the topology — channelUtilization per directed
+/// channel (link l owns channels 2l and 2l+1), nodeBlockedCycles per node.
+struct HeatmapOverlay {
+  std::span<const double> channelUtilization;        // flits/cycle, in [0, 1]
+  std::span<const std::uint64_t> nodeBlockedCycles;  // header-blocked cycles
+};
+
+/// Tree-annotated export with congestion colouring: node fill shades
+/// white -> red with blocked cycles (relative to the hottest node), edge
+/// colour/penwidth scale with the busier direction of the link (relative
+/// to the busiest channel).  Intended for the anti-hot-spot comparison
+/// plots: render with `dot -Tsvg` / `neato -Tsvg`.
+void exportGraphvizHeatmap(const topo::Topology& topo,
+                           const CoordinatedTree& ct,
+                           const HeatmapOverlay& overlay, std::ostream& out);
 
 }  // namespace downup::tree

@@ -1,0 +1,148 @@
+// MetricsRegistry unit tests: counter dimensions, tree-level bucketing,
+// reset semantics between sweep samples, and mergeFrom thread-safety under
+// the thread pool's parallelFor.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace downup::obs {
+namespace {
+
+constexpr std::uint32_t kLuTree =
+    static_cast<std::uint32_t>(routing::index(routing::Dir::kLuTree));
+constexpr std::uint32_t kRdTree =
+    static_cast<std::uint32_t>(routing::index(routing::Dir::kRdTree));
+constexpr std::uint32_t kLuCross =
+    static_cast<std::uint32_t>(routing::index(routing::Dir::kLuCross));
+constexpr std::uint32_t kRuCross =
+    static_cast<std::uint32_t>(routing::index(routing::Dir::kRuCross));
+
+TEST(MetricsRegistryTest, TurnDimensionsAreKeyedByRowAndDirection) {
+  MetricsRegistry metrics(/*nodeCount=*/4, /*channelCount=*/6);
+  metrics.recordTurnClaim(/*node=*/1, kLuTree, kRdTree, /*waited=*/5);
+  metrics.recordTurnClaim(1, kLuTree, kRdTree, 0);
+  metrics.recordTurnClaim(2, MetricsRegistry::kInjectRow, kLuTree, 0);
+  metrics.recordTurnClaim(3, kRuCross, kRdTree, 7);
+
+  EXPECT_EQ(metrics.turnTaken(kLuTree, kRdTree), 2u);
+  EXPECT_EQ(metrics.turnTaken(MetricsRegistry::kInjectRow, kLuTree), 1u);
+  EXPECT_EQ(metrics.turnTaken(kRuCross, kRdTree), 1u);
+  EXPECT_EQ(metrics.turnTaken(kLuCross, kRdTree), 0u);
+
+  // Blocked cycles: only claims with waited > 0 attribute, jointly keyed.
+  EXPECT_EQ(metrics.blockedCycles(1, kLuTree, kRdTree), 5u);
+  EXPECT_EQ(metrics.blockedCycles(3, kRuCross, kRdTree), 7u);
+  EXPECT_EQ(metrics.nodeBlockedCycles(1), 5u);
+  EXPECT_EQ(metrics.nodeBlockedCycles(2), 0u);
+  EXPECT_EQ(metrics.turnBlockedCycles(kLuTree, kRdTree), 5u);
+  EXPECT_EQ(metrics.turnBlockedCycles(kRuCross, kRdTree), 7u);
+  EXPECT_EQ(metrics.totalBlockedCycles(), 12u);
+  EXPECT_EQ(metrics.totalTurnsTaken(), 4u);
+}
+
+TEST(MetricsRegistryTest, LevelsBucketNodesAndChannels) {
+  MetricsRegistry metrics(3, 4);
+  const std::vector<std::uint32_t> nodeLevel = {0, 1, 2};
+  const std::vector<std::uint32_t> channelLevel = {0, 0, 1, 1};
+  metrics.setLevels(nodeLevel, channelLevel);
+  ASSERT_EQ(metrics.levelCount(), 3u);
+  EXPECT_EQ(metrics.levelPopulation()[0], 1u);
+  EXPECT_EQ(metrics.levelPopulation()[1], 1u);
+  EXPECT_EQ(metrics.levelPopulation()[2], 1u);
+  EXPECT_EQ(metrics.nodeLevel(2), 2u);
+
+  metrics.recordTurnClaim(2, kLuTree, kLuTree, 9);  // node level 2
+  metrics.recordChannelFlit(0);                     // channel level 0
+  metrics.recordChannelFlit(3);                     // channel level 1
+  metrics.recordChannelFlit(3);
+
+  EXPECT_EQ(metrics.levelBlockedCycles()[2], 9u);
+  EXPECT_EQ(metrics.levelBlockedCycles()[0], 0u);
+  EXPECT_EQ(metrics.levelFlits()[0], 1u);
+  EXPECT_EQ(metrics.levelFlits()[1], 2u);
+  EXPECT_EQ(metrics.channelFlits()[3], 2u);
+
+  const auto utilization = metrics.channelUtilization(/*measuredCycles=*/4);
+  EXPECT_DOUBLE_EQ(utilization[3], 0.5);
+  EXPECT_DOUBLE_EQ(utilization[1], 0.0);
+}
+
+TEST(MetricsRegistryTest, SetLevelsRejectsWrongSizes) {
+  MetricsRegistry metrics(2, 2);
+  const std::vector<std::uint32_t> ok = {0, 0};
+  const std::vector<std::uint32_t> bad = {0, 0, 0};
+  EXPECT_THROW(metrics.setLevels(bad, ok), std::invalid_argument);
+  EXPECT_THROW(metrics.setLevels(ok, bad), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, ResetClearsCountersAndKeepsLevels) {
+  MetricsRegistry metrics(2, 2);
+  const std::vector<std::uint32_t> nodeLevel = {0, 1};
+  const std::vector<std::uint32_t> channelLevel = {0, 1};
+  metrics.setLevels(nodeLevel, channelLevel);
+  metrics.recordTurnClaim(1, kLuTree, kRdTree, 3);
+  metrics.recordChannelFlit(1);
+
+  metrics.reset();
+  EXPECT_EQ(metrics.totalTurnsTaken(), 0u);
+  EXPECT_EQ(metrics.totalBlockedCycles(), 0u);
+  EXPECT_EQ(metrics.channelFlits()[1], 0u);
+  EXPECT_EQ(metrics.levelFlits()[1], 0u);
+  // The level mapping survives (sweep samples reuse one registry shape).
+  EXPECT_EQ(metrics.levelCount(), 2u);
+  EXPECT_EQ(metrics.nodeLevel(1), 1u);
+  metrics.recordChannelFlit(1);
+  EXPECT_EQ(metrics.levelFlits()[1], 1u);
+}
+
+TEST(MetricsRegistryTest, MergeRejectsShapeMismatch) {
+  MetricsRegistry a(2, 2);
+  MetricsRegistry wrongNodes(3, 2);
+  MetricsRegistry wrongChannels(2, 4);
+  EXPECT_THROW(a.mergeFrom(wrongNodes), std::invalid_argument);
+  EXPECT_THROW(a.mergeFrom(wrongChannels), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, MergeFoldsAllDimensions) {
+  MetricsRegistry a(2, 2);
+  MetricsRegistry b(2, 2);
+  a.recordTurnClaim(0, kLuTree, kRdTree, 2);
+  b.recordTurnClaim(0, kLuTree, kRdTree, 3);
+  b.recordChannelFlit(1);
+  a.mergeFrom(b);
+  EXPECT_EQ(a.turnTaken(kLuTree, kRdTree), 2u);
+  EXPECT_EQ(a.blockedCycles(0, kLuTree, kRdTree), 5u);
+  EXPECT_EQ(a.channelFlits()[1], 1u);
+  EXPECT_EQ(a.levelBlockedCycles()[0], 5u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentMergesUnderParallelForSumExactly) {
+  // The sweep-folding pattern: every parallel run owns a registry and folds
+  // it into one destination from inside parallelFor.  The destination's
+  // mutex must make the fold exact at any thread count.
+  constexpr std::size_t kRuns = 32;
+  constexpr std::uint64_t kClaimsPerRun = 500;
+  MetricsRegistry total(4, 4);
+  util::ThreadPool pool(4);
+  util::parallelFor(pool, kRuns, [&total](std::size_t run) {
+    MetricsRegistry local(4, 4);
+    for (std::uint64_t i = 0; i < kClaimsPerRun; ++i) {
+      local.recordTurnClaim(static_cast<NodeId>(run % 4), kLuTree, kRdTree, 1);
+      local.recordChannelFlit(static_cast<ChannelId>(run % 4));
+    }
+    total.mergeFrom(local);
+  });
+  EXPECT_EQ(total.totalTurnsTaken(), kRuns * kClaimsPerRun);
+  EXPECT_EQ(total.totalBlockedCycles(), kRuns * kClaimsPerRun);
+  EXPECT_EQ(total.turnTaken(kLuTree, kRdTree), kRuns * kClaimsPerRun);
+  std::uint64_t flits = 0;
+  for (std::uint64_t f : total.channelFlits()) flits += f;
+  EXPECT_EQ(flits, kRuns * kClaimsPerRun);
+}
+
+}  // namespace
+}  // namespace downup::obs

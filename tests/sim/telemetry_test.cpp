@@ -1,0 +1,109 @@
+// Telemetry unit tests: timeline bucketing edge cases, zero-delivery fills
+// and the measurement-window gating of every recorder.
+#include "sim/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace downup::sim {
+namespace {
+
+TEST(TelemetryTest, TimelineBucketsWhenWindowNotMultipleOfBucketWidth) {
+  // Bucket width 100, events up to cycle 250: the last bucket is partial
+  // and must still be recorded at its own index.
+  Telemetry telemetry(/*channelCount=*/2, /*timelineBucketCycles=*/100);
+  telemetry.recordEjectedFlit(/*now=*/0, /*measuring=*/true);
+  telemetry.recordEjectedFlit(99, true);
+  telemetry.recordEjectedFlit(100, true);
+  telemetry.recordEjectedFlit(250, true);
+
+  RunStats stats;
+  telemetry.fill(stats, /*measuredCycles=*/251, /*nodeCount=*/4);
+  ASSERT_EQ(stats.acceptedTimeline.size(), 3u);
+  EXPECT_EQ(stats.acceptedTimeline[0], 2u);
+  EXPECT_EQ(stats.acceptedTimeline[1], 1u);
+  EXPECT_EQ(stats.acceptedTimeline[2], 1u);
+}
+
+TEST(TelemetryTest, TimelineCountsWarmupFlitsButMeasuredCountersDoNot) {
+  // The timeline covers the whole run (stationarity checks need warm-up),
+  // while the measured ejected-flit counter honours the gate.
+  Telemetry telemetry(1, 10);
+  telemetry.recordEjectedFlit(3, /*measuring=*/false);
+  telemetry.recordEjectedFlit(17, /*measuring=*/true);
+
+  RunStats stats;
+  telemetry.fill(stats, 20, 1);
+  ASSERT_EQ(stats.acceptedTimeline.size(), 2u);
+  EXPECT_EQ(stats.acceptedTimeline[0], 1u);
+  EXPECT_EQ(stats.acceptedTimeline[1], 1u);
+  EXPECT_EQ(stats.flitsEjectedMeasured, 1u);
+}
+
+TEST(TelemetryTest, TimelineDisabledWhenBucketWidthZero) {
+  Telemetry telemetry(1, 0);
+  telemetry.recordEjectedFlit(5, true);
+  RunStats stats;
+  telemetry.fill(stats, 10, 1);
+  EXPECT_TRUE(stats.acceptedTimeline.empty());
+}
+
+TEST(TelemetryTest, ZeroDeliveredPacketsFillsFiniteDefaults) {
+  // A run that delivered nothing must not divide by zero or emit NaNs:
+  // the latency block stays at its zero defaults.
+  Telemetry telemetry(3, 0);
+  RunStats stats;
+  telemetry.fill(stats, /*measuredCycles=*/1000, /*nodeCount=*/8);
+  EXPECT_EQ(stats.packetsEjectedMeasured, 0u);
+  EXPECT_EQ(stats.flitsEjectedMeasured, 0u);
+  EXPECT_DOUBLE_EQ(stats.avgLatency, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50Latency, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99Latency, 0.0);
+  EXPECT_DOUBLE_EQ(stats.acceptedFlitsPerNodePerCycle, 0.0);
+  ASSERT_EQ(stats.channelUtilization.size(), 3u);
+  for (double u : stats.channelUtilization) EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
+TEST(TelemetryTest, ZeroMeasuredCyclesClampsDivisor) {
+  // measuredCycles == 0 (e.g. a run that deadlocked during warm-up) clamps
+  // the divisor to 1 instead of producing inf/NaN.
+  Telemetry telemetry(1, 0);
+  telemetry.recordEjectedFlit(0, true);
+  telemetry.recordChannelFlit(0, true);
+  RunStats stats;
+  telemetry.fill(stats, 0, 2);
+  EXPECT_DOUBLE_EQ(stats.acceptedFlitsPerNodePerCycle, 0.5);
+  EXPECT_DOUBLE_EQ(stats.channelUtilization[0], 1.0);
+}
+
+TEST(TelemetryTest, ChannelFlitRecorderGatesOnMeasurementWindow) {
+  // The gate lives inside the recorder (like recordEjectedFlit /
+  // recordDelivered), so warm-up flits can never leak into utilization.
+  Telemetry telemetry(2, 0);
+  telemetry.recordChannelFlit(0, /*measuring=*/false);
+  telemetry.recordChannelFlit(0, /*measuring=*/true);
+  telemetry.recordChannelFlit(1, /*measuring=*/true);
+  telemetry.recordChannelFlit(1, /*measuring=*/true);
+
+  RunStats stats;
+  telemetry.fill(stats, /*measuredCycles=*/4, /*nodeCount=*/1);
+  ASSERT_EQ(stats.channelUtilization.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.channelUtilization[0], 0.25);
+  EXPECT_DOUBLE_EQ(stats.channelUtilization[1], 0.5);
+}
+
+TEST(TelemetryTest, DeliveredGateSplitsLatencySketchFromMeasuredCount) {
+  // recordDelivered always feeds the latency sketch (the caller pre-filters
+  // by generation time) but only counts measured packets when gated in.
+  Telemetry telemetry(1, 0);
+  telemetry.recordDelivered(10.0, 2.0, /*measuring=*/false);
+  telemetry.recordDelivered(20.0, 4.0, /*measuring=*/true);
+  RunStats stats;
+  telemetry.fill(stats, 100, 1);
+  EXPECT_EQ(stats.packetsEjectedMeasured, 1u);
+  EXPECT_DOUBLE_EQ(stats.avgLatency, 15.0);
+  EXPECT_DOUBLE_EQ(stats.avgQueueingDelay, 3.0);
+  EXPECT_DOUBLE_EQ(stats.avgNetworkLatency, 12.0);
+}
+
+}  // namespace
+}  // namespace downup::sim
