@@ -19,18 +19,18 @@ class ExperimentCli {
  public:
   ExperimentCli(std::string program, std::string description)
       : cli_(std::move(program), std::move(description)) {
-    switches_ = cli_.option<int>("switches", 32, "number of switches (paper: 128)");
-    samples_ = cli_.option<int>("samples", 3,
+    switches_ = cli_.positiveOption<int>("switches", 32, "number of switches (paper: 128)");
+    samples_ = cli_.positiveOption<int>("samples", 3,
                                 "random topologies per configuration (paper: 10)");
     ports_ = cli_.option<int>("ports", 0,
                               "restrict to one port count (4 or 8); 0 = both");
-    loadPoints_ = cli_.option<int>("load-points", 8, "offered-load sweep points");
+    loadPoints_ = cli_.positiveOption<int>("load-points", 8, "offered-load sweep points");
     maxLoadPerPort_ = cli_.option<double>(
         "max-load-per-port", 0.06,
         "sweep upper bound = this x ports (flits/node/clk)");
-    packetLen_ = cli_.option<int>("packet-flits", 128, "packet length in flits");
+    packetLen_ = cli_.positiveOption<int>("packet-flits", 128, "packet length in flits");
     warmup_ = cli_.option<int>("warmup", 3000, "warm-up cycles");
-    measure_ = cli_.option<int>("measure", 12000, "measured cycles");
+    measure_ = cli_.positiveOption<int>("measure", 12000, "measured cycles");
     seed_ = cli_.option<std::uint64_t>("seed", 2004, "base RNG seed");
     csv_ = cli_.option<std::string>(
         "csv", "", "CSV output path prefix (empty = no CSV files)");

@@ -18,10 +18,10 @@ int main(int argc, char** argv) {
   using namespace downup;
   util::Cli cli("exp_escape_adaptive",
                 "escape-channel adaptive routing vs plain multi-VC");
-  auto switches = cli.option<int>("switches", 32, "number of switches");
-  auto ports = cli.option<int>("ports", 4, "ports per switch");
-  auto samples = cli.option<int>("samples", 3, "random topologies");
-  auto vcs = cli.option<int>("vcs", 2, "virtual channels per link (>= 2)");
+  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
+  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
+  auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
+  auto vcs = cli.positiveOption<int>("vcs", 2, "virtual channels per link (>= 2)");
   auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
   cli.parse(argc, argv);
 

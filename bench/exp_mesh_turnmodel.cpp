@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   using namespace downup;
   util::Cli cli("exp_mesh_turnmodel",
                 "Glass & Ni mesh turn model vs tree-based routings on a mesh");
-  auto width = cli.option<int>("width", 8, "mesh width");
-  auto height = cli.option<int>("height", 8, "mesh height");
+  auto width = cli.positiveOption<int>("width", 8, "mesh width");
+  auto height = cli.positiveOption<int>("height", 8, "mesh height");
   auto seed = cli.option<std::uint64_t>("seed", 2004, "simulation seed");
   cli.parse(argc, argv);
 

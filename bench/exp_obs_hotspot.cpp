@@ -47,15 +47,15 @@ struct AlgoRun {
 int main(int argc, char** argv) {
   util::Cli cli("exp_obs_hotspot",
                 "per-tree-level congestion histograms, DOWN/UP vs L-turn");
-  auto switches = cli.option<int>("switches", 128, "number of switches");
-  auto ports = cli.option<int>("ports", 4, "inter-switch ports per switch");
+  auto switches = cli.positiveOption<int>("switches", 128, "number of switches");
+  auto ports = cli.positiveOption<int>("ports", 4, "inter-switch ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 7, "topology/tree/sim seed");
-  auto packet = cli.option<int>("packet-flits", 32, "packet length (flits)");
+  auto packet = cli.positiveOption<int>("packet-flits", 32, "packet length (flits)");
   auto loadFrac = cli.option<double>(
       "load-frac", 0.9, "offered load as a fraction of probed saturation");
   auto warmup = cli.option<int>("warmup", 5000, "warm-up cycles");
-  auto measure = cli.option<int>("measure", 30000, "measured cycles");
-  auto topN = cli.option<int>("top", 8, "nodes in the top-blocked table");
+  auto measure = cli.positiveOption<int>("measure", 30000, "measured cycles");
+  auto topN = cli.positiveOption<int>("top", 8, "nodes in the top-blocked table");
   auto metricsOut = cli.option<std::string>(
       "metrics-out", "", "metrics JSONL prefix (.downup/.lturn appended)");
   auto heatmapOut = cli.option<std::string>(

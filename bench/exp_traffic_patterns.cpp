@@ -17,9 +17,9 @@ int main(int argc, char** argv) {
   using namespace downup;
   util::Cli cli("exp_traffic_patterns",
                 "L-turn vs DOWN/UP under non-uniform traffic");
-  auto switches = cli.option<int>("switches", 32, "number of switches");
-  auto ports = cli.option<int>("ports", 4, "ports per switch");
-  auto samples = cli.option<int>("samples", 3, "random topologies");
+  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
+  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
+  auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
   auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
   cli.parse(argc, argv);
 

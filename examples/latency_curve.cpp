@@ -26,11 +26,11 @@ int main(int argc, char** argv) {
   using namespace downup;
   util::Cli cli("latency_curve",
                 "latency vs accepted traffic on one irregular network");
-  auto switches = cli.option<int>("switches", 32, "number of switches");
-  auto ports = cli.option<int>("ports", 4, "inter-switch ports per switch");
+  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
+  auto ports = cli.positiveOption<int>("ports", 4, "inter-switch ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 1, "topology + traffic seed");
-  auto packet = cli.option<int>("packet-flits", 128, "packet length (flits)");
-  auto points = cli.option<int>("points", 8, "sweep points");
+  auto packet = cli.positiveOption<int>("packet-flits", 128, "packet length (flits)");
+  auto points = cli.positiveOption<int>("points", 8, "sweep points");
   auto trafficName = cli.option<std::string>(
       "traffic", "uniform", "traffic pattern: uniform | hotspot | permutation");
   auto metricsOut = cli.option<std::string>(

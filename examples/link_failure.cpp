@@ -1,43 +1,29 @@
 // Link-failure resilience: the defining advantage of topology-agnostic
 // routing is that after a link dies you rebuild the spanning tree and the
 // turn rule on whatever topology is left and keep running.  This example
-// fails every link of a generated SAN in turn, rebuilds DOWN/UP routing,
-// and reports how often the network stays connected and deadlock-free and
-// how much the average legal path degrades.
+// fails every link of a generated SAN in turn and hands the degraded
+// aliveness masks to the online fault::Reconfigurator — the same rebuild
+// path the simulator hot-swaps mid-run — reporting how often the network
+// stays connected and deadlock-free and how much the average legal path
+// degrades.
 //
 //   ./link_failure --switches 32 --ports 4 --seed 9
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/downup_routing.hpp"
-#include "routing/verify.hpp"
+#include "fault/reconfigure.hpp"
 #include "topology/generate.hpp"
-#include "topology/properties.hpp"
 #include "util/cli.hpp"
 #include "util/summary.hpp"
-
-namespace {
-
-/// Copies `original` without link `skip`.
-downup::topo::Topology withoutLink(const downup::topo::Topology& original,
-                                   downup::topo::LinkId skip) {
-  downup::topo::Topology degraded(original.nodeCount());
-  for (downup::topo::LinkId l = 0; l < original.linkCount(); ++l) {
-    if (l == skip) continue;
-    const auto [a, b] = original.linkEnds(l);
-    degraded.addLink(a, b);
-  }
-  return degraded;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace downup;
   util::Cli cli("link_failure",
                 "rebuild DOWN/UP routing after every single-link failure");
-  auto switches = cli.option<int>("switches", 32, "number of switches");
-  auto ports = cli.option<int>("ports", 4, "inter-switch ports per switch");
+  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
+  auto ports = cli.positiveOption<int>("ports", 4, "inter-switch ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 9, "topology seed");
   cli.parse(argc, argv);
 
@@ -55,27 +41,27 @@ int main(int argc, char** argv) {
             << "avg legal path " << std::fixed << std::setprecision(4)
             << basePath << " hops\n\n";
 
+  const fault::Reconfigurator reconfigurator(topo);
+  const std::vector<std::uint8_t> nodesUp(topo.nodeCount(), 1);
   unsigned survivable = 0;
   unsigned partitioned = 0;
   util::RunningStat degradedPath;
   for (topo::LinkId l = 0; l < topo.linkCount(); ++l) {
-    const topo::Topology degraded = withoutLink(topo, l);
-    if (!topo::isConnected(degraded)) {
+    std::vector<std::uint8_t> linksUp(topo.linkCount(), 1);
+    linksUp[l] = 0;
+    const fault::ReconfigOutcome outcome =
+        reconfigurator.rebuild(linksUp, nodesUp);
+    if (!outcome.ok()) {
+      std::cout << "UNEXPECTED: failure of link " << l
+                << " broke the rebuilt routing\n";
+      return 1;
+    }
+    if (outcome.components > 1) {
       ++partitioned;  // physically split; no routing can help
       continue;
     }
-    util::Rng rebuildRng(*seed + 2);
-    const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
-        degraded, tree::TreePolicy::kM1SmallestFirst, rebuildRng);
-    const routing::Routing routing = core::buildDownUp(degraded, ct);
-    const routing::VerifyReport report = routing::verifyRouting(routing);
-    if (!report.ok()) {
-      std::cout << "UNEXPECTED: failure of link " << l << " broke routing: "
-                << report.describe() << "\n";
-      return 1;
-    }
     ++survivable;
-    degradedPath.add(report.averagePathLength);
+    degradedPath.add(outcome.averagePathLength);
   }
 
   std::cout << "Single-link failures: " << topo.linkCount() << " total, "

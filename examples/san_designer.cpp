@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
   using namespace downup;
   util::Cli cli("san_designer",
                 "compare routing algorithms on a generated irregular SAN");
-  auto switches = cli.option<int>("switches", 64, "number of switches");
-  auto ports = cli.option<int>("ports", 8, "inter-switch ports per switch");
+  auto switches = cli.positiveOption<int>("switches", 64, "number of switches");
+  auto ports = cli.positiveOption<int>("ports", 8, "inter-switch ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 3, "topology seed");
   auto probe = cli.flag("probe", "also run a saturation probe (slower)");
   cli.parse(argc, argv);

@@ -68,10 +68,10 @@ int main(int argc, char** argv) {
   using namespace downup;
   util::Cli cli("trace_paths",
                 "trace simulated packets hop by hop through DOWN/UP routing");
-  auto switches = cli.option<int>("switches", 16, "number of switches");
-  auto ports = cli.option<int>("ports", 4, "ports per switch");
+  auto switches = cli.positiveOption<int>("switches", 16, "number of switches");
+  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 5, "seed");
-  auto packets = cli.option<int>("packets", 6, "packets to print");
+  auto packets = cli.positiveOption<int>("packets", 6, "packets to print");
   auto traceOut = cli.option<std::string>(
       "trace-out", "", "write a Chrome trace_event JSON (Perfetto) here");
   auto traceJsonl =

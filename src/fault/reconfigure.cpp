@@ -1,0 +1,179 @@
+#include "fault/reconfigure.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/downup_routing.hpp"
+#include "tree/coordinated_tree.hpp"
+#include "util/rng.hpp"
+
+namespace downup::fault {
+
+using routing::ChannelId;
+using routing::Dir;
+using routing::DirectionMap;
+using routing::kDirCount;
+using routing::NodeId;
+using routing::RoutingTable;
+using routing::TurnPermissions;
+using topo::LinkId;
+using topo::Topology;
+
+namespace {
+
+/// One alive component routed on its compacted sub-topology.  The sub
+/// topology and routing sit behind unique_ptrs because the routing table and
+/// turn permissions hold raw pointers into them.
+struct Component {
+  std::vector<NodeId> nodeToHost;       // ascending (remap contract)
+  std::vector<ChannelId> channelToHost;
+  std::unique_ptr<Topology> sub;
+  std::unique_ptr<routing::Routing> routing;
+};
+
+}  // namespace
+
+ReconfigOutcome Reconfigurator::rebuild(
+    std::span<const std::uint8_t> linkAlive,
+    std::span<const std::uint8_t> nodeAlive) const {
+  const Topology& topo = *topo_;
+  const NodeId n = topo.nodeCount();
+  const LinkId linkCount = topo.linkCount();
+
+  ReconfigOutcome out;
+  out.deadlockFree = true;
+  out.componentsConnected = true;
+
+  // A dead endpoint kills the link regardless of its own state.
+  std::vector<std::uint8_t> effLink(linkCount, 0);
+  for (LinkId l = 0; l < linkCount; ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    effLink[l] = linkAlive[l] && nodeAlive[a] && nodeAlive[b];
+    out.aliveLinks += effLink[l];
+  }
+
+  // Label alive components (DFS over alive nodes through alive links).
+  constexpr std::uint32_t kNoComp = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> comp(n, kNoComp);
+  std::vector<NodeId> stack;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!nodeAlive[v] || comp[v] != kNoComp) continue;
+    comp[v] = out.components;
+    stack.push_back(v);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      const auto neighbors = topo.neighbors(u);
+      const auto channels = topo.outputChannels(u);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        if (!effLink[Topology::linkOf(channels[i])]) continue;
+        const NodeId w = neighbors[i];
+        if (comp[w] != kNoComp) continue;
+        comp[w] = out.components;
+        stack.push_back(w);
+      }
+    }
+    ++out.components;
+  }
+
+  // Collect members per component in ascending host order (the remap
+  // contract: sub node ids must ascend with host ids so that adjacency —
+  // and therefore candidate-row — order survives the mapping).
+  std::vector<std::vector<NodeId>> members(out.components);
+  for (NodeId v = 0; v < n; ++v) {
+    if (comp[v] != kNoComp) members[comp[v]].push_back(v);
+  }
+  for (const auto& m : members) {
+    out.aliveNodes += static_cast<std::uint32_t>(m.size());
+  }
+
+  // Route every component with at least two switches independently: its own
+  // compacted topology, coordinated tree (M1 is deterministic; the RNG is
+  // never consulted) and DOWN/UP rule with the repair and release passes.
+  std::vector<Component> parts;
+  std::vector<NodeId> hostToSub(n, topo::kInvalidNode);
+  double pathLengthSum = 0.0;
+  std::uint64_t reachablePairs = 0;
+  for (const auto& m : members) {
+    if (m.size() < 2) continue;
+    Component part;
+    part.nodeToHost = m;
+    for (NodeId i = 0; i < m.size(); ++i) hostToSub[m[i]] = i;
+    part.sub = std::make_unique<Topology>(static_cast<NodeId>(m.size()));
+    for (LinkId l = 0; l < linkCount; ++l) {
+      if (!effLink[l]) continue;
+      const auto [a, b] = topo.linkEnds(l);
+      if (comp[a] != comp[m[0]]) continue;
+      // addLink preserves endpoint order, so sub channel 2k+p is host
+      // channel 2l+p: the channel map preserves parity.
+      part.sub->addLink(hostToSub[a], hostToSub[b]);
+      part.channelToHost.push_back(2 * l);
+      part.channelToHost.push_back(2 * l + 1);
+    }
+    util::Rng rng(0);
+    const auto ct = tree::CoordinatedTree::build(
+        *part.sub, tree::TreePolicy::kM1SmallestFirst, rng);
+    part.routing = std::make_unique<routing::Routing>(
+        core::buildDownUp(*part.sub, ct));
+
+    const routing::VerifyReport report = routing::verifyRouting(*part.routing);
+    out.deadlockFree = out.deadlockFree && report.deadlockFree;
+    out.componentsConnected = out.componentsConnected && report.connected;
+    out.unreachablePairs += report.unreachablePairs;
+    const std::uint64_t pairs =
+        static_cast<std::uint64_t>(m.size()) * (m.size() - 1) -
+        report.unreachablePairs;
+    pathLengthSum += report.averagePathLength * static_cast<double>(pairs);
+    reachablePairs += pairs;
+    parts.push_back(std::move(part));
+  }
+  out.averagePathLength =
+      reachablePairs == 0 ? 0.0
+                          : pathLengthSum / static_cast<double>(reachablePairs);
+  // Ordered alive pairs in different components are unreachable by design.
+  std::uint64_t sameComponentPairs = 0;
+  for (const auto& m : members) {
+    sameComponentPairs += static_cast<std::uint64_t>(m.size()) * (m.size() - 1);
+  }
+  out.unreachablePairs += static_cast<std::uint64_t>(out.aliveNodes) *
+                              (out.aliveNodes - 1) -
+                          sameComponentPairs;
+
+  // Merge the per-component rules into host numbering.  Dead channels keep
+  // an arbitrary direction: their steps stay kNoPath and their candidate
+  // rows stay empty, so the table never offers them.
+  DirectionMap hostDirs(topo.channelCount(), Dir::kRdTree);
+  for (const Component& part : parts) {
+    for (ChannelId c = 0; c < part.channelToHost.size(); ++c) {
+      hostDirs[part.channelToHost[c]] = part.routing->permissions().dir(c);
+    }
+  }
+  out.perms = std::make_unique<TurnPermissions>(topo, std::move(hostDirs),
+                                                core::downUpTurnSet());
+  std::vector<RoutingTable::ComponentMapping> mappings;
+  mappings.reserve(parts.size());
+  for (const Component& part : parts) {
+    const TurnPermissions& sub = part.routing->permissions();
+    for (NodeId v = 0; v < part.nodeToHost.size(); ++v) {
+      for (std::size_t i = 0; i < kDirCount; ++i) {
+        for (std::size_t j = 0; j < kDirCount; ++j) {
+          const Dir d1 = static_cast<Dir>(i);
+          const Dir d2 = static_cast<Dir>(j);
+          if (sub.isReleasedAt(v, d1, d2)) {
+            out.perms->releaseAt(part.nodeToHost[v], d1, d2);
+          }
+          if (sub.isBlockedAt(v, d1, d2)) {
+            out.perms->blockAt(part.nodeToHost[v], d1, d2);
+          }
+        }
+      }
+    }
+    mappings.push_back({&part.routing->table(), part.nodeToHost,
+                        part.channelToHost});
+  }
+  out.table = std::make_unique<RoutingTable>(
+      RoutingTable::remapComponents(*out.perms, mappings));
+  return out;
+}
+
+}  // namespace downup::fault

@@ -1,0 +1,68 @@
+// Online DOWN/UP reconfiguration: rebuild the coordinated tree, the
+// Definition-5 turn rule (with the repair and release passes) and the
+// shortest-path table on whatever topology is left after faults, expressed
+// in the ORIGINAL topology's node/channel numbering so a running simulator
+// can hot-swap the table without renumbering any of its channel state.
+//
+// The degraded graph may be disconnected (node failures isolate switches,
+// link failures can split the network).  Every alive connected component
+// with at least two switches is routed independently — its own compacted
+// sub-topology, coordinated tree and DOWN/UP rule — and the per-component
+// tables are merged with RoutingTable::remapComponents.  Channel-dependency
+// graphs of distinct components are disjoint, so the merged rule is
+// deadlock-free iff each component's rule is; pairs in different components
+// stay unreachable and are reported for the engine to drop with attribution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "routing/routing_table.hpp"
+#include "routing/verify.hpp"
+
+namespace downup::fault {
+
+/// One rebuilt routing epoch.  `table` indexes the ORIGINAL topology's
+/// channels; `perms` (which `table` references) lives alongside it.
+struct ReconfigOutcome {
+  std::unique_ptr<routing::TurnPermissions> perms;
+  std::unique_ptr<routing::RoutingTable> table;
+
+  unsigned components = 0;      // alive components (isolated switches count)
+  std::uint32_t aliveNodes = 0;
+  std::uint32_t aliveLinks = 0;
+  /// Ordered alive-node pairs with no legal path (cross-component pairs
+  /// plus any within-component unreachability — the latter is a bug and
+  /// implies !deadlockFree or a verify failure).
+  std::uint64_t unreachablePairs = 0;
+  /// Every component's channel-dependency graph verified acyclic.
+  bool deadlockFree = false;
+  /// Every within-component ordered pair reachable on legal paths.
+  bool componentsConnected = false;
+  /// Mean legal hop count over reachable pairs, across components.
+  double averagePathLength = 0.0;
+
+  bool ok() const noexcept { return deadlockFree && componentsConnected; }
+};
+
+class Reconfigurator {
+ public:
+  /// `topo` is the healthy (full) topology; it must outlive the
+  /// reconfigurator and every outcome it produces.
+  explicit Reconfigurator(const topo::Topology& topo) : topo_(&topo) {}
+
+  const topo::Topology& topology() const noexcept { return *topo_; }
+
+  /// Rebuilds routing over the subgraph restricted to nodes with
+  /// nodeAlive[v] != 0 and links with linkAlive[l] != 0 (a dead endpoint
+  /// implies a dead link regardless of linkAlive).  Deterministic: uses the
+  /// paper's M1 tree policy, no RNG.
+  ReconfigOutcome rebuild(std::span<const std::uint8_t> linkAlive,
+                          std::span<const std::uint8_t> nodeAlive) const;
+
+ private:
+  const topo::Topology* topo_;
+};
+
+}  // namespace downup::fault

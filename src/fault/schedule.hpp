@@ -1,0 +1,95 @@
+// Deterministic fault schedules for the wormhole simulator.
+//
+// A FaultSchedule is a cycle-ordered list of topology events — link
+// failures/recoveries and whole-node (switch) failures/recoveries — that the
+// engine applies while a simulation runs.  Schedules are plain data: they
+// never draw RNG at simulation time, so the same schedule attached to the
+// same SimConfig seed reproduces the same run bit for bit at any thread
+// count of the surrounding sweep.  The randomised generator below draws all
+// of its randomness up front from its own seed.
+//
+// Semantics of the event stream (enforced by the engine's FaultController):
+//   * a link is alive while its down-depth is zero: explicit kLinkDown and
+//     the failure of either endpoint node each push a down, the matching
+//     kLinkUp / kNodeUp pops it — so a link that failed on its own stays
+//     dead while its switch is also down, and recovers only when both
+//     causes have cleared;
+//   * node events cascade to every incident link;
+//   * events at the same cycle are applied in schedule order, then trigger
+//     a single reconfiguration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace downup::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kNodeDown,
+  kNodeUp,
+};
+
+const char* toString(FaultKind kind) noexcept;
+
+struct FaultEvent {
+  std::uint64_t cycle = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  std::uint32_t id = 0;  // LinkId for link events, NodeId for node events
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// What happens to packets generated while a reconfiguration window is open
+/// (SimConfig::faultInjectionPolicy).
+enum class InjectionPolicy : std::uint8_t {
+  kPark,  // queue at the source; they route once the new table is live
+  kDrop,  // discard at generation, counted as packetsDroppedInjection
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  // Builders keep the event list sorted by cycle (stable: events added
+  // later apply later within the same cycle) and return *this for chaining.
+  FaultSchedule& linkDown(std::uint64_t cycle, topo::LinkId link);
+  FaultSchedule& linkUp(std::uint64_t cycle, topo::LinkId link);
+  /// Transient flap: down at `cycle`, back up at `cycle + downCycles`.
+  FaultSchedule& linkFlap(std::uint64_t cycle, topo::LinkId link,
+                          std::uint64_t downCycles);
+  FaultSchedule& nodeDown(std::uint64_t cycle, topo::NodeId node);
+  FaultSchedule& nodeUp(std::uint64_t cycle, topo::NodeId node);
+
+  /// Seeded random schedule: `count` distinct link failures at cycles
+  /// firstCycle, firstCycle + cycleStep, ...  With `avoidPartition` every
+  /// failed link is chosen so the surviving subgraph stays connected (links
+  /// whose cumulative removal would split the network are skipped; if no
+  /// such link remains, fewer than `count` failures are scheduled).  All
+  /// randomness comes from `seed` — simulation-time behaviour is untouched.
+  static FaultSchedule randomLinkFailures(const topo::Topology& topo,
+                                          unsigned count,
+                                          std::uint64_t firstCycle,
+                                          std::uint64_t cycleStep,
+                                          std::uint64_t seed,
+                                          bool avoidPartition = true);
+
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+  std::span<const FaultEvent> events() const noexcept { return events_; }
+
+  /// Throws std::invalid_argument when an event names an out-of-range link
+  /// or node id for `topo`.
+  void validate(const topo::Topology& topo) const;
+
+ private:
+  FaultSchedule& add(std::uint64_t cycle, FaultKind kind, std::uint32_t id);
+
+  std::vector<FaultEvent> events_;  // sorted by cycle, insertion-stable
+};
+
+}  // namespace downup::fault

@@ -212,6 +212,7 @@ void writeChromeTrace(const PacketTracer& tracer, const topo::Topology* topo,
         case TraceEventKind::kGenerated:
         case TraceEventKind::kInjected:
         case TraceEventKind::kEjected:
+        case TraceEventKind::kDropped:
           events.next() << "{\"name\":\"" << toString(event.kind)
                         << "\",\"ph\":\"i\",\"s\":\"p\",\"pid\":"
                         << event.packet << ",\"tid\":0,\"ts\":" << event.cycle

@@ -15,7 +15,8 @@ MetricsRegistry::MetricsRegistry(std::uint32_t nodeCount,
       blockedNodeTurn_(static_cast<std::size_t>(nodeCount) * kTurnCells, 0),
       channelFlits_(channelCount, 0),
       levelFlits_(1, 0),
-      levelBlockedCycles_(1, 0) {}
+      levelBlockedCycles_(1, 0),
+      nodeDrops_(nodeCount, 0) {}
 
 void MetricsRegistry::setLevels(std::span<const std::uint32_t> nodeLevel,
                                 std::span<const std::uint32_t> channelLevel) {
@@ -64,6 +65,12 @@ std::uint64_t MetricsRegistry::totalTurnsTaken() const {
   return total;
 }
 
+std::uint64_t MetricsRegistry::totalDrops() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t x : nodeDrops_) total += x;
+  return total;
+}
+
 std::vector<double> MetricsRegistry::channelUtilization(
     std::uint64_t measuredCycles) const {
   const double cycles =
@@ -81,6 +88,7 @@ void MetricsRegistry::reset() {
   std::fill(channelFlits_.begin(), channelFlits_.end(), 0);
   std::fill(levelFlits_.begin(), levelFlits_.end(), 0);
   std::fill(levelBlockedCycles_.begin(), levelBlockedCycles_.end(), 0);
+  std::fill(nodeDrops_.begin(), nodeDrops_.end(), 0);
 }
 
 void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
@@ -102,6 +110,9 @@ void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
   for (std::size_t i = 0; i < levelFlits_.size(); ++i) {
     levelFlits_[i] += other.levelFlits_[i];
     levelBlockedCycles_[i] += other.levelBlockedCycles_[i];
+  }
+  for (std::size_t i = 0; i < nodeDrops_.size(); ++i) {
+    nodeDrops_[i] += other.nodeDrops_[i];
   }
 }
 

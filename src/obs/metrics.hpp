@@ -78,6 +78,11 @@ class MetricsRegistry {
     ++levelFlits_[channelLevel_[channel]];
   }
 
+  /// The fault machinery discarded a packet; `node` attributes the drop
+  /// (the failed switch, the node the worm's frontier was parked at, or the
+  /// source for injection/unreachable drops).
+  void recordDrop(NodeId node) noexcept { ++nodeDrops_[node]; }
+
   // --- accessors ---
 
   std::uint32_t nodeCount() const noexcept { return nodeCount_; }
@@ -122,6 +127,9 @@ class MetricsRegistry {
   std::uint64_t totalBlockedCycles() const;
   std::uint64_t totalTurnsTaken() const;
 
+  std::uint64_t nodeDrops(NodeId v) const noexcept { return nodeDrops_[v]; }
+  std::uint64_t totalDrops() const;
+
   /// Channel utilization in flits/cycle given the measured window length.
   std::vector<double> channelUtilization(std::uint64_t measuredCycles) const;
 
@@ -143,6 +151,7 @@ class MetricsRegistry {
   std::vector<std::uint64_t> channelFlits_;    // per channel
   std::vector<std::uint64_t> levelFlits_;      // per level
   std::vector<std::uint64_t> levelBlockedCycles_;  // per level
+  std::vector<std::uint64_t> nodeDrops_;       // per node (fault machinery)
 
   std::mutex mergeMutex_;
 };

@@ -10,6 +10,7 @@ const char* toString(TraceEventKind kind) noexcept {
     case TraceEventKind::kVcAllocated: return "vc_allocated";
     case TraceEventKind::kChannelCrossed: return "channel_crossed";
     case TraceEventKind::kEjected: return "ejected";
+    case TraceEventKind::kDropped: return "dropped";
   }
   return "unknown";
 }

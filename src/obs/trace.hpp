@@ -15,6 +15,9 @@
 //                 channel == kNoChannel) — one per hop
 //   channel_crossed  the header flit physically entered the channel
 //   ejected       the tail flit left the network
+//   dropped       the packet was discarded by the fault machinery (failed
+//                 link/switch, reconfiguration flush, or unreachable
+//                 destination); terminal like ejected
 #pragma once
 
 #include <cstdint>
@@ -31,6 +34,7 @@ enum class TraceEventKind : std::uint8_t {
   kVcAllocated,
   kChannelCrossed,
   kEjected,
+  kDropped,
 };
 
 const char* toString(TraceEventKind kind) noexcept;

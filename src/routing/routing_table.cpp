@@ -102,6 +102,95 @@ void RoutingTable::buildSuccessorIndexes() {
   nextAny_.entries.shrink_to_fit();
 }
 
+RoutingTable RoutingTable::remapComponents(
+    const TurnPermissions& hostPerms, std::span<const ComponentMapping> parts) {
+  RoutingTable host;
+  host.perms_ = &hostPerms;
+  const Topology& topo = hostPerms.topology();
+  host.nodeCount_ = topo.nodeCount();
+  host.channelCount_ = topo.channelCount();
+  const std::size_t n = host.nodeCount_;
+  const std::size_t channels = host.channelCount_;
+  host.steps_.assign(n * channels, kNoPath);
+
+  // Scatter the per-destination step fields.  Components are node- and
+  // channel-disjoint, so writes never collide.
+  for (const ComponentMapping& part : parts) {
+    const RoutingTable& sub = *part.table;
+    for (NodeId subDst = 0; subDst < sub.nodeCount_; ++subDst) {
+      const std::size_t hostRow =
+          static_cast<std::size_t>(part.nodeToHost[subDst]) * channels;
+      const std::size_t subRow =
+          static_cast<std::size_t>(subDst) * sub.channelCount_;
+      for (ChannelId c = 0; c < sub.channelCount_; ++c) {
+        host.steps_[hostRow + part.channelToHost[c]] = sub.steps_[subRow + c];
+      }
+    }
+  }
+
+  // Rebuild the three CSR candidate indexes by translating each sub row
+  // into its host row.  Entry order within a row is preserved: sub node ids
+  // ascend with host ids (ComponentMapping contract), so a sub adjacency
+  // scan visits neighbors in the same relative order a host scan would.
+  const auto translate = [&parts](auto rowsPerDst, auto subRowsOf,
+                                  auto hostRowOf, Csr RoutingTable::*csr,
+                                  RoutingTable& out) {
+    std::vector<std::uint32_t> sizes(rowsPerDst + 1, 0);
+    for (const ComponentMapping& part : parts) {
+      const Csr& subCsr = part.table->*csr;
+      const std::size_t subRows = subRowsOf(*part.table);
+      for (std::size_t r = 0; r < subRows; ++r) {
+        sizes[hostRowOf(part, r) + 1] +=
+            subCsr.offsets[r + 1] - subCsr.offsets[r];
+      }
+    }
+    Csr& hostCsr = out.*csr;
+    hostCsr.offsets.assign(sizes.begin(), sizes.end());
+    for (std::size_t r = 1; r < hostCsr.offsets.size(); ++r) {
+      hostCsr.offsets[r] += hostCsr.offsets[r - 1];
+    }
+    hostCsr.entries.assign(hostCsr.offsets.back(), 0);
+    for (const ComponentMapping& part : parts) {
+      const Csr& subCsr = part.table->*csr;
+      const std::size_t subRows = subRowsOf(*part.table);
+      for (std::size_t r = 0; r < subRows; ++r) {
+        std::uint32_t cursor = hostCsr.offsets[hostRowOf(part, r)];
+        for (std::uint32_t e = subCsr.offsets[r]; e < subCsr.offsets[r + 1];
+             ++e) {
+          hostCsr.entries[cursor++] = part.channelToHost[subCsr.entries[e]];
+        }
+      }
+    }
+  };
+
+  translate(
+      n * n,
+      [](const RoutingTable& sub) {
+        return static_cast<std::size_t>(sub.nodeCount_) * sub.nodeCount_;
+      },
+      [n](const ComponentMapping& part, std::size_t r) {
+        const std::size_t subN = part.table->nodeCount_;
+        return static_cast<std::size_t>(part.nodeToHost[r / subN]) * n +
+               part.nodeToHost[r % subN];
+      },
+      &RoutingTable::first_, host);
+  const auto channelRows = [](const RoutingTable& sub) {
+    return static_cast<std::size_t>(sub.nodeCount_) * sub.channelCount_;
+  };
+  const auto channelRowOf = [channels](const ComponentMapping& part,
+                                       std::size_t r) {
+    const std::size_t subChannels = part.table->channelCount_;
+    return static_cast<std::size_t>(part.nodeToHost[r / subChannels]) *
+               channels +
+           part.channelToHost[r % subChannels];
+  };
+  translate(n * channels, channelRows, channelRowOf, &RoutingTable::next_,
+            host);
+  translate(n * channels, channelRows, channelRowOf, &RoutingTable::nextAny_,
+            host);
+  return host;
+}
+
 std::uint16_t RoutingTable::distance(NodeId src, NodeId dst) const noexcept {
   if (src == dst) return 0;
   std::uint16_t best = kNoPath;

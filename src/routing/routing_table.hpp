@@ -82,6 +82,29 @@ class RoutingTable {
   void nextChannelsAnyTurn(ChannelId in, NodeId dst,
                            std::vector<ChannelId>& out) const;
 
+  // --- online reconfiguration (fault/reconfigure.cpp) ---
+
+  /// One connected component of a degraded topology, routed independently.
+  /// `table` was built on a compacted sub-topology; the maps take its node
+  /// and channel ids back into the host numbering.  Sub node ids must have
+  /// been assigned in ascending host-id order so that adjacency — and
+  /// therefore candidate-row — order is preserved under the mapping.
+  struct ComponentMapping {
+    const RoutingTable* table = nullptr;
+    std::span<const NodeId> nodeToHost;
+    std::span<const ChannelId> channelToHost;
+  };
+
+  /// Merges independently-routed components into one table expressed in the
+  /// host topology's numbering, so a running simulator can hot-swap routing
+  /// without renumbering its channel state.  Host channels outside every
+  /// mapping (dead links) keep kNoPath steps and empty candidate rows and
+  /// are therefore never offered as outputs; node pairs in different
+  /// components are unreachable.  `hostPerms` must express the merged turn
+  /// rule in host numbering and must outlive the returned table.
+  static RoutingTable remapComponents(const TurnPermissions& hostPerms,
+                                      std::span<const ComponentMapping> parts);
+
   /// True when distance(s, d) is finite for every ordered pair.
   bool allPairsConnected() const noexcept;
 

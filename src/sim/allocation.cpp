@@ -54,11 +54,19 @@ void WormholeNetwork::allocateOutputs() {
           }
         });
   }
+  // Injection is frozen while a reconfiguration window is open: sources
+  // stay in their set (skipping them has no side effects and draws no RNG)
+  // and compete again the cycle the rebuilt table is swapped in.
+  if (faultsActive_ && faults_->windowOpen()) return;
   if (!routableSources_.empty()) {
     routableSources_.forEachRotated(
         allocOffset_ % topo_->nodeCount(), [this](std::uint32_t node) {
           // Set invariant: queue non-empty, out == kNoOut.
           Source& source = sources_[node];
+          if (faultsActive_ && !dropUnroutableSourceFront(node)) {
+            routableSources_.erase(node);  // queue drained by the drops
+            return;
+          }
           if (packets_[source.queue.front()].genTime >= now_) return;
           routeSource(node);
           if (source.out != kNoOut) {
@@ -183,6 +191,11 @@ std::uint32_t WormholeNetwork::claimEscapeAdaptive(PacketId pid,
 
 std::uint32_t WormholeNetwork::claimOutputVc(PacketId pid, topo::NodeId node,
                                              ChannelId in, topo::NodeId dst) {
+  if (faultsActive_ && faults_->windowOpen()) {
+    // The table is stale against the degraded topology until the swap;
+    // route on it with the dead channels filtered out.
+    return claimOutputVcDegraded(pid, node, in, dst);
+  }
   if (config_.escapeAdaptiveRouting) {
     return claimEscapeAdaptive(pid, node, in, dst);
   }

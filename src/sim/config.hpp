@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/schedule.hpp"
+
 namespace downup::obs {
 class Observer;
 }
@@ -73,6 +75,23 @@ struct SimConfig {
   /// are bit-for-bit identical either way (hooks never draw RNG or alter
   /// scheduling).
   obs::Observer* observer = nullptr;
+  /// Optional fault schedule (fault/schedule.hpp).  Non-owning — the
+  /// schedule must outlive the run.  Null disables the fault machinery
+  /// entirely; attaching an EMPTY schedule is bit-for-bit inert (the hooks
+  /// never draw RNG or alter scheduling until an event actually fires), so
+  /// results match the null case exactly.  When events fire, the engine
+  /// quarantines the failed resources (dropping the worms occupying them),
+  /// freezes injection for reconfigLatencyCycles, then rebuilds the
+  /// coordinated tree + DOWN/UP turn rule on the degraded topology and
+  /// hot-swaps the routing table (fault/reconfigure.hpp).
+  const fault::FaultSchedule* faultSchedule = nullptr;
+  /// Cycles between a topology change and the hot swap of rebuilt routing
+  /// (the modelled cost of tree recomputation + table distribution).  A
+  /// later fault during an open window restarts the timer.
+  std::uint32_t reconfigLatencyCycles = 200;
+  /// What happens to packets generated while a reconfiguration window is
+  /// open: parked in the source queue (default) or dropped at generation.
+  fault::InjectionPolicy faultInjectionPolicy = fault::InjectionPolicy::kPark;
   std::uint64_t seed = 1;
 
   /// Throws std::invalid_argument on nonsensical values.
@@ -111,6 +130,34 @@ struct RunStats {
   /// Ejected flits per timelineBucketCycles bucket over the whole run
   /// (empty unless SimConfig::timelineBucketCycles > 0).
   std::vector<std::uint64_t> acceptedTimeline;
+
+  // --- fault injection / reconfiguration (zero unless faults fired) ---
+
+  /// Worms discarded because they occupied a failed link/switch or were
+  /// still unrouted when a reconfiguration swap flushed the network, plus
+  /// packets queued at a switch that failed.
+  std::uint64_t packetsDroppedInFlight = 0;
+  /// Packets suppressed at generation by InjectionPolicy::kDrop while a
+  /// reconfiguration window was open (not counted in packetsGenerated).
+  std::uint64_t packetsDroppedInjection = 0;
+  /// Generated packets discarded because their destination was dead or
+  /// unreachable under the degraded routing.
+  std::uint64_t packetsDroppedUnreachable = 0;
+  /// Completed reconfigurations (routing rebuilds hot-swapped in).
+  std::uint64_t reconfigurations = 0;
+  /// Cycles spent with a reconfiguration window open (injection frozen).
+  std::uint64_t reconfigCyclesTotal = 0;
+  /// Ordered alive-node pairs left unreachable by the latest swap
+  /// (post-fault connectivity; 0 while the degraded network is connected).
+  std::uint64_t unreachablePairsAfterReconfig = 0;
+  /// Every swapped-in routing passed verification (deadlock-free channel
+  /// dependencies + full connectivity within each alive component).
+  bool reconfigRoutingVerified = true;
+
+  std::uint64_t packetsDroppedTotal() const noexcept {
+    return packetsDroppedInFlight + packetsDroppedInjection +
+           packetsDroppedUnreachable;
+  }
 };
 
 }  // namespace downup::sim

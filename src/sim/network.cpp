@@ -66,6 +66,11 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
     profiler_ = config_.observer->profiler();
     obsClaims_ = metrics_ != nullptr || tracer_ != nullptr;
   }
+  if (config_.faultSchedule != nullptr) {
+    faults_ = std::make_unique<fault::FaultController>(*topo_,
+                                                       *config_.faultSchedule);
+    reconfigurator_ = std::make_unique<fault::Reconfigurator>(*topo_);
+  }
 }
 
 void WormholeNetwork::enqueuePacket(topo::NodeId src, topo::NodeId dst) {
@@ -99,6 +104,7 @@ std::uint64_t WormholeNetwork::flitsInFlight() const noexcept {
 
 void WormholeNetwork::step() {
   movedThisCycle_ = false;
+  if (faults_ != nullptr) [[unlikely]] faultPhase();
   if (profiler_ == nullptr) [[likely]] {
     deliverArrivals();
     generateTraffic();
@@ -114,6 +120,11 @@ void WormholeNetwork::step() {
   // ownedVcs_ is maintained by the claim/release paths, replacing the
   // historical every-cycle scan over all VCs.
   if (movedThisCycle_ || ownedVcs_ == 0) {
+    idleCycles_ = 0;
+  } else if (faultsActive_ && faults_->windowOpen()) {
+    // Worms legitimately stall while routing is being rebuilt; the swap at
+    // the end of the window resolves them (drains or drops), so the
+    // watchdog must not call a reconfiguration pause a deadlock.
     idleCycles_ = 0;
   } else if (++idleCycles_ >= config_.deadlockThresholdCycles) {
     deadlocked_ = true;
@@ -147,7 +158,7 @@ void WormholeNetwork::runPhasesProfiled() {
 }
 
 void WormholeNetwork::generateTraffic() {
-  if (genProbability_ <= 0.0) return;
+  if (genProbability_ <= 0.0 || generationStopped_) return;
   const topo::NodeId nodeCount = topo_->nodeCount();
   if (config_.burstFactor <= 1.0) {
     // Smooth-traffic fast path: one Bernoulli draw per node per cycle is the
@@ -161,6 +172,9 @@ void WormholeNetwork::generateTraffic() {
       if (sources_[node].queue.size() >= queueCap) continue;
       const topo::NodeId dst = pattern_->destination(node, rng_);
       assert(dst != node && "traffic pattern produced src == dst");
+      // The fault guard sits after the draws so the healthy per-node RNG
+      // sequence is undisturbed; it is never taken until a fault fires.
+      if (faultsActive_ && !admitGeneratedPacket(node, dst)) continue;
       enqueuePacket(node, dst);
     }
     return;
@@ -184,6 +198,7 @@ void WormholeNetwork::generateTraffic() {
     if (sources_[node].queue.size() >= config_.sourceQueueCapPackets) continue;
     const topo::NodeId dst = pattern_->destination(node, rng_);
     assert(dst != node && "traffic pattern produced src == dst");
+    if (faultsActive_ && !admitGeneratedPacket(node, dst)) continue;
     enqueuePacket(node, dst);
   }
 }
@@ -195,6 +210,23 @@ RunStats WormholeNetwork::run() {
   return collectStats();
 }
 
+bool WormholeNetwork::drainRemaining(std::uint64_t maxCycles) {
+  // Injection-policy drops never entered packetsGenerated_, so the balance
+  // below counts only the drop classes that discard *generated* packets.
+  const auto accounted = [this] {
+    return packetsEjectedTotal_ + droppedInFlight_ + droppedUnreachable_ ==
+           packetsGenerated_;
+  };
+  generationStopped_ = true;
+  const std::uint64_t deadline = now_ + maxCycles;
+  while (now_ < deadline && !deadlocked_) {
+    const bool windowOpen = faults_ != nullptr && faults_->windowOpen();
+    if (!windowOpen && accounted()) return true;
+    step();
+  }
+  return !deadlocked_ && accounted();
+}
+
 RunStats WormholeNetwork::collectStats() const {
   RunStats stats;
   stats.cycles = now_;
@@ -202,6 +234,13 @@ RunStats WormholeNetwork::collectStats() const {
   stats.packetsGenerated = packetsGenerated_;
   stats.offeredLoad = injectionRate_;
   telemetry_.fill(stats, measuredCycles_, topo_->nodeCount());
+  stats.packetsDroppedInFlight = droppedInFlight_;
+  stats.packetsDroppedInjection = droppedInjection_;
+  stats.packetsDroppedUnreachable = droppedUnreachable_;
+  stats.reconfigurations = reconfigurations_;
+  stats.reconfigCyclesTotal = reconfigCyclesTotal_;
+  stats.unreachablePairsAfterReconfig = lastUnreachablePairs_;
+  stats.reconfigRoutingVerified = reconfigVerified_;
   return stats;
 }
 

@@ -49,6 +49,8 @@
 #include <span>
 #include <vector>
 
+#include "fault/controller.hpp"
+#include "fault/reconfigure.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/active_set.hpp"
 #include "sim/config.hpp"
@@ -85,6 +87,13 @@ class WormholeNetwork {
   /// collected statistics.
   RunStats run();
 
+  /// Stops traffic generation and keeps stepping until every generated
+  /// packet has been ejected or dropped (fault runs: any open
+  /// reconfiguration window is played out first).  Returns true when the
+  /// network fully drained within `maxCycles` additional cycles — with a
+  /// correct routing this can only fail on a genuine deadlock.
+  bool drainRemaining(std::uint64_t maxCycles);
+
   // --- observation hooks (tests, examples) ---
   static constexpr std::uint64_t kNeverEjected = ~std::uint64_t{0};
 
@@ -112,6 +121,16 @@ class WormholeNetwork {
 
   std::uint64_t now() const noexcept { return now_; }
   bool deadlocked() const noexcept { return deadlocked_; }
+  /// True once the packet was discarded by the fault machinery.
+  bool packetDropped(PacketId pid) const { return packets_[pid].dropped; }
+  std::uint64_t packetsDropped() const noexcept {
+    return droppedInFlight_ + droppedInjection_ + droppedUnreachable_;
+  }
+  /// Completed routing rebuilds (0 for fault-free runs).
+  std::uint64_t reconfigurations() const noexcept { return reconfigurations_; }
+  /// The routing table currently in effect (the constructor argument until
+  /// the first reconfiguration swap).
+  const RoutingTable& currentTable() const noexcept { return *table_; }
   std::uint64_t packetsGenerated() const noexcept { return packetsGenerated_; }
   std::uint64_t packetsEjected() const noexcept { return packetsEjectedTotal_; }
   std::uint64_t flitsInFlight() const noexcept;
@@ -149,6 +168,7 @@ class WormholeNetwork {
     std::uint64_t injectTime = kNeverEjected;
     std::uint64_t ejectTime = kNeverEjected;
     bool onEscape = false;  // escape-adaptive routing: committed to VC 0
+    bool dropped = false;   // discarded by the fault machinery
   };
 
   // VC ids are channel * vcCount + v; ejection refs are
@@ -191,6 +211,34 @@ class WormholeNetwork {
 
   // --- arbitration.cpp ---
   void transferFlits();
+
+  // --- fault_hooks.cpp (only reached when config_.faultSchedule != null) ---
+  /// Start-of-cycle fault work: apply due events (quarantining the worms on
+  /// newly dead resources), tick the reconfiguration window, swap routing
+  /// when it elapses.
+  void faultPhase();
+  /// Discards `pid` wherever it lives — owned VCs (buffers + pipeline),
+  /// ejection port, source front — restoring credits and active sets, and
+  /// counts it into droppedInFlight_.  Idempotent per packet.
+  void dropPacket(PacketId pid, topo::NodeId atNode);
+  void quarantineNode(topo::NodeId node);
+  /// Rebuilds routing on the degraded topology and hot-swaps the table.
+  /// Packets still owning an unrouted VC are dropped first, so the post-swap
+  /// network holds only fully-routed draining worms — mixing them with
+  /// claims under the new (acyclic) rule cannot form a dependency cycle.
+  void completeReconfiguration();
+  /// Window-open variant of claimOutputVc: same selection logic over the
+  /// stale table's candidates with dead channels filtered out (misroute
+  /// excursions are suspended during a window).
+  std::uint32_t claimOutputVcDegraded(PacketId pid, topo::NodeId node,
+                                      ChannelId in, topo::NodeId dst);
+  /// Drops queued packets whose destination is dead or unreachable under
+  /// the current (post-swap) table until the front packet is routable.
+  /// Returns false when the queue drained empty.
+  bool dropUnroutableSourceFront(topo::NodeId node);
+  /// Generation-time admission under faults; may count a drop.  `node` has
+  /// already passed the queue-cap check and drawn `dst`.
+  bool admitGeneratedPacket(topo::NodeId node, topo::NodeId dst);
 
   // --- active-set bookkeeping (inline: called on every state transition) ---
   /// VC `vcId` gained a forwardable flit (out claimed with flits buffered,
@@ -287,6 +335,27 @@ class WormholeNetwork {
   obs::PacketTracer* tracer_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
   bool obsClaims_ = false;  // metrics_ or tracer_ attached
+
+  // Fault injection + online reconfiguration (fault_hooks.cpp; null unless
+  // config_.faultSchedule is set).  faultsActive_ flips true at the first
+  // fault event and back to false when a reconfiguration completes with
+  // everything healed; while false, the hot paths see only never-taken
+  // branch checks and draw no extra RNG — an attached empty schedule is
+  // therefore bit-for-bit inert.
+  std::unique_ptr<fault::FaultController> faults_;
+  std::unique_ptr<fault::Reconfigurator> reconfigurator_;
+  std::unique_ptr<routing::TurnPermissions> epochPerms_;  // degraded epoch
+  std::unique_ptr<routing::RoutingTable> epochTable_;     // table_ after swap
+  bool faultsActive_ = false;
+  bool generationStopped_ = false;  // drainRemaining()
+  std::uint64_t reconfigurations_ = 0;
+  std::uint64_t reconfigCyclesTotal_ = 0;
+  std::uint64_t droppedInFlight_ = 0;
+  std::uint64_t droppedInjection_ = 0;
+  std::uint64_t droppedUnreachable_ = 0;
+  std::uint64_t lastUnreachablePairs_ = 0;
+  bool reconfigVerified_ = true;
+  std::vector<ChannelId> aliveChannels_;  // degraded-claim scratch
 };
 
 }  // namespace downup::sim

@@ -1,5 +1,6 @@
 #include "topology/io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -8,15 +9,36 @@
 namespace downup::topo {
 
 namespace {
-[[noreturn]] void fail(std::size_t lineNo, const std::string& message) {
-  throw std::runtime_error("topology load: line " + std::to_string(lineNo) +
-                           ": " + message);
+
+[[noreturn]] void fail(const std::string& source, std::size_t lineNo,
+                       const std::string& message) {
+  throw std::runtime_error("topology load: " + source + ":" +
+                           std::to_string(lineNo) + ": " + message);
 }
+
+/// Strict unsigned parse: digits only (no sign, no hex, no overflow wrap).
+std::optional<std::uint64_t> parseCount(const std::string& token) {
+  std::uint64_t value = 0;
+  const char* first = token.data();
+  const char* last = first + token.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || token.empty()) return std::nullopt;
+  return value;
+}
+
+/// True when the rest of `line` holds anything but a trailing '#' comment.
+bool hasTrailingGarbage(std::istringstream& line) {
+  std::string extra;
+  return (line >> extra) && !extra.starts_with('#');
+}
+
 }  // namespace
 
 void save(const Topology& topo, std::ostream& out) {
   out << "downup-topo v1\n";
   out << "nodes " << topo.nodeCount() << "\n";
+  // The link count up front lets load() detect truncated files.
+  out << "links " << topo.linkCount() << "\n";
   for (LinkId l = 0; l < topo.linkCount(); ++l) {
     const auto [a, b] = topo.linkEnds(l);
     out << "link " << a << " " << b << "\n";
@@ -29,10 +51,11 @@ void saveFile(const Topology& topo, const std::string& path) {
   save(topo, out);
 }
 
-Topology load(std::istream& in) {
+Topology load(std::istream& in, const std::string& source) {
   std::string lineText;
   std::size_t lineNo = 0;
   std::optional<Topology> topo;
+  std::optional<std::uint64_t> declaredLinks;
   bool sawMagic = false;
   while (std::getline(in, lineText)) {
     ++lineNo;
@@ -42,38 +65,90 @@ Topology load(std::istream& in) {
     if (!sawMagic) {
       std::string version;
       if (keyword != "downup-topo" || !(line >> version) || version != "v1") {
-        fail(lineNo, "expected header 'downup-topo v1'");
+        fail(source, lineNo, "expected header 'downup-topo v1'");
       }
       sawMagic = true;
       continue;
     }
     if (keyword == "nodes") {
-      std::uint64_t n = 0;
-      if (!(line >> n) || n == 0 || n > (1u << 24)) fail(lineNo, "bad node count");
-      if (topo) fail(lineNo, "duplicate 'nodes' line");
-      topo.emplace(static_cast<NodeId>(n));
-    } else if (keyword == "link") {
-      if (!topo) fail(lineNo, "'link' before 'nodes'");
-      NodeId a = 0;
-      NodeId b = 0;
-      if (!(line >> a >> b)) fail(lineNo, "bad link endpoints");
-      try {
-        topo->addLink(a, b);
-      } catch (const std::invalid_argument& e) {
-        fail(lineNo, e.what());
+      std::string token;
+      if (!(line >> token)) fail(source, lineNo, "missing node count");
+      const auto n = parseCount(token);
+      if (!n || *n == 0 || *n > (1u << 24)) {
+        fail(source, lineNo, "bad node count '" + token + "'");
       }
+      if (topo) fail(source, lineNo, "duplicate 'nodes' line");
+      if (hasTrailingGarbage(line)) {
+        fail(source, lineNo, "trailing characters after node count");
+      }
+      topo.emplace(static_cast<NodeId>(*n));
+    } else if (keyword == "links") {
+      if (!topo) fail(source, lineNo, "'links' before 'nodes'");
+      if (declaredLinks) fail(source, lineNo, "duplicate 'links' line");
+      std::string token;
+      if (!(line >> token)) fail(source, lineNo, "missing link count");
+      const auto n = parseCount(token);
+      if (!n) fail(source, lineNo, "bad link count '" + token + "'");
+      if (hasTrailingGarbage(line)) {
+        fail(source, lineNo, "trailing characters after link count");
+      }
+      declaredLinks = *n;
+    } else if (keyword == "link") {
+      if (!topo) fail(source, lineNo, "'link' before 'nodes'");
+      std::string tokenA;
+      std::string tokenB;
+      if (!(line >> tokenA)) {
+        fail(source, lineNo, "truncated 'link' line: missing both endpoints");
+      }
+      if (!(line >> tokenB)) {
+        fail(source, lineNo, "truncated 'link' line: missing second endpoint");
+      }
+      const auto a = parseCount(tokenA);
+      const auto b = parseCount(tokenB);
+      if (!a || *a >= topo->nodeCount()) {
+        fail(source, lineNo, "link endpoint '" + tokenA +
+                                 "' out of range for " +
+                                 std::to_string(topo->nodeCount()) + " nodes");
+      }
+      if (!b || *b >= topo->nodeCount()) {
+        fail(source, lineNo, "link endpoint '" + tokenB +
+                                 "' out of range for " +
+                                 std::to_string(topo->nodeCount()) + " nodes");
+      }
+      if (*a == *b) {
+        fail(source, lineNo, "self-loop at node " + tokenA);
+      }
+      if (topo->hasLink(static_cast<NodeId>(*a), static_cast<NodeId>(*b))) {
+        fail(source, lineNo, "duplicate link " + tokenA + " " + tokenB);
+      }
+      if (hasTrailingGarbage(line)) {
+        fail(source, lineNo, "trailing characters after link endpoints");
+      }
+      topo->addLink(static_cast<NodeId>(*a), static_cast<NodeId>(*b));
     } else {
-      fail(lineNo, "unknown keyword '" + keyword + "'");
+      fail(source, lineNo, "unknown keyword '" + keyword + "'");
     }
   }
-  if (!topo) throw std::runtime_error("topology load: empty input");
+  if (in.bad()) {
+    fail(source, lineNo, "read error (truncated file?)");
+  }
+  if (!sawMagic) {
+    throw std::runtime_error("topology load: " + source +
+                             ": empty input (missing 'downup-topo v1' header)");
+  }
+  if (!topo) fail(source, lineNo, "truncated input: no 'nodes' line");
+  if (declaredLinks && *declaredLinks != topo->linkCount()) {
+    fail(source, lineNo,
+         "truncated input: declared " + std::to_string(*declaredLinks) +
+             " links but found " + std::to_string(topo->linkCount()));
+  }
   return *std::move(topo);
 }
 
 Topology loadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("topology load: cannot open " + path);
-  return load(in);
+  return load(in, path);
 }
 
 }  // namespace downup::topo

@@ -4,6 +4,7 @@
 // Format (line oriented, '#' comments allowed):
 //   downup-topo v1
 //   nodes <N>
+//   links <L>        (optional; lets the loader detect truncated files)
 //   link <a> <b>
 //   ...
 #pragma once
@@ -18,8 +19,13 @@ namespace downup::topo {
 void save(const Topology& topo, std::ostream& out);
 void saveFile(const Topology& topo, const std::string& path);
 
-/// Throws std::runtime_error with a line number on malformed input.
-Topology load(std::istream& in);
+/// Throws std::runtime_error naming `source` and the offending line number
+/// on malformed input: bad or missing header, malformed/negative numbers,
+/// out-of-range endpoints, self-loops, duplicate links, trailing garbage,
+/// and truncated files (a partial 'link' line, or fewer links than the
+/// optional 'links <L>' declaration).
+Topology load(std::istream& in, const std::string& source = "<stream>");
+/// load() on the file's contents; errors carry the file path.
 Topology loadFile(const std::string& path);
 
 }  // namespace downup::topo

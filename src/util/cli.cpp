@@ -26,11 +26,13 @@ std::shared_ptr<bool> Cli::flag(std::string name, std::string help) {
 }
 
 void Cli::addOption(std::string name, std::string help, std::string defaultText,
-                    std::function<bool(std::string_view)> apply) {
+                    std::function<bool(std::string_view)> apply,
+                    std::string constraint) {
   Spec spec;
   spec.name = std::move(name);
   spec.help = std::move(help);
   spec.defaultText = std::move(defaultText);
+  spec.constraint = std::move(constraint);
   spec.apply = std::move(apply);
   specs_.push_back(std::move(spec));
 }
@@ -100,6 +102,9 @@ bool Cli::tryParse(const std::vector<std::string>& args, std::string* error) {
     if (!spec->apply(value)) {
       if (error) {
         *error = "bad value '" + std::string(value) + "' for --" + spec->name;
+        if (!spec->constraint.empty()) {
+          *error += " (" + spec->constraint + ")";
+        }
       }
       return false;
     }

@@ -31,6 +31,24 @@ class Cli {
     return slot;
   }
 
+  /// Like option(), but rejects zero and negative values (and, for the
+  /// unsigned instantiations, the silent "-1" -> huge wraparound) with an
+  /// error naming the constraint.  For counts: --switches, --ports, ...
+  template <typename T>
+  std::shared_ptr<T> positiveOption(std::string name, T defaultValue,
+                                    std::string help) {
+    auto slot = std::make_shared<T>(defaultValue);
+    addOption(std::move(name), std::move(help), describeDefault(defaultValue),
+              [slot](std::string_view text) {
+                T parsed{};
+                if (!parseInto(text, parsed) || parsed <= 0) return false;
+                *slot = parsed;
+                return true;
+              },
+              "must be a positive number");
+    return slot;
+  }
+
   /// Registers boolean --name (no argument).
   std::shared_ptr<bool> flag(std::string name, std::string help);
 
@@ -48,12 +66,14 @@ class Cli {
     std::string name;
     std::string help;
     std::string defaultText;
+    std::string constraint;  // appended to bad-value errors when non-empty
     bool isFlag = false;
     std::function<bool(std::string_view)> apply;
   };
 
   void addOption(std::string name, std::string help, std::string defaultText,
-                 std::function<bool(std::string_view)> apply);
+                 std::function<bool(std::string_view)> apply,
+                 std::string constraint = "");
   const Spec* find(std::string_view name) const;
 
   static bool parseInto(std::string_view text, int& out);

@@ -1,0 +1,104 @@
+// The cycle-repair pass on degraded topologies: online reconfiguration
+// (fault/reconfigure.hpp) rebuilds DOWN/UP routing on a SAN with links
+// removed, so the repair must stay sound — acyclic, idempotent, and fully
+// connecting — on every single-link-removal neighbour of a healthy network,
+// not just on freshly generated ones.
+#include "core/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ddg.hpp"
+#include "routing/cdg.hpp"
+#include "routing/routing_table.hpp"
+#include "topology/generate.hpp"
+#include "tree/coordinated_tree.hpp"
+#include "util/rng.hpp"
+
+namespace downup::core {
+namespace {
+
+using routing::Topology;
+using routing::TurnPermissions;
+using tree::CoordinatedTree;
+using tree::TreePolicy;
+
+/// The topology with link `dead` removed (host link order preserved).
+Topology removeLink(const Topology& topo, topo::LinkId dead) {
+  Topology degraded(topo.nodeCount());
+  for (topo::LinkId l = 0; l < topo.linkCount(); ++l) {
+    if (l == dead) continue;
+    const auto [a, b] = topo.linkEnds(l);
+    degraded.addLink(a, b);
+  }
+  return degraded;
+}
+
+bool isConnected(const Topology& topo) {
+  std::vector<bool> seen(topo.nodeCount(), false);
+  std::vector<topo::NodeId> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const topo::NodeId v = stack.back();
+    stack.pop_back();
+    for (const topo::NodeId w : topo.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (topo::NodeId v = 0; v < topo.nodeCount(); ++v) {
+    if (!seen[v]) return false;
+  }
+  return true;
+}
+
+/// For every link of `topo` whose removal keeps the network connected:
+/// rebuild the tree and raw DOWN/UP permissions on the degraded topology,
+/// repair, and check acyclicity, idempotence and all-pairs connectivity.
+void checkAllSingleLinkRemovals(const Topology& topo, std::uint64_t treeSeed) {
+  unsigned checked = 0;
+  for (topo::LinkId dead = 0; dead < topo.linkCount(); ++dead) {
+    const Topology degraded = removeLink(topo, dead);
+    if (!isConnected(degraded)) continue;
+    ++checked;
+
+    util::Rng treeRng(treeSeed);
+    const CoordinatedTree ct = CoordinatedTree::build(
+        degraded, TreePolicy::kM1SmallestFirst, treeRng);
+    TurnPermissions perms(degraded, routing::classifyDownUp(degraded, ct),
+                          downUpTurnSet());
+    repairTurnCycles(perms);
+
+    EXPECT_TRUE(routing::checkChannelDependencies(perms).acyclic)
+        << "cycle after repair, dead link " << dead;
+    const std::size_t blocks = perms.blockCount();
+    const RepairStats second = repairTurnCycles(perms);
+    EXPECT_EQ(second.blockedTurns, 0u) << "repair not idempotent, dead link "
+                                       << dead;
+    EXPECT_EQ(perms.blockCount(), blocks);
+
+    const auto table = routing::RoutingTable::build(perms);
+    EXPECT_TRUE(table.allPairsConnected())
+        << "unreachable pair after repair, dead link " << dead;
+  }
+  // A random SAN has spare paths: most links must have been coverable.
+  EXPECT_GT(checked, topo.linkCount() / 2);
+}
+
+TEST(RepairDegraded, EveryLinkRemovalOf32SwitchSan) {
+  util::Rng rng(2024);
+  const Topology topo = topo::randomIrregular(32, {.maxPorts = 4}, rng);
+  checkAllSingleLinkRemovals(topo, 7);
+}
+
+TEST(RepairDegraded, EveryLinkRemovalOf64SwitchSan) {
+  util::Rng rng(4097);
+  const Topology topo = topo::randomIrregular(64, {.maxPorts = 5}, rng);
+  checkAllSingleLinkRemovals(topo, 11);
+}
+
+}  // namespace
+}  // namespace downup::core

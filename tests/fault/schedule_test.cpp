@@ -1,0 +1,167 @@
+// FaultSchedule: builder ordering, flap expansion, the seeded random
+// generator (determinism + partition avoidance) and validation errors.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fault/schedule.hpp"
+#include "topology/generate.hpp"
+#include "util/rng.hpp"
+
+namespace downup::fault {
+namespace {
+
+topo::Topology ring(topo::NodeId n) {
+  topo::Topology topo(n);
+  for (topo::NodeId v = 0; v < n; ++v) topo.addLink(v, (v + 1) % n);
+  return topo;
+}
+
+/// True when the subgraph over all nodes and the non-failed links is
+/// connected (every node reachable from node 0).
+bool aliveConnected(const topo::Topology& topo,
+                    const std::vector<bool>& linkDead) {
+  std::vector<bool> seen(topo.nodeCount(), false);
+  std::vector<topo::NodeId> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const topo::NodeId v = stack.back();
+    stack.pop_back();
+    const auto channels = topo.outputChannels(v);
+    const auto neighbors = topo.neighbors(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (linkDead[topo::Topology::linkOf(channels[i])]) continue;
+      if (!seen[neighbors[i]]) {
+        seen[neighbors[i]] = true;
+        stack.push_back(neighbors[i]);
+      }
+    }
+  }
+  for (topo::NodeId v = 0; v < topo.nodeCount(); ++v) {
+    if (!seen[v]) return false;
+  }
+  return true;
+}
+
+TEST(FaultScheduleTest, BuildersKeepEventsCycleSorted) {
+  FaultSchedule schedule;
+  schedule.linkDown(300, 2).nodeDown(100, 5).linkUp(200, 2);
+  ASSERT_EQ(schedule.size(), 3u);
+  const auto events = schedule.events();
+  EXPECT_EQ(events[0], (FaultEvent{100, FaultKind::kNodeDown, 5}));
+  EXPECT_EQ(events[1], (FaultEvent{200, FaultKind::kLinkUp, 2}));
+  EXPECT_EQ(events[2], (FaultEvent{300, FaultKind::kLinkDown, 2}));
+}
+
+TEST(FaultScheduleTest, SameCycleEventsAreInsertionStable) {
+  FaultSchedule schedule;
+  schedule.linkDown(50, 1).nodeDown(50, 3).linkUp(50, 1).nodeUp(50, 3);
+  const auto events = schedule.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(events[1].kind, FaultKind::kNodeDown);
+  EXPECT_EQ(events[2].kind, FaultKind::kLinkUp);
+  EXPECT_EQ(events[3].kind, FaultKind::kNodeUp);
+}
+
+TEST(FaultScheduleTest, LinkFlapExpandsToDownThenUp) {
+  FaultSchedule schedule;
+  schedule.linkFlap(1000, 7, 40);
+  const auto events = schedule.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (FaultEvent{1000, FaultKind::kLinkDown, 7}));
+  EXPECT_EQ(events[1], (FaultEvent{1040, FaultKind::kLinkUp, 7}));
+}
+
+TEST(FaultScheduleTest, EmptyScheduleReportsEmpty) {
+  const FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.size(), 0u);
+  EXPECT_TRUE(schedule.events().empty());
+}
+
+TEST(FaultScheduleTest, RandomLinkFailuresIsDeterministicPerSeed) {
+  util::Rng topoRng(2024);
+  const topo::Topology topo = topo::randomIrregular(24, {.maxPorts = 4},
+                                                    topoRng);
+  const FaultSchedule a =
+      FaultSchedule::randomLinkFailures(topo, 4, 1000, 500, 99);
+  const FaultSchedule b =
+      FaultSchedule::randomLinkFailures(topo, 4, 1000, 500, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i], b.events()[i]);
+  }
+  const FaultSchedule c =
+      FaultSchedule::randomLinkFailures(topo, 4, 1000, 500, 100);
+  bool anyDifferent = c.size() != a.size();
+  for (std::size_t i = 0; !anyDifferent && i < a.size(); ++i) {
+    anyDifferent = !(a.events()[i] == c.events()[i]);
+  }
+  EXPECT_TRUE(anyDifferent) << "different seeds produced identical schedules";
+}
+
+TEST(FaultScheduleTest, RandomLinkFailuresScheduleShape) {
+  util::Rng topoRng(2024);
+  const topo::Topology topo = topo::randomIrregular(24, {.maxPorts = 4},
+                                                    topoRng);
+  const FaultSchedule schedule =
+      FaultSchedule::randomLinkFailures(topo, 3, 1000, 500, 42);
+  ASSERT_EQ(schedule.size(), 3u);
+  std::vector<bool> failed(topo.linkCount(), false);
+  std::uint64_t cycle = 1000;
+  for (const FaultEvent& event : schedule.events()) {
+    EXPECT_EQ(event.kind, FaultKind::kLinkDown);
+    EXPECT_EQ(event.cycle, cycle);
+    EXPECT_LT(event.id, topo.linkCount());
+    EXPECT_FALSE(failed[event.id]) << "link failed twice";
+    failed[event.id] = true;
+    cycle += 500;
+  }
+}
+
+TEST(FaultScheduleTest, RandomLinkFailuresAvoidsPartition) {
+  // A ring has exactly one spare path: failing any two links partitions it,
+  // so the partition-avoiding generator must stop after one failure.
+  const topo::Topology topo = ring(8);
+  const FaultSchedule schedule =
+      FaultSchedule::randomLinkFailures(topo, 5, 100, 100, 7);
+  EXPECT_EQ(schedule.size(), 1u);
+
+  // On a denser network every prefix of the failure sequence must leave the
+  // alive subgraph connected.
+  util::Rng topoRng(2024);
+  const topo::Topology dense = topo::randomIrregular(24, {.maxPorts = 4},
+                                                     topoRng);
+  const FaultSchedule denseSchedule =
+      FaultSchedule::randomLinkFailures(dense, 5, 100, 100, 11);
+  std::vector<bool> dead(dense.linkCount(), false);
+  for (const FaultEvent& event : denseSchedule.events()) {
+    dead[event.id] = true;
+    EXPECT_TRUE(aliveConnected(dense, dead));
+  }
+}
+
+TEST(FaultScheduleTest, RandomLinkFailuresCanPartitionWhenAllowed) {
+  const topo::Topology topo = ring(8);
+  const FaultSchedule schedule = FaultSchedule::randomLinkFailures(
+      topo, 5, 100, 100, 7, /*avoidPartition=*/false);
+  EXPECT_EQ(schedule.size(), 5u);
+}
+
+TEST(FaultScheduleTest, ValidateRejectsOutOfRangeIds) {
+  const topo::Topology topo = ring(6);  // 6 links, 6 nodes
+  FaultSchedule badLink;
+  badLink.linkDown(10, topo.linkCount());
+  EXPECT_THROW(badLink.validate(topo), std::invalid_argument);
+  FaultSchedule badNode;
+  badNode.nodeDown(10, topo.nodeCount());
+  EXPECT_THROW(badNode.validate(topo), std::invalid_argument);
+  FaultSchedule good;
+  good.linkFlap(10, topo.linkCount() - 1, 5).nodeDown(20, 0);
+  EXPECT_NO_THROW(good.validate(topo));
+}
+
+}  // namespace
+}  // namespace downup::fault

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "core/downup_routing.hpp"
+#include "fault/schedule.hpp"
 #include "sim/engine.hpp"
 #include "topology/generate.hpp"
 
@@ -92,6 +93,12 @@ class GoldenRunTest : public ::testing::Test {
     EXPECT_DOUBLE_EQ(stats.acceptedFlitsPerNodePerCycle, golden.accepted);
     EXPECT_EQ(stats.channelUtilization.size(), 96u);
     EXPECT_EQ(statsHash(stats), golden.utilHash);
+    // No golden run injects faults, so the fault accounting must stay at
+    // its zero defaults whether or not a schedule object is attached.
+    EXPECT_EQ(stats.packetsDroppedTotal(), 0u);
+    EXPECT_EQ(stats.reconfigurations, 0u);
+    EXPECT_EQ(stats.reconfigCyclesTotal, 0u);
+    EXPECT_TRUE(stats.reconfigRoutingVerified);
   }
 
   topo::Topology topo_;
@@ -140,6 +147,18 @@ TEST_F(GoldenRunTest, Misroute) {
                {548, 477, 7663, 28.989517819706499, 26.0, 60.0,
                 2.6981132075471699, 0.10643055555555556,
                 0x4dd7e42fb35310ee});
+}
+
+// An attached-but-empty fault schedule must be bit-for-bit inert: the fault
+// hooks in the cycle loop may never draw RNG or perturb scheduling until an
+// event actually fires, so the stats match the no-schedule golden exactly.
+TEST_F(GoldenRunTest, EmptyFaultScheduleIsInert) {
+  const fault::FaultSchedule empty;
+  sim::SimConfig config = baseConfig();
+  config.faultSchedule = &empty;
+  expectGolden(config, 0.15,
+               {799, 687, 11033, 31.842794759825328, 27.0, 88.0,
+                5.3100436681222707, 0.1532361111111111, 0x7a2251f8e57ec5d0ULL});
 }
 
 TEST_F(GoldenRunTest, BurstyTraffic) {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "topology/generate.hpp"
 #include "util/rng.hpp"
@@ -54,7 +57,8 @@ TEST(TopologyIo, RejectsDuplicateLinkWithLineNumber) {
     load(in);
     FAIL() << "expected failure";
   } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(":4:"), std::string::npos)
+        << e.what();
   }
 }
 
@@ -66,6 +70,82 @@ TEST(TopologyIo, RejectsUnknownKeyword) {
 TEST(TopologyIo, RejectsEmptyInput) {
   std::istringstream in("");
   EXPECT_THROW(load(in), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsNegativeAndMalformedNumbers) {
+  // istream >> unsigned silently wraps "-1"; the strict parser must not.
+  std::istringstream negative("downup-topo v1\nnodes 4\nlink -1 2\n");
+  EXPECT_THROW(load(negative), std::runtime_error);
+  std::istringstream hex("downup-topo v1\nnodes 4\nlink 0x1 2\n");
+  EXPECT_THROW(load(hex), std::runtime_error);
+  std::istringstream negativeNodes("downup-topo v1\nnodes -4\n");
+  EXPECT_THROW(load(negativeNodes), std::runtime_error);
+}
+
+TEST(TopologyIo, RejectsTrailingGarbageButAllowsTrailingComment) {
+  std::istringstream garbage("downup-topo v1\nnodes 3\nlink 0 1 2\n");
+  EXPECT_THROW(load(garbage), std::runtime_error);
+  std::istringstream comment("downup-topo v1\nnodes 3\nlink 0 1 # fine\n");
+  EXPECT_NO_THROW(load(comment));
+}
+
+TEST(TopologyIo, DetectsTruncationAgainstDeclaredLinkCount) {
+  std::istringstream in(
+      "downup-topo v1\nnodes 4\nlinks 3\nlink 0 1\nlink 1 2\n");
+  try {
+    load(in, "cut.topo");
+    FAIL() << "expected failure";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("cut.topo"), std::string::npos) << what;
+  }
+}
+
+TEST(TopologyIo, SaveDeclaresLinkCountForTruncationDetection) {
+  std::stringstream buffer;
+  save(ring(5), buffer);
+  EXPECT_NE(buffer.str().find("links 5"), std::string::npos);
+  EXPECT_NO_THROW(load(buffer));
+}
+
+// Every corpus file named after a defect must be rejected with an error that
+// names the file and a line number; the *_ok files must load.
+TEST(TopologyIo, NegativeCorpusIsRejectedWithFileAndLine) {
+  const std::string dir = DOWNUP_TOPOLOGY_CORPUS_DIR;
+  const std::vector<std::pair<std::string, std::string>> bad = {
+      {"empty.topo", "empty input"},
+      {"missing_header.topo", "header"},
+      {"negative_node_count.topo", "bad node count"},
+      {"malformed_node_count.topo", "bad node count"},
+      {"duplicate_link.topo", "duplicate link"},
+      {"self_loop.topo", "self-loop"},
+      {"out_of_range.topo", "out of range"},
+      {"truncated_link_line.topo", "truncated 'link' line"},
+      {"truncated_missing_links.topo", "truncated input"},
+      {"trailing_garbage.topo", "trailing characters"},
+      {"unknown_keyword.topo", "unknown keyword"},
+  };
+  for (const auto& [file, needle] : bad) {
+    const std::string path = dir + "/" + file;
+    try {
+      loadFile(path);
+      ADD_FAILURE() << file << " loaded without error";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(file), std::string::npos)
+          << file << ": error lacks filename: " << what;
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << file << ": error lacks '" << needle << "': " << what;
+    }
+  }
+
+  const Topology good = loadFile(dir + "/good_ring.topo");
+  EXPECT_EQ(good.nodeCount(), 4u);
+  EXPECT_EQ(good.linkCount(), 4u);
+  const Topology zeroLinks = loadFile(dir + "/zero_links_ok.topo");
+  EXPECT_EQ(zeroLinks.nodeCount(), 4u);
+  EXPECT_EQ(zeroLinks.linkCount(), 0u);
 }
 
 TEST(TopologyIo, FileRoundTrip) {

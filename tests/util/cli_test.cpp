@@ -57,6 +57,42 @@ TEST(Cli, RejectsBadValue) {
   EXPECT_EQ(*ports, 4);
 }
 
+TEST(Cli, PositiveOptionRejectsZeroAndNegative) {
+  Cli cli("prog", "test");
+  auto switches = cli.positiveOption<int>("switches", 32, "switch count");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"--switches", "0"}, &error));
+  EXPECT_NE(error.find("--switches"), std::string::npos);
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+  EXPECT_EQ(*switches, 32) << "failed parse must not clobber the default";
+
+  EXPECT_FALSE(cli.tryParse({"--switches", "-8"}, &error));
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+  EXPECT_EQ(*switches, 32);
+
+  EXPECT_TRUE(cli.tryParse({"--switches", "64"}, &error)) << error;
+  EXPECT_EQ(*switches, 64);
+}
+
+TEST(Cli, PositiveOptionRejectsMalformedIntegers) {
+  Cli cli("prog", "test");
+  auto ports = cli.positiveOption<int>("ports", 4, "port count");
+  std::string error;
+  for (const char* bad : {"4x", "x4", "4.5", "", "0x10", "++3"}) {
+    EXPECT_FALSE(cli.tryParse({"--ports", bad}, &error))
+        << "accepted '" << bad << "'";
+    EXPECT_EQ(*ports, 4);
+  }
+}
+
+TEST(Cli, UnsignedOptionRejectsNegativeInsteadOfWrapping) {
+  Cli cli("prog", "test");
+  auto seed = cli.option<std::uint64_t>("seed", 1, "rng seed");
+  std::string error;
+  EXPECT_FALSE(cli.tryParse({"--seed", "-1"}, &error));
+  EXPECT_EQ(*seed, 1u) << "'-1' must not wrap to 2^64-1";
+}
+
 TEST(Cli, RejectsMissingValue) {
   Cli cli("prog", "test");
   cli.option<int>("ports", 4, "port count");
