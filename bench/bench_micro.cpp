@@ -14,7 +14,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "obs/export.hpp"
@@ -23,10 +25,16 @@
 #include "routing/verify.hpp"
 #include "sim/network.hpp"
 #include "topology/generate.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace downup;
+
+// Set from --threads in main() before the benchmarks run; the
+// construction benchmarks route their table builds through it.
+util::ThreadPool* gBuildPool = nullptr;
 
 topo::Topology makeTopology(std::int64_t switches, unsigned ports,
                             std::uint64_t seed = 7) {
@@ -72,7 +80,7 @@ void BM_BuildDownUpComplete(benchmark::State& state) {
   const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
       topo, tree::TreePolicy::kM1SmallestFirst, rng);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::buildDownUp(topo, ct));
+    benchmark::DoNotOptimize(core::buildDownUp(topo, ct, {.pool = gBuildPool}));
   }
 }
 BENCHMARK(BM_BuildDownUpComplete)->Arg(32)->Arg(128);
@@ -240,8 +248,19 @@ int main(int argc, char** argv) {
   if (jsonPath == nullptr) jsonPath = "BENCH_micro.json";
   if (jsonPath[0] != '\0') writeScenarioJson(jsonPath);
 
+  // benchmark::Initialize consumes the --benchmark_* flags and compacts
+  // argv; whatever is left (e.g. --threads) goes through util::Cli.
   benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  downup::util::Cli cli("bench_micro",
+                        "construction + simulator microbenchmarks");
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for the table-construction benchmarks");
+  cli.parse(argc, argv);
+  const auto pool = std::make_unique<downup::util::ThreadPool>(
+      static_cast<std::size_t>(*threads));
+  gBuildPool = pool.get();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -5,6 +5,7 @@
 // (lowest-numbered) choice per hop.
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "sim/engine.hpp"
@@ -12,6 +13,7 @@
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
 #include "util/summary.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
@@ -21,7 +23,12 @@ int main(int argc, char** argv) {
   auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
   auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
   auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   std::cout << std::left << std::setw(12) << "algorithm" << std::setw(14)
             << "adaptive" << std::setw(16) << "deterministic" << std::setw(10)
@@ -39,7 +46,7 @@ int main(int argc, char** argv) {
       util::Rng treeRng(*seed + 100 + static_cast<std::uint64_t>(sample));
       const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
           topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
-      const routing::Routing routing = core::buildRouting(algorithm, topo, ct);
+      const routing::Routing routing = core::buildRouting(algorithm, topo, ct, &pool);
       const sim::UniformTraffic traffic(topo.nodeCount());
 
       sim::SimConfig config;

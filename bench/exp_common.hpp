@@ -8,6 +8,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <thread>
 
 #include "stats/experiment.hpp"
 #include "stats/report.hpp"
@@ -34,8 +35,9 @@ class ExperimentCli {
     seed_ = cli_.option<std::uint64_t>("seed", 2004, "base RNG seed");
     csv_ = cli_.option<std::string>(
         "csv", "", "CSV output path prefix (empty = no CSV files)");
-    threads_ = cli_.option<int>(
-        "threads", 1, "simulation worker threads (0 = hardware concurrency)");
+    threads_ = cli_.positiveOption<int>(
+        "threads", defaultThreads(),
+        "worker threads for parallel sweeps and table construction");
     full_ = cli_.flag("full",
                       "run the paper-scale configuration "
                       "(128 switches, 10 samples, long windows)");
@@ -43,6 +45,14 @@ class ExperimentCli {
   }
 
   util::Cli& cli() { return cli_; }
+
+  /// Default worker-thread count: every hardware thread (results are
+  /// identical at any width — parallelism only partitions deterministic
+  /// work).  hardware_concurrency() may report 0; clamp to 1.
+  static int defaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(hw == 0 ? 1 : hw);
+  }
 
   stats::ExperimentConfig parse(int argc, const char* const* argv) {
     cli_.parse(argc, argv);
@@ -60,7 +70,7 @@ class ExperimentCli {
     config.maxLoadPerPort = *maxLoadPerPort_;
     config.baseSeed = *seed_;
     config.verbose = !*quiet_;
-    config.threads = static_cast<unsigned>(*threads_ < 0 ? 1 : *threads_);
+    config.threads = static_cast<unsigned>(*threads_);
     if (*ports_ == 4 || *ports_ == 8) {
       config.portConfigs = {static_cast<unsigned>(*ports_)};
     }

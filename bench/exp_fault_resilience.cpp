@@ -6,12 +6,20 @@
 // degradation surface: delivered fraction, drop attribution, latency and
 // reconfiguration cost as failure count x offered load.
 //
-//   ./exp_fault_resilience --switches 32 --ports 4 --seed 2004 \
+// Every cell with failures also reruns under incremental reconfiguration
+// (SimConfig::reconfigIncremental): the engine keeps the surviving turn
+// rule and rebuilds only the destinations the failed link can affect, so
+// the window — and reconfigCyclesTotal — shrinks by the dirty fraction.
+// The rightmost columns show full vs incremental frozen cycles side by
+// side (--no-incremental skips the comparison runs).
+//
+//   ./exp_fault_resilience --switches 32 --ports 4 --seed 2004
 //       --csv results/fault_resilience.csv
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/downup_routing.hpp"
@@ -21,6 +29,7 @@
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
@@ -39,6 +48,13 @@ int main(int argc, char** argv) {
   auto maxFailures = cli.positiveOption<int>("max-failures", 8,
                                              "largest failure count tried");
   auto csvPath = cli.option<std::string>("csv", "", "CSV output path");
+  auto noIncremental =
+      cli.flag("no-incremental",
+               "skip the incremental-reconfiguration comparison runs");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for table construction");
   cli.parse(argc, argv);
 
   util::Rng rng(*seed);
@@ -48,7 +64,8 @@ int main(int argc, char** argv) {
   util::Rng treeRng(*seed + 100);
   const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
       topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
-  const routing::Routing routing = core::buildDownUp(topo, ct);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  const routing::Routing routing = core::buildDownUp(topo, ct, {.pool = &pool});
   const sim::UniformTraffic traffic(topo.nodeCount());
 
   sim::SimConfig config;
@@ -73,7 +90,8 @@ int main(int argc, char** argv) {
     csv->header({"failures", "offered_load", "generated", "delivered",
                  "delivered_frac", "dropped_in_flight", "dropped_unreachable",
                  "reconfigurations", "reconfig_cycles", "avg_latency",
-                 "verified"});
+                 "verified", "reconfig_cycles_incremental",
+                 "incremental_swaps", "destinations_rebuilt_incremental"});
   }
 
   std::cout << *switches << " switches, " << topo.linkCount()
@@ -84,7 +102,8 @@ int main(int argc, char** argv) {
             << "load" << std::setw(11) << "generated" << std::setw(12)
             << "delivered%" << std::setw(10) << "dropped" << std::setw(9)
             << "unreach" << std::setw(9) << "swaps" << std::setw(12)
-            << "avg lat" << "\n";
+            << "avg lat" << std::setw(10) << "rcfg cyc" << std::setw(12)
+            << "rcfg incr" << "\n";
 
   for (const unsigned failures : failureCounts) {
     // Failures land spread across the measurement window, each far enough
@@ -111,6 +130,22 @@ int main(int argc, char** argv) {
               : static_cast<double>(delivered) /
                     static_cast<double>(stats.packetsGenerated);
 
+      // Same scenario under incremental reconfiguration: identical faults
+      // and seeds, only the rebuild strategy (and thus window length)
+      // differs.
+      sim::RunStats incr{};
+      bool incrDrained = true;
+      const bool compareIncremental = !*noIncremental && failures > 0;
+      if (compareIncremental) {
+        sim::SimConfig incrConfig = config;
+        incrConfig.reconfigIncremental = true;
+        sim::WormholeNetwork incrNet(routing.table(), traffic, load,
+                                     incrConfig);
+        incrNet.run();
+        incrDrained = incrNet.drainRemaining(200000);
+        incr = incrNet.collectStats();
+      }
+
       std::cout << std::left << std::setw(10) << schedule.size()
                 << std::setw(10) << std::setprecision(4) << load
                 << std::setw(11) << stats.packetsGenerated << std::setw(12)
@@ -118,9 +153,17 @@ int main(int argc, char** argv) {
                 << stats.packetsDroppedInFlight << std::setw(9)
                 << stats.packetsDroppedUnreachable << std::setw(9)
                 << stats.reconfigurations << std::setw(12)
-                << std::setprecision(2) << stats.avgLatency
-                << (drained ? "" : "  [DID NOT DRAIN]")
-                << (stats.reconfigRoutingVerified ? "" : "  [VERIFY FAILED]")
+                << std::setprecision(2) << stats.avgLatency << std::setw(10)
+                << stats.reconfigCyclesTotal;
+      if (compareIncremental) {
+        std::cout << std::setw(12) << incr.reconfigCyclesTotal;
+      } else {
+        std::cout << std::setw(12) << "-";
+      }
+      std::cout << (drained && incrDrained ? "" : "  [DID NOT DRAIN]")
+                << (stats.reconfigRoutingVerified && incr.reconfigRoutingVerified
+                        ? ""
+                        : "  [VERIFY FAILED]")
                 << "\n";
       if (csv != nullptr) {
         csv->cell(static_cast<unsigned long long>(schedule.size()))
@@ -133,14 +176,21 @@ int main(int argc, char** argv) {
             .cell(stats.reconfigurations)
             .cell(stats.reconfigCyclesTotal)
             .cell(stats.avgLatency)
-            .cell(stats.reconfigRoutingVerified ? "yes" : "NO");
+            .cell(stats.reconfigRoutingVerified ? "yes" : "NO")
+            .cell(compareIncremental ? incr.reconfigCyclesTotal
+                                     : stats.reconfigCyclesTotal)
+            .cell(incr.reconfigIncrementalSwaps)
+            .cell(incr.reconfigDestinationsRebuilt);
         csv->endRow();
       }
       if (!drained || !stats.reconfigRoutingVerified) return 1;
+      if (!incrDrained || !incr.reconfigRoutingVerified) return 1;
     }
   }
   std::cout << "\n(delivered% = ejected / generated after drain; dropped = "
                "worms cut by the failures; unreach = destinations dead or "
-               "partitioned; swaps = completed routing rebuilds)\n";
+               "partitioned; swaps = completed routing rebuilds; rcfg cyc = "
+               "cycles with injection frozen, full rebuilds vs the "
+               "incremental path)\n";
   return 0;
 }

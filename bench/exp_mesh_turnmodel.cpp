@@ -4,6 +4,7 @@
 // algorithms give up when a regular topology's structure is available.
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "routing/mesh_turn.hpp"
@@ -12,6 +13,7 @@
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -34,7 +36,12 @@ int main(int argc, char** argv) {
   auto width = cli.positiveOption<int>("width", 8, "mesh width");
   auto height = cli.positiveOption<int>("height", 8, "mesh height");
   auto seed = cli.option<std::uint64_t>("seed", 2004, "simulation seed");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   const auto w = static_cast<topo::NodeId>(*width);
   const auto h = static_cast<topo::NodeId>(*height);
@@ -73,7 +80,7 @@ int main(int argc, char** argv) {
   for (core::Algorithm algorithm :
        {core::Algorithm::kUpDownBfs, core::Algorithm::kLTurn,
         core::Algorithm::kDownUp}) {
-    report(core::buildRouting(algorithm, topo, ct));
+    report(core::buildRouting(algorithm, topo, ct, &pool));
   }
 
   std::cout

@@ -17,6 +17,7 @@
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/downup_routing.hpp"
@@ -27,6 +28,7 @@
 #include "topology/generate.hpp"
 #include "tree/graphviz.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -60,7 +62,12 @@ int main(int argc, char** argv) {
       "metrics-out", "", "metrics JSONL prefix (.downup/.lturn appended)");
   auto heatmapOut = cli.option<std::string>(
       "heatmap-out", "", "Graphviz heatmap prefix (.downup/.lturn appended)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   util::Rng rng(*seed);
   const topo::Topology topo = topo::randomIrregular(
@@ -85,7 +92,7 @@ int main(int argc, char** argv) {
                     {"lturn", core::Algorithm::kLTurn}};
   for (AlgoRun& run : runs) {
     const routing::Routing routing =
-        core::buildRouting(run.algorithm, topo, ct);
+        core::buildRouting(run.algorithm, topo, ct, &pool);
     run.saturationLoad =
         stats::probeSaturationLoad(routing.table(), traffic, config);
     run.offeredLoad = *loadFrac * run.saturationLoad;

@@ -8,12 +8,14 @@
 #include <cmath>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "routing/path_analysis.hpp"
 #include "sim/engine.hpp"
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -48,7 +50,12 @@ int main(int argc, char** argv) {
   auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
   auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
   auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   std::cout << std::left << std::setw(20) << "algorithm" << std::setw(12)
             << "corr" << std::setw(16) << "staticMax/Mean" << std::setw(12)
@@ -70,7 +77,7 @@ int main(int argc, char** argv) {
       const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
           topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
       const routing::Routing routing =
-          core::buildRouting(algorithm, topo, ct);
+          core::buildRouting(algorithm, topo, ct, &pool);
 
       const routing::PathAnalysis analysis =
           routing::analyzePaths(routing.table());

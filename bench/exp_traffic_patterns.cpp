@@ -5,6 +5,7 @@
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "sim/engine.hpp"
@@ -12,6 +13,7 @@
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
 #include "util/summary.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
@@ -21,7 +23,12 @@ int main(int argc, char** argv) {
   auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
   auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
   auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   struct PatternSpec {
     const char* name;
@@ -74,7 +81,7 @@ int main(int argc, char** argv) {
       for (const core::Algorithm algorithm :
            {core::Algorithm::kLTurn, core::Algorithm::kDownUp}) {
         const routing::Routing routing =
-            core::buildRouting(algorithm, topo, ct);
+            core::buildRouting(algorithm, topo, ct, &pool);
         const double probed = stats::probeSaturationLoad(
             routing.table(), *pattern, config);
         const auto loads = stats::loadGrid(std::min(1.0, 1.8 * probed), 6);

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "obs/export.hpp"
@@ -21,6 +22,7 @@
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
@@ -37,7 +39,12 @@ int main(int argc, char** argv) {
       "metrics-out", "",
       "rerun the heaviest load with metrics and write JSONL here "
       "(suffixed .lturn / .downup)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for routing-table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   util::Rng rng(*seed);
   const topo::Topology topo = topo::randomIrregular(
@@ -78,9 +85,9 @@ int main(int argc, char** argv) {
             << "downup acc / latency" << "\n";
 
   const routing::Routing lturn =
-      core::buildRouting(core::Algorithm::kLTurn, topo, ct);
+      core::buildRouting(core::Algorithm::kLTurn, topo, ct, &pool);
   const routing::Routing downup =
-      core::buildRouting(core::Algorithm::kDownUp, topo, ct);
+      core::buildRouting(core::Algorithm::kDownUp, topo, ct, &pool);
   const auto lturnSweep = stats::runSweep(lturn.table(), *pattern, loads,
                                           config, {.stopAtSaturation = false});
   const auto downupSweep = stats::runSweep(

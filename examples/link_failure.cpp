@@ -7,9 +7,10 @@
 // stays connected and deadlock-free and how much the average legal path
 // degrades.
 //
-//   ./link_failure --switches 32 --ports 4 --seed 9
+//   ./link_failure --switches 32 --ports 4 --seed 9 --threads 4
 #include <iomanip>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "core/downup_routing.hpp"
@@ -17,6 +18,7 @@
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
 #include "util/summary.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
@@ -25,7 +27,12 @@ int main(int argc, char** argv) {
   auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
   auto ports = cli.positiveOption<int>("ports", 4, "inter-switch ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 9, "topology seed");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for routing-table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   util::Rng rng(*seed);
   const topo::Topology topo = topo::randomIrregular(
@@ -35,13 +42,14 @@ int main(int argc, char** argv) {
   util::Rng treeRng(*seed + 1);
   const tree::CoordinatedTree baseTree = tree::CoordinatedTree::build(
       topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
-  const double basePath =
-      core::buildDownUp(topo, baseTree).table().averagePathLength();
+  const double basePath = core::buildDownUp(topo, baseTree, {.pool = &pool})
+                              .table()
+                              .averagePathLength();
   std::cout << "Healthy network: " << topo.linkCount() << " links, DOWN/UP "
             << "avg legal path " << std::fixed << std::setprecision(4)
             << basePath << " hops\n\n";
 
-  const fault::Reconfigurator reconfigurator(topo);
+  const fault::Reconfigurator reconfigurator(topo, &pool);
   const std::vector<std::uint8_t> nodesUp(topo.nodeCount(), 1);
   unsigned survivable = 0;
   unsigned partitioned = 0;

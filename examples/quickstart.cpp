@@ -2,15 +2,25 @@
 // inspect directions and prohibited turns, verify deadlock freedom, and
 // route a packet.
 //
-//   ./quickstart
+//   ./quickstart [--threads N]
 #include <iostream>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "routing/verify.hpp"
 #include "topology/generate.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace downup;
+  util::Cli cli("quickstart", "build and inspect DOWN/UP routing for Figure 1");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for routing-table construction");
+  cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   // 1. The irregular network of Figure 1(b): 5 switches, 6 links.
   const topo::Topology topo = topo::paperFigure1();
@@ -31,7 +41,7 @@ int main() {
 
   // 3. DOWN/UP routing: Definition-5 directions, the 18 prohibited turns,
   //    cycle repair + the Phase-3 release pass, and shortest legal paths.
-  const routing::Routing routing = core::buildDownUp(topo, ct);
+  const routing::Routing routing = core::buildDownUp(topo, ct, {.pool = &pool});
   std::cout << "\nChannel directions:\n";
   for (topo::ChannelId c = 0; c < topo.channelCount(); ++c) {
     std::cout << "  <v" << topo.channelSrc(c) + 1 << ",v"

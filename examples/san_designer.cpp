@@ -7,6 +7,7 @@
 //   ./san_designer --switches 64 --ports 8 --seed 3
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "routing/path_analysis.hpp"
@@ -16,6 +17,7 @@
 #include "topology/generate.hpp"
 #include "topology/properties.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
@@ -25,7 +27,12 @@ int main(int argc, char** argv) {
   auto ports = cli.positiveOption<int>("ports", 8, "inter-switch ports per switch");
   auto seed = cli.option<std::uint64_t>("seed", 3, "topology seed");
   auto probe = cli.flag("probe", "also run a saturation probe (slower)");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for routing-table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   util::Rng rng(*seed);
   const topo::Topology topo = topo::randomIrregular(
@@ -47,7 +54,8 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   for (core::Algorithm algorithm : core::kAllAlgorithms) {
-    const routing::Routing routing = core::buildRouting(algorithm, topo, ct);
+    const routing::Routing routing =
+        core::buildRouting(algorithm, topo, ct, &pool);
     const routing::VerifyReport report = routing::verifyRouting(routing);
     std::cout << std::left << std::setw(20) << routing.name() << std::setw(12)
               << std::setprecision(3) << report.averagePathLength

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/downup_routing.hpp"
 #include "obs/export.hpp"
@@ -20,6 +21,7 @@
 #include "sim/network.hpp"
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -78,7 +80,12 @@ int main(int argc, char** argv) {
       cli.option<std::string>("trace-jsonl", "", "write the trace JSONL here");
   auto metricsOut = cli.option<std::string>(
       "metrics-out", "", "write the metrics JSONL here");
+  const unsigned hw = std::thread::hardware_concurrency();
+  auto threads = cli.positiveOption<int>(
+      "threads", static_cast<int>(hw == 0 ? 1 : hw),
+      "worker threads for routing-table construction");
   cli.parse(argc, argv);
+  util::ThreadPool pool(static_cast<std::size_t>(*threads));
 
   util::Rng rng(*seed);
   const topo::Topology topo = topo::randomIrregular(
@@ -87,7 +94,7 @@ int main(int argc, char** argv) {
   util::Rng treeRng(*seed + 1);
   const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
       topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
-  const routing::Routing routing = core::buildDownUp(topo, ct);
+  const routing::Routing routing = core::buildDownUp(topo, ct, {.pool = &pool});
 
   // Every 4th packet is traced: enough to cover the printed walks without
   // buffering the whole run.
@@ -152,7 +159,7 @@ int main(int argc, char** argv) {
     }
   }
   const routing::Routing lturn =
-      core::buildRouting(core::Algorithm::kLTurn, topo, ct);
+      core::buildRouting(core::Algorithm::kLTurn, topo, ct, &pool);
   std::cout << "\nPacket pair " << pairSrc << " <-> " << pairDst
             << ", per-hop turns:\n";
   for (const auto& [name, r] :

@@ -18,7 +18,7 @@ routing::Routing buildDownUp(const routing::Topology& topo,
     releaseRedundantProhibitions(perms);
   }
   return routing::Routing(options.releaseRedundant ? "downup" : "downup-norelease",
-                          std::move(perms));
+                          std::move(perms), options.pool);
 }
 
 std::string_view toString(Algorithm algorithm) noexcept {
@@ -35,7 +35,8 @@ std::string_view toString(Algorithm algorithm) noexcept {
 
 routing::Routing buildRouting(Algorithm algorithm,
                               const routing::Topology& topo,
-                              const tree::CoordinatedTree& ct) {
+                              const tree::CoordinatedTree& ct,
+                              util::ThreadPool* pool) {
   switch (algorithm) {
     case Algorithm::kUpDownBfs:
       return routing::buildUpDown(topo, ct);
@@ -46,9 +47,9 @@ routing::Routing buildRouting(Algorithm algorithm,
     case Algorithm::kLeftRight:
       return routing::buildLeftRight(topo, ct);
     case Algorithm::kDownUp:
-      return buildDownUp(topo, ct, {.releaseRedundant = true});
+      return buildDownUp(topo, ct, {.releaseRedundant = true, .pool = pool});
     case Algorithm::kDownUpNoRelease:
-      return buildDownUp(topo, ct, {.releaseRedundant = false});
+      return buildDownUp(topo, ct, {.releaseRedundant = false, .pool = pool});
   }
   throw std::invalid_argument("buildRouting: unknown algorithm");
 }

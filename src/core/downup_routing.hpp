@@ -17,11 +17,14 @@
 namespace downup::core {
 
 struct DownUpOptions {
-  /// Run the Phase-3 cycle_detection release pass (paper default: yes).
+  /// Run the Phase-3 release pass (paper default: yes).
   bool releaseRedundant = true;
   /// Break the residual turn cycles the published rule admits (see
   /// core/repair.hpp).  Disable only to study the paper's rule as written.
   bool repairCycles = true;
+  /// Parallelises the routing-table build (nullptr: serial).  The table is
+  /// bit-for-bit identical at any thread count; the pool is not retained.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Builds DOWN/UP routing over a coordinated tree: Definition-5 channel
@@ -48,9 +51,13 @@ inline constexpr Algorithm kAllAlgorithms[] = {
 std::string_view toString(Algorithm algorithm) noexcept;
 
 /// Uniform entry point.  The coordinated tree is ignored by kUpDownDfs
-/// (which derives its own DFS tree from the tree's root).
+/// (which derives its own DFS tree from the tree's root).  `pool`
+/// parallelises table construction for the DOWN/UP variants (the
+/// comparison algorithms build serially; their tables are small relative
+/// to the sweeps they appear in).
 routing::Routing buildRouting(Algorithm algorithm,
                               const routing::Topology& topo,
-                              const tree::CoordinatedTree& ct);
+                              const tree::CoordinatedTree& ct,
+                              util::ThreadPool* pool = nullptr);
 
 }  // namespace downup::core

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/downup_routing.hpp"
+#include "routing/cdg.hpp"
 #include "tree/coordinated_tree.hpp"
 #include "util/rng.hpp"
 
@@ -21,6 +22,8 @@ using topo::Topology;
 
 namespace {
 
+constexpr std::uint32_t kNoComp = static_cast<std::uint32_t>(-1);
+
 /// One alive component routed on its compacted sub-topology.  The sub
 /// topology and routing sit behind unique_ptrs because the routing table and
 /// turn permissions hold raw pointers into them.
@@ -30,6 +33,65 @@ struct Component {
   std::unique_ptr<Topology> sub;
   std::unique_ptr<routing::Routing> routing;
 };
+
+/// A dead endpoint kills the link regardless of its own state.
+std::vector<std::uint8_t> effectiveLinks(const Topology& topo,
+                                         std::span<const std::uint8_t> linkAlive,
+                                         std::span<const std::uint8_t> nodeAlive,
+                                         std::uint32_t& aliveLinks) {
+  const LinkId linkCount = topo.linkCount();
+  std::vector<std::uint8_t> effLink(linkCount, 0);
+  aliveLinks = 0;
+  for (LinkId l = 0; l < linkCount; ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    effLink[l] = linkAlive[l] && nodeAlive[a] && nodeAlive[b];
+    aliveLinks += effLink[l];
+  }
+  return effLink;
+}
+
+struct ComponentLabels {
+  std::vector<std::uint32_t> comp;  // kNoComp for dead nodes
+  std::uint32_t count = 0;
+  std::uint32_t aliveNodes = 0;
+  std::uint64_t sameComponentPairs = 0;
+};
+
+/// Labels alive components (DFS over alive nodes through alive links).
+ComponentLabels labelComponents(const Topology& topo,
+                                std::span<const std::uint8_t> effLink,
+                                std::span<const std::uint8_t> nodeAlive) {
+  const NodeId n = topo.nodeCount();
+  ComponentLabels labels;
+  labels.comp.assign(n, kNoComp);
+  std::vector<NodeId> stack;
+  std::vector<std::uint64_t> sizes;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!nodeAlive[v] || labels.comp[v] != kNoComp) continue;
+    std::uint64_t size = 0;
+    labels.comp[v] = labels.count;
+    stack.push_back(v);
+    ++size;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      const auto neighbors = topo.neighbors(u);
+      const auto channels = topo.outputChannels(u);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        if (!effLink[Topology::linkOf(channels[i])]) continue;
+        const NodeId w = neighbors[i];
+        if (labels.comp[w] != kNoComp) continue;
+        labels.comp[w] = labels.count;
+        stack.push_back(w);
+        ++size;
+      }
+    }
+    ++labels.count;
+    labels.aliveNodes += static_cast<std::uint32_t>(size);
+    labels.sameComponentPairs += size * (size - 1);
+  }
+  return labels;
+}
 
 }  // namespace
 
@@ -44,47 +106,19 @@ ReconfigOutcome Reconfigurator::rebuild(
   out.deadlockFree = true;
   out.componentsConnected = true;
 
-  // A dead endpoint kills the link regardless of its own state.
-  std::vector<std::uint8_t> effLink(linkCount, 0);
-  for (LinkId l = 0; l < linkCount; ++l) {
-    const auto [a, b] = topo.linkEnds(l);
-    effLink[l] = linkAlive[l] && nodeAlive[a] && nodeAlive[b];
-    out.aliveLinks += effLink[l];
-  }
-
-  // Label alive components (DFS over alive nodes through alive links).
-  constexpr std::uint32_t kNoComp = static_cast<std::uint32_t>(-1);
-  std::vector<std::uint32_t> comp(n, kNoComp);
-  std::vector<NodeId> stack;
-  for (NodeId v = 0; v < n; ++v) {
-    if (!nodeAlive[v] || comp[v] != kNoComp) continue;
-    comp[v] = out.components;
-    stack.push_back(v);
-    while (!stack.empty()) {
-      const NodeId u = stack.back();
-      stack.pop_back();
-      const auto neighbors = topo.neighbors(u);
-      const auto channels = topo.outputChannels(u);
-      for (std::size_t i = 0; i < neighbors.size(); ++i) {
-        if (!effLink[Topology::linkOf(channels[i])]) continue;
-        const NodeId w = neighbors[i];
-        if (comp[w] != kNoComp) continue;
-        comp[w] = out.components;
-        stack.push_back(w);
-      }
-    }
-    ++out.components;
-  }
+  const std::vector<std::uint8_t> effLink =
+      effectiveLinks(topo, linkAlive, nodeAlive, out.aliveLinks);
+  const ComponentLabels labels = labelComponents(topo, effLink, nodeAlive);
+  out.components = labels.count;
+  out.aliveNodes = labels.aliveNodes;
+  out.rebuiltDestinations = labels.aliveNodes;
 
   // Collect members per component in ascending host order (the remap
   // contract: sub node ids must ascend with host ids so that adjacency —
   // and therefore candidate-row — order survives the mapping).
   std::vector<std::vector<NodeId>> members(out.components);
   for (NodeId v = 0; v < n; ++v) {
-    if (comp[v] != kNoComp) members[comp[v]].push_back(v);
-  }
-  for (const auto& m : members) {
-    out.aliveNodes += static_cast<std::uint32_t>(m.size());
+    if (labels.comp[v] != kNoComp) members[labels.comp[v]].push_back(v);
   }
 
   // Route every component with at least two switches independently: its own
@@ -103,7 +137,7 @@ ReconfigOutcome Reconfigurator::rebuild(
     for (LinkId l = 0; l < linkCount; ++l) {
       if (!effLink[l]) continue;
       const auto [a, b] = topo.linkEnds(l);
-      if (comp[a] != comp[m[0]]) continue;
+      if (labels.comp[a] != labels.comp[m[0]]) continue;
       // addLink preserves endpoint order, so sub channel 2k+p is host
       // channel 2l+p: the channel map preserves parity.
       part.sub->addLink(hostToSub[a], hostToSub[b]);
@@ -114,7 +148,7 @@ ReconfigOutcome Reconfigurator::rebuild(
     const auto ct = tree::CoordinatedTree::build(
         *part.sub, tree::TreePolicy::kM1SmallestFirst, rng);
     part.routing = std::make_unique<routing::Routing>(
-        core::buildDownUp(*part.sub, ct));
+        core::buildDownUp(*part.sub, ct, {.pool = pool_}));
 
     const routing::VerifyReport report = routing::verifyRouting(*part.routing);
     out.deadlockFree = out.deadlockFree && report.deadlockFree;
@@ -131,13 +165,9 @@ ReconfigOutcome Reconfigurator::rebuild(
       reachablePairs == 0 ? 0.0
                           : pathLengthSum / static_cast<double>(reachablePairs);
   // Ordered alive pairs in different components are unreachable by design.
-  std::uint64_t sameComponentPairs = 0;
-  for (const auto& m : members) {
-    sameComponentPairs += static_cast<std::uint64_t>(m.size()) * (m.size() - 1);
-  }
   out.unreachablePairs += static_cast<std::uint64_t>(out.aliveNodes) *
                               (out.aliveNodes - 1) -
-                          sameComponentPairs;
+                          labels.sameComponentPairs;
 
   // Merge the per-component rules into host numbering.  Dead channels keep
   // an arbitrary direction: their steps stay kNoPath and their candidate
@@ -173,6 +203,106 @@ ReconfigOutcome Reconfigurator::rebuild(
   }
   out.table = std::make_unique<RoutingTable>(
       RoutingTable::remapComponents(*out.perms, mappings));
+  return out;
+}
+
+std::vector<std::uint64_t> Reconfigurator::channelAliveWords(
+    std::span<const std::uint8_t> linkAlive,
+    std::span<const std::uint8_t> nodeAlive) const {
+  const Topology& topo = *topo_;
+  std::vector<std::uint64_t> words((topo.channelCount() + 63) / 64, 0);
+  for (LinkId l = 0; l < topo.linkCount(); ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    if (!(linkAlive[l] && nodeAlive[a] && nodeAlive[b])) continue;
+    for (const ChannelId c : {2 * l, 2 * l + 1}) {
+      words[c >> 6] |= std::uint64_t{1} << (c & 63);
+    }
+  }
+  return words;
+}
+
+double Reconfigurator::incrementalDirtyFraction(
+    const routing::RoutingTable& prevTable,
+    std::span<const std::uint8_t> linkAlive,
+    std::span<const std::uint8_t> nodeAlive) const {
+  const NodeId n = topo_->nodeCount();
+  if (n == 0) return 1.0;
+  const std::vector<std::uint64_t> alive =
+      channelAliveWords(linkAlive, nodeAlive);
+  const std::uint32_t dirty = prevTable.dirtyDestinationCount(alive);
+  // Never report zero work: even an empty dirty set pays the delta scan.
+  return std::max(1.0 / static_cast<double>(n),
+                  static_cast<double>(dirty) / static_cast<double>(n));
+}
+
+ReconfigOutcome Reconfigurator::rebuildIncremental(
+    const routing::RoutingTable& prevTable,
+    std::span<const std::uint8_t> linkAlive,
+    std::span<const std::uint8_t> nodeAlive) const {
+  const Topology& topo = *topo_;
+  const std::vector<std::uint64_t> alive =
+      channelAliveWords(linkAlive, nodeAlive);
+
+  // A channel that is alive now but was dead in the previous epoch revived;
+  // its epoch's turn rule never classified it, so only a full rebuild can
+  // route through it.
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    const bool aliveNow = (alive[c >> 6] >> (c & 63)) & 1u;
+    const bool alivePrev =
+        prevTable.channelSteps(topo.channelDst(c), c) == 1;
+    if (aliveNow && !alivePrev) return rebuild(linkAlive, nodeAlive);
+  }
+
+  ReconfigOutcome out;
+  out.incremental = true;
+  const std::vector<std::uint8_t> effLink =
+      effectiveLinks(topo, linkAlive, nodeAlive, out.aliveLinks);
+  const ComponentLabels labels = labelComponents(topo, effLink, nodeAlive);
+  out.components = labels.count;
+  out.aliveNodes = labels.aliveNodes;
+
+  out.perms = std::make_unique<TurnPermissions>(prevTable.permissions());
+  std::vector<NodeId> dirty;
+  out.table = std::make_unique<RoutingTable>(
+      RoutingTable::rebuildDead(prevTable, pool_, alive, &dirty));
+  out.table->rebindPermissions(*out.perms);
+  out.rebuiltDestinations = static_cast<std::uint32_t>(dirty.size());
+
+  // The inherited rule's channel-dependency graph was acyclic and lost only
+  // vertices/edges, so the epoch is deadlock-free by construction; the
+  // check below re-verifies the (superset) inherited graph.
+  out.deadlockFree = routing::checkChannelDependencies(*out.perms).acyclic;
+
+  // Unreachability under the inherited rule.  Cross-component pairs are
+  // unreachable by design; a within-component unreachable pair means the
+  // old tree cannot serve the degraded graph (e.g. the failure cut the
+  // region the turn rule funnels traffic through) — re-rooting may fix
+  // that, so fall back to the full rebuild.
+  const NodeId n = topo.nodeCount();
+  std::uint64_t reachable = 0;
+  double pathSum = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (labels.comp[s] == kNoComp) continue;
+    for (NodeId d = 0; d < n; ++d) {
+      if (d == s || labels.comp[d] == kNoComp) continue;
+      const std::uint16_t dist = out.table->distance(s, d);
+      if (dist == routing::kNoPath) {
+        ++out.unreachablePairs;
+      } else {
+        ++reachable;
+        pathSum += dist;
+      }
+    }
+  }
+  const std::uint64_t crossComponentPairs =
+      static_cast<std::uint64_t>(out.aliveNodes) * (out.aliveNodes - 1) -
+      labels.sameComponentPairs;
+  out.componentsConnected = out.unreachablePairs == crossComponentPairs;
+  if (!out.componentsConnected || !out.deadlockFree) {
+    return rebuild(linkAlive, nodeAlive);
+  }
+  out.averagePathLength =
+      reachable == 0 ? 0.0 : pathSum / static_cast<double>(reachable);
   return out;
 }
 

@@ -42,6 +42,12 @@ struct ReconfigOutcome {
   bool componentsConnected = false;
   /// Mean legal hop count over reachable pairs, across components.
   double averagePathLength = 0.0;
+  /// Epoch was produced by the incremental path: previous turn rule kept,
+  /// only dirty destinations rebuilt.
+  bool incremental = false;
+  /// Destinations whose table rows were recomputed (aliveNodes on a full
+  /// rebuild; the incremental path's dirty-set size otherwise).
+  std::uint32_t rebuiltDestinations = 0;
 
   bool ok() const noexcept { return deadlockFree && componentsConnected; }
 };
@@ -49,8 +55,12 @@ struct ReconfigOutcome {
 class Reconfigurator {
  public:
   /// `topo` is the healthy (full) topology; it must outlive the
-  /// reconfigurator and every outcome it produces.
-  explicit Reconfigurator(const topo::Topology& topo) : topo_(&topo) {}
+  /// reconfigurator and every outcome it produces.  `pool` (optional) must
+  /// outlive the reconfigurator and parallelises table construction;
+  /// outcomes are identical at any thread count.
+  explicit Reconfigurator(const topo::Topology& topo,
+                          util::ThreadPool* pool = nullptr)
+      : topo_(&topo), pool_(pool) {}
 
   const topo::Topology& topology() const noexcept { return *topo_; }
 
@@ -61,8 +71,35 @@ class Reconfigurator {
   ReconfigOutcome rebuild(std::span<const std::uint8_t> linkAlive,
                           std::span<const std::uint8_t> nodeAlive) const;
 
+  /// Incremental epoch: keeps `prevTable`'s turn rule — restricting an
+  /// acyclic channel-dependency graph to surviving channels cannot create a
+  /// cycle, so deadlock freedom is inherited — and recomputes only the
+  /// destinations whose minimal-path structure a newly dead channel can
+  /// touch (RoutingTable::rebuildDead).  Falls back to a full rebuild()
+  /// when a channel revived relative to prevTable, or when the inherited
+  /// rule leaves a within-component pair unreachable that re-rooting could
+  /// serve (e.g. the failure cut off the old tree root's region).  The
+  /// outcome reports which path ran via `incremental`.
+  ReconfigOutcome rebuildIncremental(
+      const routing::RoutingTable& prevTable,
+      std::span<const std::uint8_t> linkAlive,
+      std::span<const std::uint8_t> nodeAlive) const;
+
+  /// Fraction (0, 1] of per-destination construction work an incremental
+  /// epoch would redo given the masks; 1.0 when the incremental path cannot
+  /// apply.  The engine uses this to size the reconfiguration window at
+  /// fault time, before the rebuild itself runs.
+  double incrementalDirtyFraction(const routing::RoutingTable& prevTable,
+                                  std::span<const std::uint8_t> linkAlive,
+                                  std::span<const std::uint8_t> nodeAlive) const;
+
  private:
+  std::vector<std::uint64_t> channelAliveWords(
+      std::span<const std::uint8_t> linkAlive,
+      std::span<const std::uint8_t> nodeAlive) const;
+
   const topo::Topology* topo_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace downup::fault

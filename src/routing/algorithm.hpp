@@ -14,10 +14,13 @@ namespace downup::routing {
 
 class Routing {
  public:
-  Routing(std::string name, TurnPermissions perms)
+  /// `pool` (optional) parallelises the table build; output is identical
+  /// at any thread count.  The pool is not retained.
+  Routing(std::string name, TurnPermissions perms,
+          util::ThreadPool* pool = nullptr)
       : name_(std::move(name)),
         perms_(std::make_unique<TurnPermissions>(std::move(perms))),
-        table_(RoutingTable::build(*perms_)) {}
+        table_(RoutingTable::build(*perms_, pool)) {}
 
   const std::string& name() const noexcept { return name_; }
   const TurnPermissions& permissions() const noexcept { return *perms_; }
@@ -25,7 +28,9 @@ class Routing {
   const RoutingTable& table() const noexcept { return table_; }
 
   /// Recomputes the table after permissions changed (e.g. a release pass).
-  void rebuildTable() { table_ = RoutingTable::build(*perms_); }
+  void rebuildTable(util::ThreadPool* pool = nullptr) {
+    table_ = RoutingTable::build(*perms_, pool);
+  }
 
  private:
   std::string name_;

@@ -1,105 +1,517 @@
 #include "routing/routing_table.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/thread_pool.hpp"
 
 namespace downup::routing {
 
-RoutingTable RoutingTable::build(const TurnPermissions& perms) {
+namespace {
+
+inline bool aliveBit(std::span<const std::uint64_t> mask, ChannelId c) noexcept {
+  return mask.empty() || ((mask[c >> 6] >> (c & 63)) & 1u);
+}
+
+/// Single source of truth for candidate enumeration: walks destination
+/// `dst`'s candidate relation in the exact order the simulator depends on
+/// (adjacency order within each row; the simulator's random pick indexes
+/// into these rows, so reordering would change RNG-driven routing
+/// decisions).  The serial single-pass build, the parallel counting pass
+/// and the parallel fill pass all instantiate this with different emitters,
+/// which is what makes them bit-for-bit interchangeable.
+template <class FirstEntry, class FirstRowEnd, class ChanEntry,
+          class ChanRowEnd>
+void enumerateCandidatesForDst(const TurnPermissions& perms, NodeId n,
+                               std::uint32_t channels,
+                               const std::uint16_t* steps, NodeId dst,
+                               FirstEntry&& firstEntry,
+                               FirstRowEnd&& firstRowEnd, ChanEntry&& chanEntry,
+                               ChanRowEnd&& chanRowEnd) {
+  const Topology& topo = perms.topology();
+  for (NodeId src = 0; src < n; ++src) {
+    if (src != dst) {
+      std::uint16_t best = kNoPath;
+      for (ChannelId c : topo.outputChannels(src)) {
+        best = std::min(best, steps[c]);
+      }
+      if (best != kNoPath) {
+        for (ChannelId c : topo.outputChannels(src)) {
+          if (steps[c] == best) firstEntry(c);
+        }
+      }
+    }
+    firstRowEnd(src);
+  }
+  for (ChannelId in = 0; in < channels; ++in) {
+    const std::uint16_t remaining = steps[in];
+    if (remaining != kNoPath && remaining > 1) {  // <=1: dst(in) == dst
+      const NodeId via = topo.channelDst(in);
+      for (ChannelId next : topo.outputChannels(via)) {
+        if (steps[next] != remaining - 1) continue;
+        chanEntry(next, perms.allowed(via, in, next),
+                  next != Topology::reverseChannel(in));
+      }
+    }
+    chanRowEnd(in);
+  }
+}
+
+}  // namespace
+
+void RoutingTable::bfsDestination(NodeId dst,
+                                  std::span<const std::uint64_t> channelAlive,
+                                  std::vector<ChannelId>& queue) {
+  const Topology& topo = perms_->topology();
+  auto* steps = &steps_[static_cast<std::size_t>(dst) * channelCount_];
+  std::fill(steps, steps + channelCount_, kNoPath);
+  queue.clear();
+  queue.reserve(channelCount_);
+  // Seeds are the input channels of dst (reverses of its outputs); the
+  // final distances do not depend on intra-layer queue order, so any seed
+  // enumeration order yields the same steps row.
+  for (ChannelId out : topo.outputChannels(dst)) {
+    const ChannelId c = Topology::reverseChannel(out);
+    if (!aliveBit(channelAlive, c)) continue;
+    steps[c] = 1;
+    queue.push_back(c);
+  }
+  // Reverse adjacency is implicit: the predecessors of channel c are the
+  // input channels of src(c) whose turn onto c is allowed.
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const ChannelId c = queue[head];
+    const NodeId via = topo.channelSrc(c);
+    const std::uint16_t nextSteps = static_cast<std::uint16_t>(steps[c] + 1);
+    for (ChannelId out : topo.outputChannels(via)) {
+      const ChannelId in = Topology::reverseChannel(out);
+      if (steps[in] != kNoPath) continue;
+      if (!aliveBit(channelAlive, in)) continue;
+      if (!perms_->allowed(via, in, c)) continue;
+      steps[in] = nextSteps;
+      queue.push_back(in);
+    }
+  }
+}
+
+RoutingTable RoutingTable::build(const TurnPermissions& perms,
+                                 util::ThreadPool* pool,
+                                 std::span<const std::uint64_t> channelAlive) {
   RoutingTable table;
   table.perms_ = &perms;
   const Topology& topo = perms.topology();
   const NodeId n = topo.nodeCount();
   table.nodeCount_ = n;
   table.channelCount_ = topo.channelCount();
-  table.steps_.assign(static_cast<std::size_t>(n) * table.channelCount_,
-                      kNoPath);
+  table.steps_.resize(static_cast<std::size_t>(n) * table.channelCount_);
 
-  // Reverse adjacency is implicit: the predecessors of channel c are the
-  // input channels of src(c) whose turn onto c is allowed.
-  std::vector<ChannelId> queue;
-  queue.reserve(table.channelCount_);
-  for (NodeId dst = 0; dst < n; ++dst) {
-    auto* steps = &table.steps_[static_cast<std::size_t>(dst) *
-                                table.channelCount_];
-    queue.clear();
-    for (ChannelId c = 0; c < table.channelCount_; ++c) {
-      if (topo.channelDst(c) == dst) {
-        steps[c] = 1;
-        queue.push_back(c);
-      }
-    }
-    for (std::size_t head = 0; head < queue.size(); ++head) {
-      const ChannelId c = queue[head];
-      const NodeId via = topo.channelSrc(c);
-      const std::uint16_t nextSteps = static_cast<std::uint16_t>(steps[c] + 1);
-      // Predecessor channels: inputs of `via` = reverses of its outputs.
-      for (ChannelId out : topo.outputChannels(via)) {
-        const ChannelId in = Topology::reverseChannel(out);
-        if (steps[in] != kNoPath) continue;
-        if (!perms.allowed(via, in, c)) continue;
-        steps[in] = nextSteps;
-        queue.push_back(in);
-      }
-    }
-  }
-  table.buildSuccessorIndexes();
+  // Per-destination rows are disjoint, so the BFS fans out directly.  The
+  // queue is per OS thread and grows once to channelCount_; repeated builds
+  // on warm threads allocate nothing here.
+  util::parallelFor(pool, n, [&table, channelAlive](std::size_t dst) {
+    thread_local std::vector<ChannelId> queue;
+    table.bfsDestination(static_cast<NodeId>(dst), channelAlive, queue);
+  });
+  table.buildSuccessorIndexes(pool);
   return table;
 }
 
-void RoutingTable::buildSuccessorIndexes() {
+void RoutingTable::buildSuccessorIndexes(util::ThreadPool* pool) {
+  const NodeId n = nodeCount_;
+  const std::uint32_t channels = channelCount_;
+  first_.offsets.assign(static_cast<std::size_t>(n) * n + 1, 0);
+  next_.offsets.assign(static_cast<std::size_t>(n) * channels + 1, 0);
+  nextAny_.offsets.assign(static_cast<std::size_t>(n) * channels + 1, 0);
+
+  if (pool == nullptr || pool->threadCount() <= 1) {
+    // Serial: one pass, appending entries and recording cumulative offsets.
+    first_.entries.clear();
+    next_.entries.clear();
+    nextAny_.entries.clear();
+    for (NodeId dst = 0; dst < n; ++dst) {
+      const auto* steps =
+          &steps_[static_cast<std::size_t>(dst) * channels];
+      enumerateCandidatesForDst(
+          *perms_, n, channels, steps, dst,
+          [this](ChannelId c) { first_.entries.push_back(c); },
+          [this, n, dst](NodeId src) {
+            first_.offsets[static_cast<std::size_t>(dst) * n + src + 1] =
+                static_cast<std::uint32_t>(first_.entries.size());
+          },
+          [this](ChannelId next, bool legal, bool anyTurn) {
+            if (legal) next_.entries.push_back(next);
+            if (anyTurn) nextAny_.entries.push_back(next);
+          },
+          [this, channels, dst](ChannelId in) {
+            const std::size_t row =
+                static_cast<std::size_t>(dst) * channels + in;
+            next_.offsets[row + 1] =
+                static_cast<std::uint32_t>(next_.entries.size());
+            nextAny_.offsets[row + 1] =
+                static_cast<std::uint32_t>(nextAny_.entries.size());
+          });
+    }
+    first_.entries.shrink_to_fit();
+    next_.entries.shrink_to_fit();
+    nextAny_.entries.shrink_to_fit();
+    return;
+  }
+
+  // Parallel: count per-row sizes into offsets[row + 1] (disjoint
+  // destination blocks), serially prefix the per-destination totals, then
+  // prefix-and-fill each destination block independently.  The fill replays
+  // the same enumeration, so entries land exactly where the serial pass
+  // would have appended them.
+  std::vector<std::uint64_t> firstBase(n + 1, 0);
+  std::vector<std::uint64_t> nextBase(n + 1, 0);
+  std::vector<std::uint64_t> anyBase(n + 1, 0);
+  util::parallelFor(pool, n, [&](std::size_t d) {
+    const NodeId dst = static_cast<NodeId>(d);
+    const auto* steps = &steps_[d * channels];
+    std::uint32_t firstCount = 0;
+    std::uint32_t nextCount = 0;
+    std::uint32_t anyCount = 0;
+    std::uint64_t firstTotal = 0;
+    std::uint64_t nextTotal = 0;
+    std::uint64_t anyTotal = 0;
+    enumerateCandidatesForDst(
+        *perms_, n, channels, steps, dst,
+        [&](ChannelId) { ++firstCount; },
+        [&](NodeId src) {
+          first_.offsets[d * n + src + 1] = firstCount;
+          firstTotal += firstCount;
+          firstCount = 0;
+        },
+        [&](ChannelId, bool legal, bool anyTurn) {
+          nextCount += legal;
+          anyCount += anyTurn;
+        },
+        [&](ChannelId in) {
+          const std::size_t row = d * channels + in;
+          next_.offsets[row + 1] = nextCount;
+          nextAny_.offsets[row + 1] = anyCount;
+          nextTotal += nextCount;
+          anyTotal += anyCount;
+          nextCount = 0;
+          anyCount = 0;
+        });
+    firstBase[d + 1] = firstTotal;
+    nextBase[d + 1] = nextTotal;
+    anyBase[d + 1] = anyTotal;
+  });
+  for (NodeId d = 0; d < n; ++d) {
+    firstBase[d + 1] += firstBase[d];
+    nextBase[d + 1] += nextBase[d];
+    anyBase[d + 1] += anyBase[d];
+  }
+  assert(firstBase[n] <= 0xffffffffull && nextBase[n] <= 0xffffffffull &&
+         anyBase[n] <= 0xffffffffull && "CSR entry count overflows uint32");
+  first_.entries.resize(firstBase[n]);
+  next_.entries.resize(nextBase[n]);
+  nextAny_.entries.resize(anyBase[n]);
+  util::parallelFor(pool, n, [&](std::size_t d) {
+    const NodeId dst = static_cast<NodeId>(d);
+    const auto* steps = &steps_[d * channels];
+    // Turn this block's counts into absolute offsets.  The block boundary
+    // offset is written by the previous destination's task; nothing reads
+    // it until the barrier at the end of this parallelFor.
+    std::uint32_t cursor = static_cast<std::uint32_t>(firstBase[d]);
+    for (std::size_t row = d * n; row < (d + 1) * n; ++row) {
+      cursor += first_.offsets[row + 1];
+      first_.offsets[row + 1] = cursor;
+    }
+    std::uint32_t nextCursor = static_cast<std::uint32_t>(nextBase[d]);
+    std::uint32_t anyCursor = static_cast<std::uint32_t>(anyBase[d]);
+    for (std::size_t row = d * channels; row < (d + 1) * channels; ++row) {
+      nextCursor += next_.offsets[row + 1];
+      next_.offsets[row + 1] = nextCursor;
+      anyCursor += nextAny_.offsets[row + 1];
+      nextAny_.offsets[row + 1] = anyCursor;
+    }
+    std::uint32_t firstFill = static_cast<std::uint32_t>(firstBase[d]);
+    std::uint32_t nextFill = static_cast<std::uint32_t>(nextBase[d]);
+    std::uint32_t anyFill = static_cast<std::uint32_t>(anyBase[d]);
+    enumerateCandidatesForDst(
+        *perms_, n, channels, steps, dst,
+        [&](ChannelId c) { first_.entries[firstFill++] = c; },
+        [](NodeId) {},
+        [&](ChannelId next, bool legal, bool anyTurn) {
+          if (legal) next_.entries[nextFill++] = next;
+          if (anyTurn) nextAny_.entries[anyFill++] = next;
+        },
+        [](ChannelId) {});
+  });
+}
+
+bool RoutingTable::computeDeadDelta(std::span<const std::uint64_t> channelAlive,
+                                    std::vector<ChannelId>& newlyDead,
+                                    std::vector<std::uint8_t>& deadKey,
+                                    std::vector<std::uint8_t>& dirty) const {
   const Topology& topo = perms_->topology();
   const NodeId n = nodeCount_;
+  const std::uint32_t channels = channelCount_;
 
-  // Candidate enumeration order must match the adjacency order used by the
-  // appending queries below: the simulator's random pick indexes into these
-  // rows, so reordering would change RNG-driven routing decisions.
-  first_.offsets.assign(static_cast<std::size_t>(n) * n + 1, 0);
-  next_.offsets.assign(static_cast<std::size_t>(n) * channelCount_ + 1, 0);
-  nextAny_.offsets.assign(static_cast<std::size_t>(n) * channelCount_ + 1, 0);
-  first_.entries.clear();
-  next_.entries.clear();
-  nextAny_.entries.clear();
-
-  for (NodeId dst = 0; dst < n; ++dst) {
-    const auto* steps = &steps_[static_cast<std::size_t>(dst) * channelCount_];
-
-    for (NodeId src = 0; src < n; ++src) {
-      if (src != dst) {
-        std::uint16_t best = kNoPath;
-        for (ChannelId c : topo.outputChannels(src)) {
-          best = std::min(best, steps[c]);
-        }
-        if (best != kNoPath) {
-          for (ChannelId c : topo.outputChannels(src)) {
-            if (steps[c] == best) first_.entries.push_back(c);
-          }
-        }
-      }
-      first_.offsets[static_cast<std::size_t>(dst) * n + src + 1] =
-          static_cast<std::uint32_t>(first_.entries.size());
-    }
-
-    for (ChannelId in = 0; in < channelCount_; ++in) {
-      const std::uint16_t remaining = steps[in];
-      if (remaining != kNoPath && remaining > 1) {  // <=1: dst(in) == dst
-        const NodeId via = topo.channelDst(in);
-        for (ChannelId next : topo.outputChannels(via)) {
-          if (steps[next] != remaining - 1) continue;
-          if (perms_->allowed(via, in, next)) next_.entries.push_back(next);
-          if (next != Topology::reverseChannel(in)) {
-            nextAny_.entries.push_back(next);
-          }
-        }
-      }
-      const std::size_t row = static_cast<std::size_t>(dst) * channelCount_ + in;
-      next_.offsets[row + 1] = static_cast<std::uint32_t>(next_.entries.size());
-      nextAny_.offsets[row + 1] =
-          static_cast<std::uint32_t>(nextAny_.entries.size());
+  // A channel was alive in this table iff it seeds its own destination's
+  // BFS (steps == 1 in the row of its dst node); dead channels are kNoPath
+  // everywhere, including there.
+  newlyDead.clear();
+  deadKey.assign(channels, 0);
+  for (ChannelId c = 0; c < channels; ++c) {
+    const bool alivePrev = channelSteps(topo.channelDst(c), c) == 1;
+    const bool aliveNow = aliveBit(channelAlive, c);
+    if (aliveNow && !alivePrev) return false;  // revival: full build needed
+    if (alivePrev && !aliveNow) {
+      newlyDead.push_back(c);
+      deadKey[c] = 1;
     }
   }
-  first_.entries.shrink_to_fit();
-  next_.entries.shrink_to_fit();
-  nextAny_.entries.shrink_to_fit();
+
+  // Destination d is dirty iff some newly dead channel c participates in a
+  // candidate row of d: it starts a minimal path from src(c) (its steps
+  // match the best over src(c)'s outputs), or it continues some in-channel
+  // e of src(c) (steps(d, e) == steps(d, c) + 1, e != reverse(c) — the
+  // any-turn membership test, a superset of the turn-legal one).  Every
+  // minimal-path edge of the table appears in one of those rows, so for a
+  // clean destination no minimal path from any channel crosses c, and no
+  // step value or candidate row besides c's own entries can change.
+  dirty.assign(n, 0);
+  for (NodeId d = 0; d < n; ++d) {
+    const auto* steps = &steps_[static_cast<std::size_t>(d) * channels];
+    for (const ChannelId c : newlyDead) {
+      const std::uint16_t stepsC = steps[c];
+      if (stepsC == kNoPath) continue;
+      const NodeId src = topo.channelSrc(c);
+      bool hit = false;
+      if (src != d) {
+        std::uint16_t best = kNoPath;
+        for (ChannelId o : topo.outputChannels(src)) {
+          best = std::min(best, steps[o]);
+        }
+        hit = stepsC == best;
+      }
+      if (!hit) {
+        for (ChannelId o : topo.outputChannels(src)) {
+          if (o == c) continue;  // reverse(o) == reverse(c): the U-turn pair
+          if (steps[Topology::reverseChannel(o)] == stepsC + 1) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        dirty[d] = 1;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t RoutingTable::dirtyDestinationCount(
+    std::span<const std::uint64_t> channelAlive) const {
+  std::vector<ChannelId> newlyDead;
+  std::vector<std::uint8_t> deadKey;
+  std::vector<std::uint8_t> dirty;
+  if (!computeDeadDelta(channelAlive, newlyDead, deadKey, dirty)) {
+    return nodeCount_;
+  }
+  std::uint32_t count = 0;
+  for (const std::uint8_t bit : dirty) count += bit;
+  return count;
+}
+
+RoutingTable RoutingTable::rebuildDead(
+    const RoutingTable& prev, util::ThreadPool* pool,
+    std::span<const std::uint64_t> channelAlive,
+    std::vector<NodeId>* dirtyDestinations) {
+  const TurnPermissions& perms = *prev.perms_;
+  const NodeId n = prev.nodeCount_;
+  const std::uint32_t channels = prev.channelCount_;
+
+  std::vector<ChannelId> newlyDead;
+  std::vector<std::uint8_t> deadKey;
+  std::vector<std::uint8_t> dirty;
+  const bool applicable =
+      prev.computeDeadDelta(channelAlive, newlyDead, deadKey, dirty);
+  assert(applicable && "revived channel needs a full build");
+  (void)applicable;
+  if (dirtyDestinations != nullptr) {
+    dirtyDestinations->clear();
+    for (NodeId d = 0; d < n; ++d) {
+      if (dirty[d]) dirtyDestinations->push_back(d);
+    }
+  }
+
+  RoutingTable table;
+  table.perms_ = prev.perms_;
+  table.nodeCount_ = n;
+  table.channelCount_ = channels;
+  table.steps_ = prev.steps_;
+  util::parallelFor(pool, n, [&](std::size_t d) {
+    if (dirty[d]) {
+      thread_local std::vector<ChannelId> queue;
+      table.bfsDestination(static_cast<NodeId>(d), channelAlive, queue);
+    } else {
+      auto* steps = &table.steps_[d * channels];
+      for (const ChannelId c : newlyDead) steps[c] = kNoPath;
+    }
+  });
+
+  // Candidate indexes: dirty destinations re-enumerate from the fresh
+  // steps; clean destinations copy prev's rows verbatim (dead channels are
+  // members of none of them), dropping only the rows keyed by dead
+  // in-channels.  Same count / prefix / fill structure as the parallel
+  // build, so the result matches a from-scratch masked build bit for bit.
+  table.first_.offsets.assign(static_cast<std::size_t>(n) * n + 1, 0);
+  table.next_.offsets.assign(static_cast<std::size_t>(n) * channels + 1, 0);
+  table.nextAny_.offsets.assign(static_cast<std::size_t>(n) * channels + 1, 0);
+  std::vector<std::uint64_t> firstBase(n + 1, 0);
+  std::vector<std::uint64_t> nextBase(n + 1, 0);
+  std::vector<std::uint64_t> anyBase(n + 1, 0);
+  const auto prevRowSize = [](const Csr& csr, std::size_t row) {
+    return csr.offsets[row + 1] - csr.offsets[row];
+  };
+  util::parallelFor(pool, n, [&](std::size_t d) {
+    std::uint64_t firstTotal = 0;
+    std::uint64_t nextTotal = 0;
+    std::uint64_t anyTotal = 0;
+    if (dirty[d]) {
+      const NodeId dst = static_cast<NodeId>(d);
+      const auto* steps = &table.steps_[d * channels];
+      std::uint32_t firstCount = 0;
+      std::uint32_t nextCount = 0;
+      std::uint32_t anyCount = 0;
+      enumerateCandidatesForDst(
+          perms, n, channels, steps, dst,
+          [&](ChannelId) { ++firstCount; },
+          [&](NodeId src) {
+            table.first_.offsets[d * n + src + 1] = firstCount;
+            firstTotal += firstCount;
+            firstCount = 0;
+          },
+          [&](ChannelId, bool legal, bool anyTurn) {
+            nextCount += legal;
+            anyCount += anyTurn;
+          },
+          [&](ChannelId in) {
+            const std::size_t row = d * channels + in;
+            table.next_.offsets[row + 1] = nextCount;
+            table.nextAny_.offsets[row + 1] = anyCount;
+            nextTotal += nextCount;
+            anyTotal += anyCount;
+            nextCount = 0;
+            anyCount = 0;
+          });
+    } else {
+      for (NodeId src = 0; src < n; ++src) {
+        const std::size_t row = d * n + src;
+        const std::uint32_t size = prevRowSize(prev.first_, row);
+        table.first_.offsets[row + 1] = size;
+        firstTotal += size;
+      }
+      for (ChannelId in = 0; in < channels; ++in) {
+        const std::size_t row = d * channels + in;
+        const std::uint32_t nextSize =
+            deadKey[in] ? 0 : prevRowSize(prev.next_, row);
+        const std::uint32_t anySize =
+            deadKey[in] ? 0 : prevRowSize(prev.nextAny_, row);
+        table.next_.offsets[row + 1] = nextSize;
+        table.nextAny_.offsets[row + 1] = anySize;
+        nextTotal += nextSize;
+        anyTotal += anySize;
+      }
+    }
+    firstBase[d + 1] = firstTotal;
+    nextBase[d + 1] = nextTotal;
+    anyBase[d + 1] = anyTotal;
+  });
+  for (NodeId d = 0; d < n; ++d) {
+    firstBase[d + 1] += firstBase[d];
+    nextBase[d + 1] += nextBase[d];
+    anyBase[d + 1] += anyBase[d];
+  }
+  table.first_.entries.resize(firstBase[n]);
+  table.next_.entries.resize(nextBase[n]);
+  table.nextAny_.entries.resize(anyBase[n]);
+  util::parallelFor(pool, n, [&](std::size_t d) {
+    std::uint32_t firstFill = static_cast<std::uint32_t>(firstBase[d]);
+    std::uint32_t nextFill = static_cast<std::uint32_t>(nextBase[d]);
+    std::uint32_t anyFill = static_cast<std::uint32_t>(anyBase[d]);
+    std::uint32_t cursor = firstFill;
+    for (std::size_t row = d * n; row < (d + 1) * n; ++row) {
+      cursor += table.first_.offsets[row + 1];
+      table.first_.offsets[row + 1] = cursor;
+    }
+    std::uint32_t nextCursor = nextFill;
+    std::uint32_t anyCursor = anyFill;
+    for (std::size_t row = d * channels; row < (d + 1) * channels; ++row) {
+      nextCursor += table.next_.offsets[row + 1];
+      table.next_.offsets[row + 1] = nextCursor;
+      anyCursor += table.nextAny_.offsets[row + 1];
+      table.nextAny_.offsets[row + 1] = anyCursor;
+    }
+    if (dirty[d]) {
+      const NodeId dst = static_cast<NodeId>(d);
+      const auto* steps = &table.steps_[d * channels];
+      enumerateCandidatesForDst(
+          perms, n, channels, steps, dst,
+          [&](ChannelId c) { table.first_.entries[firstFill++] = c; },
+          [](NodeId) {},
+          [&](ChannelId next, bool legal, bool anyTurn) {
+            if (legal) table.next_.entries[nextFill++] = next;
+            if (anyTurn) table.nextAny_.entries[anyFill++] = next;
+          },
+          [](ChannelId) {});
+    } else {
+      const std::size_t firstRow = d * n;
+      const std::size_t firstCount =
+          prev.first_.offsets[firstRow + n] - prev.first_.offsets[firstRow];
+      std::memcpy(table.first_.entries.data() + firstFill,
+                  prev.first_.entries.data() + prev.first_.offsets[firstRow],
+                  firstCount * sizeof(ChannelId));
+      const auto copyRow = [](const Csr& from, std::size_t row, Csr& to,
+                              std::uint32_t& fill) {
+        const std::uint32_t begin = from.offsets[row];
+        const std::uint32_t size = from.offsets[row + 1] - begin;
+        std::memcpy(to.entries.data() + fill, from.entries.data() + begin,
+                    size * sizeof(ChannelId));
+        fill += size;
+      };
+      for (ChannelId in = 0; in < channels; ++in) {
+        if (deadKey[in]) continue;
+        const std::size_t row = d * channels + in;
+        copyRow(prev.next_, row, table.next_, nextFill);
+        copyRow(prev.nextAny_, row, table.nextAny_, anyFill);
+      }
+    }
+  });
+  return table;
+}
+
+bool RoutingTable::identicalTo(const RoutingTable& other) const noexcept {
+  const auto sameCsr = [](const Csr& a, const Csr& b) {
+    return a.offsets == b.offsets && a.entries == b.entries;
+  };
+  return nodeCount_ == other.nodeCount_ &&
+         channelCount_ == other.channelCount_ && steps_ == other.steps_ &&
+         sameCsr(first_, other.first_) && sameCsr(next_, other.next_) &&
+         sameCsr(nextAny_, other.nextAny_);
+}
+
+std::uint64_t RoutingTable::fingerprint() const noexcept {
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](std::uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ull;
+  };
+  mix(nodeCount_);
+  mix(channelCount_);
+  for (const std::uint16_t s : steps_) mix(s);
+  for (const Csr* csr : {&first_, &next_, &nextAny_}) {
+    for (const std::uint32_t o : csr->offsets) mix(o);
+    for (const ChannelId e : csr->entries) mix(e);
+  }
+  return hash;
 }
 
 RoutingTable RoutingTable::remapComponents(

@@ -27,14 +27,67 @@
 
 #include "routing/turns.hpp"
 
+namespace downup::util {
+class ThreadPool;
+}  // namespace downup::util
+
 namespace downup::routing {
 
 inline constexpr std::uint16_t kNoPath = 0xffff;
 
 class RoutingTable {
  public:
-  /// Builds the table; O(destinations x channels x avg-degree).
-  static RoutingTable build(const TurnPermissions& perms);
+  /// Builds the table; O(destinations x channels x avg-degree) work.
+  ///
+  /// Per-destination rows are independent, so the reverse BFS and the
+  /// successor-index construction fan out over `pool` (nullptr or a
+  /// single-thread pool runs serially).  Output is bit-for-bit identical at
+  /// any thread count: BFS distances do not depend on intra-layer visit
+  /// order, and the parallel index build reproduces the serial enumeration
+  /// exactly via per-destination counting + prefix sums.
+  ///
+  /// `channelAlive` (optional, one bit per channel, empty = all alive)
+  /// masks dead channels out of the table: they seed no BFS, relax no
+  /// predecessor, keep kNoPath steps everywhere, and appear in no candidate
+  /// row — the contract remapComponents() establishes for dead links, so a
+  /// running simulator can consume a masked table directly.
+  static RoutingTable build(const TurnPermissions& perms,
+                            util::ThreadPool* pool = nullptr,
+                            std::span<const std::uint64_t> channelAlive = {});
+
+  /// Incremental rebuild after channel deaths: produces a table with
+  /// contents identical to build(prev.permissions(), pool, channelAlive)
+  /// while re-running the per-destination BFS + candidate enumeration only
+  /// for *dirty* destinations — those where some newly dead channel
+  /// participates in a candidate row (it starts a minimal path from its
+  /// source node, or some other channel's minimal continuation set contains
+  /// it).  Clean destinations provably keep every step value and candidate
+  /// row (the dead channels were on none of their minimal paths), so their
+  /// rows are copied, with dead channels pinned to kNoPath and rows keyed
+  /// by dead in-channels emptied.
+  ///
+  /// Precondition: `channelAlive` may only clear bits relative to the set
+  /// prev was built with (reviving a channel needs a full build).  If
+  /// `dirtyDestinations` is non-null it receives the dirty set (ascending).
+  static RoutingTable rebuildDead(const RoutingTable& prev,
+                                  util::ThreadPool* pool,
+                                  std::span<const std::uint64_t> channelAlive,
+                                  std::vector<NodeId>* dirtyDestinations = nullptr);
+
+  /// Number of destinations rebuildDead(*this, ..., channelAlive) would
+  /// recompute, or nodeCount() when a channel revived relative to this
+  /// table (the incremental path does not apply).  Cheap — O(dead channels
+  /// x nodes x degree) — so the engine can size the reconfiguration window
+  /// before running the rebuild itself.
+  std::uint32_t dirtyDestinationCount(
+      std::span<const std::uint64_t> channelAlive) const;
+
+  /// Points the table at an identical permission set (same topology, same
+  /// turn rule).  Used when an epoch swap copies the permissions it was
+  /// built against; `perms` must outlive the table.
+  void rebindPermissions(const TurnPermissions& perms) noexcept {
+    perms_ = &perms;
+  }
 
   const TurnPermissions& permissions() const noexcept { return *perms_; }
   const Topology& topology() const noexcept { return perms_->topology(); }
@@ -105,6 +158,15 @@ class RoutingTable {
   static RoutingTable remapComponents(const TurnPermissions& hostPerms,
                                       std::span<const ComponentMapping> parts);
 
+  /// True when the two tables hold identical routing contents (steps and
+  /// all three candidate indexes; the permissions pointer is not compared).
+  /// Used by the determinism and incremental-equivalence tests.
+  bool identicalTo(const RoutingTable& other) const noexcept;
+
+  /// FNV-1a hash over the full table contents (steps, offsets, entries).
+  /// Stable across thread counts and build paths; golden-pinned in tests.
+  std::uint64_t fingerprint() const noexcept;
+
   /// True when distance(s, d) is finite for every ordered pair.
   bool allPairsConnected() const noexcept;
 
@@ -124,7 +186,13 @@ class RoutingTable {
   };
 
   RoutingTable() = default;
-  void buildSuccessorIndexes();
+  void bfsDestination(NodeId dst, std::span<const std::uint64_t> channelAlive,
+                      std::vector<ChannelId>& queue);
+  void buildSuccessorIndexes(util::ThreadPool* pool);
+  bool computeDeadDelta(std::span<const std::uint64_t> channelAlive,
+                        std::vector<ChannelId>& newlyDead,
+                        std::vector<std::uint8_t>& deadKey,
+                        std::vector<std::uint8_t>& dirty) const;
 
   const TurnPermissions* perms_ = nullptr;
   std::uint32_t channelCount_ = 0;

@@ -89,6 +89,16 @@ struct SimConfig {
   /// (the modelled cost of tree recomputation + table distribution).  A
   /// later fault during an open window restarts the timer.
   std::uint32_t reconfigLatencyCycles = 200;
+  /// Reconfigure incrementally when possible: keep the previous epoch's
+  /// turn rule (restricting an acyclic dependency graph to the surviving
+  /// channels cannot create a cycle) and rebuild only the destinations a
+  /// failed link can affect, scaling the reconfiguration window by the
+  /// fraction of routing work actually redone.  Falls back to a full
+  /// rebuild — and the full window — when a resource revived or the
+  /// inherited rule leaves an alive component partially unreachable.
+  /// Default off: the fixed-window protocol stays bit-for-bit identical to
+  /// previous releases.
+  bool reconfigIncremental = false;
   /// What happens to packets generated while a reconfiguration window is
   /// open: parked in the source queue (default) or dropped at generation.
   fault::InjectionPolicy faultInjectionPolicy = fault::InjectionPolicy::kPark;
@@ -153,6 +163,12 @@ struct RunStats {
   /// Every swapped-in routing passed verification (deadlock-free channel
   /// dependencies + full connectivity within each alive component).
   bool reconfigRoutingVerified = true;
+  /// Swaps served by the incremental path (SimConfig::reconfigIncremental;
+  /// the remainder fell back to full rebuilds).
+  std::uint64_t reconfigIncrementalSwaps = 0;
+  /// Destinations whose routing rows were recomputed across all swaps
+  /// (aliveNodes per full rebuild; the dirty-set size per incremental one).
+  std::uint64_t reconfigDestinationsRebuilt = 0;
 
   std::uint64_t packetsDroppedTotal() const noexcept {
     return packetsDroppedInFlight + packetsDroppedInjection +

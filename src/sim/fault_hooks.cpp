@@ -50,13 +50,27 @@ void WormholeNetwork::faultPhase() {
     }
     if (applied.topologyChanged) {
       faultsActive_ = true;
-      faults_->openWindowUntil(now_ + config_.reconfigLatencyCycles);
+      faults_->openWindowUntil(now_ + reconfigWindowLength());
     }
   }
   if (faults_->windowOpen()) {
     ++reconfigCyclesTotal_;
     if (now_ >= faults_->windowEnd()) completeReconfiguration();
   }
+}
+
+std::uint64_t WormholeNetwork::reconfigWindowLength() const {
+  if (!config_.reconfigIncremental) return config_.reconfigLatencyCycles;
+  // The window models route recomputation + distribution time, so an
+  // incremental epoch that redoes a fraction of the per-destination work
+  // finishes proportionally sooner (never below one cycle).  The fraction
+  // is computed against the CURRENT table — exactly the epoch the swap at
+  // window end will be built from.
+  const double fraction = reconfigurator_->incrementalDirtyFraction(
+      *table_, faults_->linkAliveMask(), faults_->nodeAliveMask());
+  const double cycles = static_cast<double>(config_.reconfigLatencyCycles);
+  const auto scaled = static_cast<std::uint64_t>(cycles * fraction + 0.5);
+  return std::max<std::uint64_t>(1, scaled);
 }
 
 void WormholeNetwork::dropPacket(PacketId pid, topo::NodeId atNode) {
@@ -170,8 +184,15 @@ void WormholeNetwork::completeReconfiguration() {
     }
   }
 
-  fault::ReconfigOutcome outcome = reconfigurator_->rebuild(
-      faults_->linkAliveMask(), faults_->nodeAliveMask());
+  fault::ReconfigOutcome outcome =
+      config_.reconfigIncremental
+          ? reconfigurator_->rebuildIncremental(*table_,
+                                                faults_->linkAliveMask(),
+                                                faults_->nodeAliveMask())
+          : reconfigurator_->rebuild(faults_->linkAliveMask(),
+                                     faults_->nodeAliveMask());
+  reconfigIncrementalSwaps_ += outcome.incremental;
+  reconfigDestinationsRebuilt_ += outcome.rebuiltDestinations;
   reconfigVerified_ = reconfigVerified_ && outcome.ok();
   lastUnreachablePairs_ = outcome.unreachablePairs;
   epochPerms_ = std::move(outcome.perms);

@@ -239,6 +239,8 @@ RunStats WormholeNetwork::collectStats() const {
   stats.packetsDroppedUnreachable = droppedUnreachable_;
   stats.reconfigurations = reconfigurations_;
   stats.reconfigCyclesTotal = reconfigCyclesTotal_;
+  stats.reconfigIncrementalSwaps = reconfigIncrementalSwaps_;
+  stats.reconfigDestinationsRebuilt = reconfigDestinationsRebuilt_;
   stats.unreachablePairsAfterReconfig = lastUnreachablePairs_;
   stats.reconfigRoutingVerified = reconfigVerified_;
   return stats;

@@ -227,6 +227,11 @@ class WormholeNetwork {
   /// network holds only fully-routed draining worms — mixing them with
   /// claims under the new (acyclic) rule cannot form a dependency cycle.
   void completeReconfiguration();
+  /// Length of the window opened for the faults currently applied: the
+  /// fixed reconfigLatencyCycles, or — under reconfigIncremental — that
+  /// latency scaled by the fraction of per-destination routing work the
+  /// incremental path will actually redo.
+  std::uint64_t reconfigWindowLength() const;
   /// Window-open variant of claimOutputVc: same selection logic over the
   /// stale table's candidates with dead channels filtered out (misroute
   /// excursions are suspended during a window).
@@ -350,6 +355,8 @@ class WormholeNetwork {
   bool generationStopped_ = false;  // drainRemaining()
   std::uint64_t reconfigurations_ = 0;
   std::uint64_t reconfigCyclesTotal_ = 0;
+  std::uint64_t reconfigIncrementalSwaps_ = 0;
+  std::uint64_t reconfigDestinationsRebuilt_ = 0;
   std::uint64_t droppedInFlight_ = 0;
   std::uint64_t droppedInjection_ = 0;
   std::uint64_t droppedUnreachable_ = 0;

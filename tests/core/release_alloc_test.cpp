@@ -1,0 +1,111 @@
+// The release pass's steady-state allocation contract, asserted directly:
+// re-running a warmed ReleasePass on an identically-sized problem performs
+// ZERO heap allocations — every piece of scratch (Tarjan stacks, SCC ids,
+// reachability bitsets, condensation adjacency, worklists, candidate
+// input/output lists) lives in the pass object at high-water capacity.
+// This is what makes the pass safe to call from the online-reconfiguration
+// hot path without jitter.
+//
+// Technique (same as tests/obs/zero_overhead_test.cpp, one override per
+// test binary): the global allocation functions are replaced with counting
+// wrappers, off by default and switched on only around the measured run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/downup_routing.hpp"
+#include "core/release.hpp"
+#include "core/repair.hpp"
+#include "topology/generate.hpp"
+
+namespace {
+
+std::atomic<bool> g_countAllocations{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* countedAlloc(std::size_t size) {
+  if (g_countAllocations.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace downup {
+namespace {
+
+routing::TurnPermissions makeRepairedPerms(const topo::Topology& topo,
+                                           std::uint64_t seed) {
+  util::Rng treeRng(seed);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+  routing::TurnPermissions perms(topo, routing::classifyDownUp(topo, ct),
+                                 core::downUpTurnSet());
+  core::repairTurnCycles(perms);
+  return perms;
+}
+
+TEST(ReleaseAllocTest, WarmedPassAllocatesNothing) {
+  util::Rng topoRng(42);
+  const topo::Topology topo =
+      topo::randomIrregular(48, {.maxPorts = 4}, topoRng);
+  const routing::TurnPermissions repaired = makeRepairedPerms(topo, 9);
+
+  core::ReleasePass pass;
+  routing::TurnPermissions warm = repaired;
+  const core::ReleaseStats warmStats = pass.run(warm);
+  EXPECT_GT(warmStats.releasedTurns, 0u);
+
+  // Fresh copy made BEFORE counting starts; releaseAt/revokeReleaseAt only
+  // flip bits in preallocated masks, so the measured region is exactly the
+  // pass itself.
+  routing::TurnPermissions measured = repaired;
+  g_allocations.store(0);
+  g_countAllocations.store(true);
+  const core::ReleaseStats stats = pass.run(measured);
+  g_countAllocations.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "ReleasePass::run allocated on a warmed, identically-sized rerun";
+  EXPECT_EQ(stats.releasedTurns, warmStats.releasedTurns);
+  EXPECT_EQ(stats.candidateTurns, warmStats.candidateTurns);
+}
+
+TEST(ReleaseAllocTest, WarmedPassAcrossTopologiesOfSameShapeAllocatesNothing) {
+  // The pass is reusable across permission sets; warming on one topology
+  // and running another of the same size must also stay allocation-free
+  // (buffers are sized by channel/SCC counts, not tied to one graph).
+  util::Rng rngA(7);
+  util::Rng rngB(8);
+  const topo::Topology topoA =
+      topo::randomIrregular(32, {.maxPorts = 4}, rngA);
+  const topo::Topology topoB =
+      topo::randomIrregular(32, {.maxPorts = 4}, rngB);
+
+  core::ReleasePass pass;
+  routing::TurnPermissions warmA = makeRepairedPerms(topoA, 3);
+  routing::TurnPermissions warmB = makeRepairedPerms(topoB, 4);
+  pass.run(warmA);
+  pass.run(warmB);  // high-water over both shapes
+
+  routing::TurnPermissions measured = makeRepairedPerms(topoB, 4);
+  g_allocations.store(0);
+  g_countAllocations.store(true);
+  pass.run(measured);
+  g_countAllocations.store(false);
+  EXPECT_EQ(g_allocations.load(), 0u);
+}
+
+}  // namespace
+}  // namespace downup
