@@ -5,30 +5,22 @@
 // (lowest-numbered) choice per hop.
 #include <iomanip>
 #include <iostream>
-#include <thread>
 
 #include "core/downup_routing.hpp"
+#include "exp_common.hpp"
 #include "sim/engine.hpp"
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
-#include "util/cli.hpp"
 #include "util/summary.hpp"
 #include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
-  util::Cli cli("exp_ablation_adaptivity",
-                "adaptive vs deterministic output selection");
-  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
-  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
-  auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
-  auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
-  const unsigned hw = std::thread::hardware_concurrency();
-  auto threads = cli.positiveOption<int>(
-      "threads", static_cast<int>(hw == 0 ? 1 : hw),
-      "worker threads for table construction");
+  bench::ScenarioCli cli("exp_ablation_adaptivity",
+                         "adaptive vs deterministic output selection",
+                         {.samples = 3, .obsOutputs = false});
   cli.parse(argc, argv);
-  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
 
   std::cout << std::left << std::setw(12) << "algorithm" << std::setw(14)
             << "adaptive" << std::setw(16) << "deterministic" << std::setw(10)
@@ -38,22 +30,19 @@ int main(int argc, char** argv) {
        {core::Algorithm::kLTurn, core::Algorithm::kDownUp}) {
     util::RunningStat adaptive;
     util::RunningStat deterministic;
-    for (int sample = 0; sample < *samples; ++sample) {
-      util::Rng rng(*seed + static_cast<std::uint64_t>(sample));
+    for (int sample = 0; sample < cli.samples(); ++sample) {
+      util::Rng rng(cli.seed() + static_cast<std::uint64_t>(sample));
       const topo::Topology topo = topo::randomIrregular(
-          static_cast<topo::NodeId>(*switches),
-          {.maxPorts = static_cast<unsigned>(*ports)}, rng);
-      util::Rng treeRng(*seed + 100 + static_cast<std::uint64_t>(sample));
+          static_cast<topo::NodeId>(cli.switches()),
+          {.maxPorts = static_cast<unsigned>(cli.ports())}, rng);
+      util::Rng treeRng(cli.seed() + 100 + static_cast<std::uint64_t>(sample));
       const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
           topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
       const routing::Routing routing = core::buildRouting(algorithm, topo, ct, &pool);
       const sim::UniformTraffic traffic(topo.nodeCount());
 
-      sim::SimConfig config;
-      config.packetLengthFlits = 64;
-      config.warmupCycles = 2000;
-      config.measureCycles = 8000;
-      config.seed = *seed + 300 + static_cast<std::uint64_t>(sample);
+      sim::SimConfig config = cli.simConfig();
+      config.seed = cli.seed() + 300 + static_cast<std::uint64_t>(sample);
 
       for (const bool useAdaptive : {true, false}) {
         config.adaptiveSelection = useAdaptive;

@@ -5,13 +5,19 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <thread>
 
+#include "obs/export.hpp"
+#include "obs/observer.hpp"
+#include "sim/config.hpp"
 #include "stats/experiment.hpp"
 #include "stats/report.hpp"
+#include "topology/topology.hpp"
 #include "util/cli.hpp"
 
 namespace downup::bench {
@@ -101,6 +107,180 @@ class ExperimentCli {
   std::shared_ptr<int> threads_;
   std::shared_ptr<bool> full_;
   std::shared_ptr<bool> quiet_;
+};
+
+/// Per-bench defaults for ScenarioCli.  Set `samples` to 0 to omit the
+/// --samples option, `topology` to false to omit --switches/--ports (the
+/// mesh bench sizes its own grid), and `obsOutputs` to false for benches
+/// whose inner loop is a load sweep with no single instrumentable run.
+struct ScenarioDefaults {
+  int switches = 32;
+  int ports = 4;
+  int samples = 0;
+  std::uint64_t seed = 2004;
+  int packetFlits = 64;
+  int warmup = 2000;
+  int measure = 8000;
+  bool topology = true;
+  bool obsOutputs = true;
+};
+
+/// Shared flags for the single-scenario benches (the ones that run a fixed
+/// set of configurations rather than ExperimentCli's full load sweep):
+/// topology size, simulation window, threads, and the uniform observability
+/// outputs --metrics-out / --timeseries-out every instrumented bench
+/// accepts.  Bench-specific options register on `cli()` before `parse()`.
+class ScenarioCli {
+ public:
+  ScenarioCli(std::string program, std::string description,
+              ScenarioDefaults defaults = {})
+      : cli_(std::move(program), std::move(description)),
+        defaults_(defaults) {
+    if (defaults.topology) {
+      switches_ = cli_.positiveOption<int>("switches", defaults.switches,
+                                           "number of switches");
+      ports_ = cli_.positiveOption<int>("ports", defaults.ports,
+                                        "ports per switch");
+    }
+    if (defaults.samples > 0) {
+      samples_ = cli_.positiveOption<int>("samples", defaults.samples,
+                                          "random topologies");
+    }
+    seed_ = cli_.option<std::uint64_t>("seed", defaults.seed, "base seed");
+    packetFlits_ = cli_.positiveOption<int>("packet-flits",
+                                            defaults.packetFlits,
+                                            "packet length in flits");
+    warmup_ = cli_.option<int>("warmup", defaults.warmup, "warm-up cycles");
+    measure_ = cli_.positiveOption<int>("measure", defaults.measure,
+                                        "measured cycles");
+    threads_ = cli_.positiveOption<int>(
+        "threads", ExperimentCli::defaultThreads(),
+        "worker threads for table construction and parallel sweeps");
+    if (defaults.obsOutputs) {
+      metricsOut_ = cli_.option<std::string>(
+          "metrics-out", "",
+          "metrics JSONL path prefix (.LABEL.jsonl appended)");
+      timeseriesOut_ = cli_.option<std::string>(
+          "timeseries-out", "",
+          "time-series path prefix (.LABEL.{csv,jsonl,trace.json} appended)");
+      timeseriesWindow_ = cli_.positiveOption<int>(
+          "timeseries-window", 1024, "time-series window length in cycles");
+      waitforPeriod_ = cli_.option<int>(
+          "waitfor-period", 0,
+          "wait-for-graph sample period in cycles (0 = off)");
+    }
+  }
+
+  util::Cli& cli() { return cli_; }
+
+  void parse(int argc, const char* const* argv) { cli_.parse(argc, argv); }
+
+  int switches() const { return switches_ ? *switches_ : defaults_.switches; }
+  int ports() const { return ports_ ? *ports_ : defaults_.ports; }
+  int samples() const { return samples_ ? *samples_ : defaults_.samples; }
+  std::uint64_t seed() const { return *seed_; }
+  int packetFlits() const { return *packetFlits_; }
+  int warmup() const { return *warmup_; }
+  int measure() const { return *measure_; }
+  int threads() const { return *threads_; }
+  const std::string& metricsOut() const {
+    static const std::string kEmpty;
+    return metricsOut_ ? *metricsOut_ : kEmpty;
+  }
+  const std::string& timeseriesOut() const {
+    static const std::string kEmpty;
+    return timeseriesOut_ ? *timeseriesOut_ : kEmpty;
+  }
+  int timeseriesWindow() const {
+    return timeseriesWindow_ ? *timeseriesWindow_ : 1024;
+  }
+  int waitforPeriod() const {
+    return waitforPeriod_ ? *waitforPeriod_ : 0;
+  }
+
+  /// SimConfig with the shared window/packet knobs filled in.  The seed is
+  /// left at its default — benches derive per-sample seeds from seed().
+  sim::SimConfig simConfig() const {
+    sim::SimConfig config;
+    config.packetLengthFlits = static_cast<std::uint32_t>(*packetFlits_);
+    config.warmupCycles = static_cast<std::uint32_t>(*warmup_);
+    config.measureCycles = static_cast<std::uint64_t>(*measure_);
+    return config;
+  }
+
+  /// True when any --metrics-out / --timeseries-out artifact was requested
+  /// (attaching an observer is only worth the hook overhead then).
+  bool wantsObserver() const {
+    return metricsOut_ && timeseriesOut_ &&
+           (!metricsOut_->empty() || !timeseriesOut_->empty());
+  }
+
+  /// Enables the collectors the requested outputs need.
+  void applyObsOutputs(obs::ObsOptions& options) const {
+    if (!metricsOut_) return;
+    if (!metricsOut_->empty()) options.metrics = true;
+    if (!timeseriesOut_->empty()) {
+      options.timeseriesWindowCycles =
+          static_cast<std::uint32_t>(*timeseriesWindow_);
+    }
+    options.waitForSamplePeriod = static_cast<std::uint32_t>(
+        *waitforPeriod_ < 0 ? 0 : *waitforPeriod_);
+  }
+
+  /// Writes the uniform artifacts for one labelled run: the metrics JSONL
+  /// and the time-series CSV + JSONL + Perfetto trace, each only when its
+  /// prefix option was given and its collector is attached.  `finishCycle`
+  /// (usually net.now()) flushes the partial last window first.
+  void writeObsArtifacts(obs::Observer& observer, const topo::Topology* topo,
+                         std::uint64_t measuredCycles,
+                         std::uint64_t finishCycle,
+                         const std::string& label) const {
+    if (!metricsOut_) return;
+    const auto dotted = [&label](const std::string& prefix,
+                                 const char* suffix) {
+      return label.empty() ? prefix + suffix : prefix + "." + label + suffix;
+    };
+    if (!metricsOut_->empty() && observer.metrics() != nullptr) {
+      const std::string path = dotted(*metricsOut_, ".jsonl");
+      std::ofstream out(path);
+      obs::writeMetricsJsonl(*observer.metrics(), topo, measuredCycles, out);
+      std::cout << "wrote " << path << "\n";
+    }
+    if (!timeseriesOut_->empty() && observer.timeseries() != nullptr) {
+      obs::TimeSeriesCollector& series = *observer.timeseries();
+      series.finish(finishCycle);
+      {
+        std::ofstream out(dotted(*timeseriesOut_, ".csv"));
+        obs::writeTimeSeriesCsv(series, out);
+      }
+      {
+        std::ofstream out(dotted(*timeseriesOut_, ".jsonl"));
+        obs::writeTimeSeriesJsonl(series, observer.waitFor(), out);
+      }
+      {
+        std::ofstream out(dotted(*timeseriesOut_, ".trace.json"));
+        obs::writeTimeSeriesChromeTrace(series, out);
+      }
+      std::cout << "wrote " << dotted(*timeseriesOut_, ".{csv,jsonl,trace.json}")
+                << "\n";
+    }
+  }
+
+ private:
+  util::Cli cli_;
+  ScenarioDefaults defaults_;
+  std::shared_ptr<int> switches_;
+  std::shared_ptr<int> ports_;
+  std::shared_ptr<int> samples_;
+  std::shared_ptr<std::uint64_t> seed_;
+  std::shared_ptr<int> packetFlits_;
+  std::shared_ptr<int> warmup_;
+  std::shared_ptr<int> measure_;
+  std::shared_ptr<int> threads_;
+  std::shared_ptr<std::string> metricsOut_;
+  std::shared_ptr<std::string> timeseriesOut_;
+  std::shared_ptr<int> timeseriesWindow_;
+  std::shared_ptr<int> waitforPeriod_;
 };
 
 /// Prints the paper's published numbers next to ours for one table, so the

@@ -6,31 +6,24 @@
 // is already diverse enough that escape confinement does not pay.
 #include <iomanip>
 #include <iostream>
-#include <thread>
 
 #include "core/downup_routing.hpp"
+#include "exp_common.hpp"
 #include "sim/engine.hpp"
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
-#include "util/cli.hpp"
 #include "util/summary.hpp"
 #include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
-  util::Cli cli("exp_escape_adaptive",
-                "escape-channel adaptive routing vs plain multi-VC");
-  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
-  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
-  auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
-  auto vcs = cli.positiveOption<int>("vcs", 2, "virtual channels per link (>= 2)");
-  auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
-  const unsigned hw = std::thread::hardware_concurrency();
-  auto threads = cli.positiveOption<int>(
-      "threads", static_cast<int>(hw == 0 ? 1 : hw),
-      "worker threads for table construction");
+  bench::ScenarioCli cli("exp_escape_adaptive",
+                         "escape-channel adaptive routing vs plain multi-VC",
+                         {.samples = 3, .obsOutputs = false});
+  auto vcs = cli.cli().positiveOption<int>(
+      "vcs", 2, "virtual channels per link (>= 2)");
   cli.parse(argc, argv);
-  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
 
   std::cout << std::left << std::setw(14) << "algorithm" << std::setw(12)
             << "plain" << std::setw(12) << "escape" << std::setw(10)
@@ -41,23 +34,20 @@ int main(int argc, char** argv) {
         core::Algorithm::kDownUp}) {
     util::RunningStat plainSat;
     util::RunningStat escapeSat;
-    for (int sample = 0; sample < *samples; ++sample) {
-      util::Rng rng(*seed + static_cast<std::uint64_t>(sample));
+    for (int sample = 0; sample < cli.samples(); ++sample) {
+      util::Rng rng(cli.seed() + static_cast<std::uint64_t>(sample));
       const topo::Topology topo = topo::randomIrregular(
-          static_cast<topo::NodeId>(*switches),
-          {.maxPorts = static_cast<unsigned>(*ports)}, rng);
-      util::Rng treeRng(*seed + 100 + static_cast<std::uint64_t>(sample));
+          static_cast<topo::NodeId>(cli.switches()),
+          {.maxPorts = static_cast<unsigned>(cli.ports())}, rng);
+      util::Rng treeRng(cli.seed() + 100 + static_cast<std::uint64_t>(sample));
       const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
           topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
       const routing::Routing routing = core::buildRouting(algorithm, topo, ct, &pool);
       const sim::UniformTraffic traffic(topo.nodeCount());
 
-      sim::SimConfig config;
-      config.packetLengthFlits = 64;
-      config.warmupCycles = 2000;
-      config.measureCycles = 8000;
+      sim::SimConfig config = cli.simConfig();
       config.vcCount = static_cast<std::uint32_t>(*vcs);
-      config.seed = *seed + 300 + static_cast<std::uint64_t>(sample);
+      config.seed = cli.seed() + 300 + static_cast<std::uint64_t>(sample);
 
       for (const bool escape : {false, true}) {
         config.escapeAdaptiveRouting = escape;

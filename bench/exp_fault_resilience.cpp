@@ -15,65 +15,58 @@
 //
 //   ./exp_fault_resilience --switches 32 --ports 4 --seed 2004
 //       --csv results/fault_resilience.csv
+//       --events-csv results/fault_resilience_events.csv
 #include <algorithm>
 #include <iomanip>
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/downup_routing.hpp"
+#include "exp_common.hpp"
 #include "fault/schedule.hpp"
 #include "sim/network.hpp"
+#include "stats/recovery.hpp"
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
-#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
-  util::Cli cli("exp_fault_resilience",
-                "delivered traffic and reconfiguration cost under dynamic "
-                "link failures");
-  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
-  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
-  auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
-  auto packet = cli.positiveOption<int>("packet-flits", 32,
-                                        "packet length (flits)");
-  auto warmup = cli.option<int>("warmup", 1000, "warm-up cycles");
-  auto measure = cli.positiveOption<int>("measure", 8000, "measured cycles");
-  auto latency = cli.positiveOption<int>(
+  bench::ScenarioCli cli(
+      "exp_fault_resilience",
+      "delivered traffic and reconfiguration cost under dynamic "
+      "link failures",
+      {.packetFlits = 32, .warmup = 1000, .measure = 8000});
+  auto latency = cli.cli().positiveOption<int>(
       "reconfig-latency", 200, "cycles from fault to routing hot-swap");
-  auto maxFailures = cli.positiveOption<int>("max-failures", 8,
-                                             "largest failure count tried");
-  auto csvPath = cli.option<std::string>("csv", "", "CSV output path");
+  auto maxFailures = cli.cli().positiveOption<int>(
+      "max-failures", 8, "largest failure count tried");
+  auto csvPath = cli.cli().option<std::string>("csv", "", "CSV output path");
+  auto eventsCsvPath = cli.cli().option<std::string>(
+      "events-csv", "",
+      "per-reconfiguration-event CSV (fault/swap cycles, recovery curve)");
   auto noIncremental =
-      cli.flag("no-incremental",
-               "skip the incremental-reconfiguration comparison runs");
-  const unsigned hw = std::thread::hardware_concurrency();
-  auto threads = cli.positiveOption<int>(
-      "threads", static_cast<int>(hw == 0 ? 1 : hw),
-      "worker threads for table construction");
+      cli.cli().flag("no-incremental",
+                     "skip the incremental-reconfiguration comparison runs");
   cli.parse(argc, argv);
 
-  util::Rng rng(*seed);
+  util::Rng rng(cli.seed());
   const topo::Topology topo = topo::randomIrregular(
-      static_cast<topo::NodeId>(*switches),
-      {.maxPorts = static_cast<unsigned>(*ports)}, rng);
-  util::Rng treeRng(*seed + 100);
+      static_cast<topo::NodeId>(cli.switches()),
+      {.maxPorts = static_cast<unsigned>(cli.ports())}, rng);
+  util::Rng treeRng(cli.seed() + 100);
   const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
       topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
-  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
   const routing::Routing routing = core::buildDownUp(topo, ct, {.pool = &pool});
   const sim::UniformTraffic traffic(topo.nodeCount());
 
-  sim::SimConfig config;
-  config.packetLengthFlits = static_cast<std::uint32_t>(*packet);
-  config.warmupCycles = static_cast<std::uint32_t>(*warmup);
-  config.measureCycles = static_cast<std::uint32_t>(*measure);
+  sim::SimConfig config = cli.simConfig();
   config.reconfigLatencyCycles = static_cast<std::uint32_t>(*latency);
-  config.seed = *seed + 300;
+  config.seed = cli.seed() + 300;
+  const int measure = cli.measure();
 
   const double saturation =
       stats::probeSaturationLoad(routing.table(), traffic, config);
@@ -93,8 +86,21 @@ int main(int argc, char** argv) {
                  "verified", "reconfig_cycles_incremental",
                  "incremental_swaps", "destinations_rebuilt_incremental"});
   }
+  std::unique_ptr<util::CsvWriter> eventsCsv;
+  if (!eventsCsvPath->empty()) {
+    eventsCsv = std::make_unique<util::CsvWriter>(*eventsCsvPath);
+    eventsCsv->header(
+        {"failures", "offered_load", "strategy", "event", "fault_cycle",
+         "swap_cycle", "time_to_reroute", "destinations_rebuilt",
+         "unreachable_pairs", "baseline_rate", "dip_rate", "dip_depth",
+         "dip_width_cycles", "time_to_recover", "recovered",
+         "dropped_packets", "delivered_deficit"});
+  }
+  // Per-event timings come from the windowed time series, so any of the
+  // event-level outputs needs the collector attached.
+  const bool wantEvents = eventsCsv != nullptr || cli.wantsObserver();
 
-  std::cout << *switches << " switches, " << topo.linkCount()
+  std::cout << cli.switches() << " switches, " << topo.linkCount()
             << " links; saturation ~" << std::fixed << std::setprecision(4)
             << saturation << " flits/node/clock; reconfig latency "
             << *latency << " cycles\n\n";
@@ -105,25 +111,94 @@ int main(int argc, char** argv) {
             << "avg lat" << std::setw(10) << "rcfg cyc" << std::setw(12)
             << "rcfg incr" << "\n";
 
+  // Runs one cell; when `wantEvents`, a time-series observer rides along
+  // (inert for the simulated outcome) and its recovery analysis lands in
+  // the events CSV under `strategy`, with the uniform --metrics-out /
+  // --timeseries-out artifacts labelled `label`.
+  struct CellResult {
+    sim::RunStats stats;
+    std::uint64_t delivered = 0;
+    bool drained = false;
+  };
+  const auto runCell = [&](const sim::SimConfig& cellConfig, double load,
+                           unsigned failures, const char* strategy,
+                           const std::string& label) {
+    sim::SimConfig obsConfig = cellConfig;
+    std::unique_ptr<obs::Observer> observer;
+    if (wantEvents) {
+      obs::ObsOptions obsOptions;
+      cli.applyObsOutputs(obsOptions);
+      if (obsOptions.timeseriesWindowCycles == 0) {
+        obsOptions.timeseriesWindowCycles = 256;  // events-csv only
+      }
+      observer = std::make_unique<obs::Observer>(obsOptions, topo, &ct,
+                                                 cellConfig.vcCount);
+      obsConfig.observer = observer.get();
+    }
+    sim::WormholeNetwork net(routing.table(), traffic, load, obsConfig);
+    net.run();
+    CellResult r;
+    r.drained = net.drainRemaining(200000);
+    r.stats = net.collectStats();
+    r.delivered = net.packetsEjected();
+    if (observer != nullptr && observer->timeseries() != nullptr) {
+      observer->timeseries()->finish(net.now());
+      if (eventsCsv != nullptr) {
+        const auto events = stats::analyzeRecovery(*observer->timeseries());
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          const stats::FaultRecovery& e = events[i];
+          const auto cellNever = [](std::uint64_t v) {
+            return v == stats::FaultRecovery::kNever ? std::string("never")
+                                                     : std::to_string(v);
+          };
+          eventsCsv->cell(failures)
+              .cell(load)
+              .cell(strategy)
+              .cell(static_cast<unsigned long long>(i))
+              .cell(e.faultCycle)
+              .cell(cellNever(e.swapCycle))
+              .cell(cellNever(e.timeToReroute))
+              .cell(e.destinationsRebuilt)
+              .cell(e.unreachablePairs)
+              .cell(e.baselineRate)
+              .cell(e.dipRate)
+              .cell(e.dipDepth)
+              .cell(e.dipWidthCycles)
+              .cell(cellNever(e.timeToRecover))
+              .cell(e.recovered ? 1 : 0)
+              .cell(e.droppedPackets)
+              .cell(e.deliveredDeficit);
+          eventsCsv->endRow();
+        }
+      }
+      cli.writeObsArtifacts(*observer, &topo, obsConfig.measureCycles,
+                            net.now(), label);
+    }
+    return r;
+  };
+
   for (const unsigned failures : failureCounts) {
     // Failures land spread across the measurement window, each far enough
     // from the next that its reconfiguration completes first.
-    const std::uint64_t first = config.warmupCycles + *measure / 10;
+    const std::uint64_t first = config.warmupCycles + measure / 10;
     const std::uint64_t step =
         failures > 1
             ? std::max<std::uint64_t>(
-                  (*measure * 8ull / 10) / failures, *latency + 1)
+                  (measure * 8ull / 10) / failures, *latency + 1)
             : 1;
     const fault::FaultSchedule schedule = fault::FaultSchedule::randomLinkFailures(
-        topo, failures, first, step, *seed + 500 + failures);
+        topo, failures, first, step, cli.seed() + 500 + failures);
     config.faultSchedule = &schedule;  // empty (failures == 0) is inert
 
+    int loadIndex = 0;
     for (const double load : loads) {
-      sim::WormholeNetwork net(routing.table(), traffic, load, config);
-      net.run();
-      const bool drained = net.drainRemaining(200000);
-      const sim::RunStats stats = net.collectStats();
-      const std::uint64_t delivered = net.packetsEjected();
+      const std::string cellLabel =
+          "f" + std::to_string(failures) + "_l" + std::to_string(loadIndex++);
+      const CellResult cell =
+          runCell(config, load, failures, "full", cellLabel);
+      const bool drained = cell.drained;
+      const sim::RunStats& stats = cell.stats;
+      const std::uint64_t delivered = cell.delivered;
       const double fraction =
           stats.packetsGenerated == 0
               ? 1.0
@@ -139,11 +214,10 @@ int main(int argc, char** argv) {
       if (compareIncremental) {
         sim::SimConfig incrConfig = config;
         incrConfig.reconfigIncremental = true;
-        sim::WormholeNetwork incrNet(routing.table(), traffic, load,
-                                     incrConfig);
-        incrNet.run();
-        incrDrained = incrNet.drainRemaining(200000);
-        incr = incrNet.collectStats();
+        const CellResult incrCell = runCell(incrConfig, load, failures,
+                                            "incremental", cellLabel + ".incr");
+        incrDrained = incrCell.drained;
+        incr = incrCell.stats;
       }
 
       std::cout << std::left << std::setw(10) << schedule.size()

@@ -4,15 +4,14 @@
 // algorithms give up when a regular topology's structure is available.
 #include <iomanip>
 #include <iostream>
-#include <thread>
 
 #include "core/downup_routing.hpp"
+#include "exp_common.hpp"
 #include "routing/mesh_turn.hpp"
 #include "routing/path_analysis.hpp"
 #include "sim/engine.hpp"
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
-#include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -31,29 +30,24 @@ double saturate(const downup::routing::RoutingTable& table,
 
 int main(int argc, char** argv) {
   using namespace downup;
-  util::Cli cli("exp_mesh_turnmodel",
-                "Glass & Ni mesh turn model vs tree-based routings on a mesh");
-  auto width = cli.positiveOption<int>("width", 8, "mesh width");
-  auto height = cli.positiveOption<int>("height", 8, "mesh height");
-  auto seed = cli.option<std::uint64_t>("seed", 2004, "simulation seed");
-  const unsigned hw = std::thread::hardware_concurrency();
-  auto threads = cli.positiveOption<int>(
-      "threads", static_cast<int>(hw == 0 ? 1 : hw),
-      "worker threads for table construction");
+  bench::ScenarioCli cli(
+      "exp_mesh_turnmodel",
+      "Glass & Ni mesh turn model vs tree-based routings on a mesh",
+      {.topology = false, .obsOutputs = false});
+  auto width = cli.cli().positiveOption<int>("width", 8, "mesh width");
+  auto height = cli.cli().positiveOption<int>("height", 8, "mesh height");
   cli.parse(argc, argv);
-  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
 
   const auto w = static_cast<topo::NodeId>(*width);
   const auto h = static_cast<topo::NodeId>(*height);
   const topo::Topology topo = topo::mesh(w, h);
   const sim::UniformTraffic traffic(topo.nodeCount());
-  sim::SimConfig config;
-  config.packetLengthFlits = 64;
-  config.warmupCycles = 2000;
-  config.measureCycles = 8000;
-  config.seed = *seed;
+  sim::SimConfig config = cli.simConfig();
+  config.seed = cli.seed();
 
-  std::cout << w << "x" << h << " mesh, uniform traffic, 64-flit packets\n\n"
+  std::cout << w << "x" << h << " mesh, uniform traffic, "
+            << cli.packetFlits() << "-flit packets\n\n"
             << std::left << std::setw(18) << "routing" << std::setw(12)
             << "satTput" << std::setw(12) << "avgPath" << std::setw(12)
             << "adaptivity" << "\n";
@@ -74,7 +68,7 @@ int main(int argc, char** argv) {
     report(routing::buildMeshRouting(topo, w, h, model));
   }
 
-  util::Rng treeRng(*seed + 1);
+  util::Rng treeRng(cli.seed() + 1);
   const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
       topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
   for (core::Algorithm algorithm :

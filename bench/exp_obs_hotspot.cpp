@@ -8,26 +8,26 @@
 // dominant turns, turn-usage table with the released turns marked) and,
 // optionally, machine-readable artifacts:
 //
-//   --metrics-out PREFIX   writes PREFIX.downup.jsonl / PREFIX.lturn.jsonl
-//   --heatmap-out PREFIX   writes PREFIX.downup.dot / PREFIX.lturn.dot
-//                          (render with `dot -Tsvg`)
+//   --metrics-out PREFIX     writes PREFIX.downup.jsonl / PREFIX.lturn.jsonl
+//   --timeseries-out PREFIX  writes PREFIX.<algo>.{csv,jsonl,trace.json}
+//   --heatmap-out PREFIX     writes PREFIX.downup.dot / PREFIX.lturn.dot
+//                            (render with `dot -Tsvg`)
 //
 //   ./exp_obs_hotspot --switches 128 --ports 4 --load-frac 0.9
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/downup_routing.hpp"
+#include "exp_common.hpp"
 #include "obs/export.hpp"
 #include "obs/observer.hpp"
 #include "stats/report.hpp"
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
 #include "tree/graphviz.hpp"
-#include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -47,46 +47,39 @@ struct AlgoRun {
 }  // namespace
 
 int main(int argc, char** argv) {
-  util::Cli cli("exp_obs_hotspot",
-                "per-tree-level congestion histograms, DOWN/UP vs L-turn");
-  auto switches = cli.positiveOption<int>("switches", 128, "number of switches");
-  auto ports = cli.positiveOption<int>("ports", 4, "inter-switch ports per switch");
-  auto seed = cli.option<std::uint64_t>("seed", 7, "topology/tree/sim seed");
-  auto packet = cli.positiveOption<int>("packet-flits", 32, "packet length (flits)");
-  auto loadFrac = cli.option<double>(
+  bench::ScenarioCli cli(
+      "exp_obs_hotspot",
+      "per-tree-level congestion histograms, DOWN/UP vs L-turn",
+      {.switches = 128,
+       .seed = 7,
+       .packetFlits = 32,
+       .warmup = 5000,
+       .measure = 30000});
+  auto loadFrac = cli.cli().option<double>(
       "load-frac", 0.9, "offered load as a fraction of probed saturation");
-  auto warmup = cli.option<int>("warmup", 5000, "warm-up cycles");
-  auto measure = cli.positiveOption<int>("measure", 30000, "measured cycles");
-  auto topN = cli.positiveOption<int>("top", 8, "nodes in the top-blocked table");
-  auto metricsOut = cli.option<std::string>(
-      "metrics-out", "", "metrics JSONL prefix (.downup/.lturn appended)");
-  auto heatmapOut = cli.option<std::string>(
+  auto topN =
+      cli.cli().positiveOption<int>("top", 8, "nodes in the top-blocked table");
+  auto heatmapOut = cli.cli().option<std::string>(
       "heatmap-out", "", "Graphviz heatmap prefix (.downup/.lturn appended)");
-  const unsigned hw = std::thread::hardware_concurrency();
-  auto threads = cli.positiveOption<int>(
-      "threads", static_cast<int>(hw == 0 ? 1 : hw),
-      "worker threads for table construction");
   cli.parse(argc, argv);
-  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
 
-  util::Rng rng(*seed);
+  util::Rng rng(cli.seed());
   const topo::Topology topo = topo::randomIrregular(
-      static_cast<topo::NodeId>(*switches),
-      {.maxPorts = static_cast<unsigned>(*ports)}, rng);
-  util::Rng treeRng(*seed + 1);
+      static_cast<topo::NodeId>(cli.switches()),
+      {.maxPorts = static_cast<unsigned>(cli.ports())}, rng);
+  util::Rng treeRng(cli.seed() + 1);
   const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
       topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
   const sim::UniformTraffic traffic(topo.nodeCount());
 
-  sim::SimConfig config;
-  config.packetLengthFlits = static_cast<std::uint32_t>(*packet);
-  config.warmupCycles = static_cast<std::uint32_t>(*warmup);
-  config.measureCycles = static_cast<std::uint64_t>(*measure);
-  config.seed = *seed + 2;
+  sim::SimConfig config = cli.simConfig();
+  config.seed = cli.seed() + 2;
 
   std::cout << "network: " << topo.nodeCount() << " switches / "
             << topo.linkCount() << " links, M1 tree root " << ct.root()
-            << ", uniform traffic, " << *packet << "-flit packets\n";
+            << ", uniform traffic, " << cli.packetFlits()
+            << "-flit packets\n";
 
   AlgoRun runs[] = {{"downup", core::Algorithm::kDownUp},
                     {"lturn", core::Algorithm::kLTurn}};
@@ -97,12 +90,15 @@ int main(int argc, char** argv) {
         stats::probeSaturationLoad(routing.table(), traffic, config);
     run.offeredLoad = *loadFrac * run.saturationLoad;
 
-    obs::Observer observer({.metrics = true}, topo, &ct);
+    obs::ObsOptions obsOptions{.metrics = true};
+    cli.applyObsOutputs(obsOptions);
+    obs::Observer observer(obsOptions, topo, &ct);
     sim::SimConfig obsConfig = config;
     obsConfig.observer = &observer;
     sim::WormholeNetwork net(routing.table(), traffic, run.offeredLoad,
                              obsConfig);
     run.stats = net.run();
+    const std::uint64_t finishCycle = net.now();
     const obs::MetricsRegistry& metrics = *observer.metrics();
     run.levelFlits.assign(metrics.levelFlits().begin(),
                           metrics.levelFlits().end());
@@ -118,12 +114,9 @@ int main(int argc, char** argv) {
     stats::printHotspotReport(std::cout, metrics,
                               static_cast<std::size_t>(*topN));
 
-    if (!metricsOut->empty()) {
-      const std::string path = *metricsOut + "." + run.name + ".jsonl";
-      std::ofstream out(path);
-      obs::writeMetricsJsonl(metrics, &topo, obsConfig.measureCycles, out);
-      std::cout << "\nwrote " << path << "\n";
-    }
+    std::cout << "\n";
+    cli.writeObsArtifacts(observer, &topo, obsConfig.measureCycles,
+                          finishCycle, run.name);
     if (!heatmapOut->empty()) {
       const std::vector<double> utilization =
           metrics.channelUtilization(obsConfig.measureCycles);

@@ -8,13 +8,13 @@
 #include <cmath>
 #include <iomanip>
 #include <iostream>
-#include <thread>
+#include <memory>
 
 #include "core/downup_routing.hpp"
+#include "exp_common.hpp"
 #include "routing/path_analysis.hpp"
 #include "sim/engine.hpp"
 #include "topology/generate.hpp"
-#include "util/cli.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -44,18 +44,14 @@ double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
 
 int main(int argc, char** argv) {
   using namespace downup;
-  util::Cli cli("exp_static_analysis",
-                "static path-analysis load prediction vs simulation");
-  auto switches = cli.positiveOption<int>("switches", 48, "number of switches");
-  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
-  auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
-  auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
-  const unsigned hw = std::thread::hardware_concurrency();
-  auto threads = cli.positiveOption<int>(
-      "threads", static_cast<int>(hw == 0 ? 1 : hw),
-      "worker threads for table construction");
+  bench::ScenarioCli cli("exp_static_analysis",
+                         "static path-analysis load prediction vs simulation",
+                         {.switches = 48,
+                          .samples = 3,
+                          .packetFlits = 32,
+                          .measure = 10000});
   cli.parse(argc, argv);
-  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
 
   std::cout << std::left << std::setw(20) << "algorithm" << std::setw(12)
             << "corr" << std::setw(16) << "staticMax/Mean" << std::setw(12)
@@ -68,12 +64,12 @@ int main(int argc, char** argv) {
     double bottleneckSum = 0.0;
     double pathSum = 0.0;
     double adaptSum = 0.0;
-    for (int sample = 0; sample < *samples; ++sample) {
-      util::Rng rng(*seed + static_cast<std::uint64_t>(sample));
+    for (int sample = 0; sample < cli.samples(); ++sample) {
+      util::Rng rng(cli.seed() + static_cast<std::uint64_t>(sample));
       const topo::Topology topo = topo::randomIrregular(
-          static_cast<topo::NodeId>(*switches),
-          {.maxPorts = static_cast<unsigned>(*ports)}, rng);
-      util::Rng treeRng(*seed + 100 + static_cast<std::uint64_t>(sample));
+          static_cast<topo::NodeId>(cli.switches()),
+          {.maxPorts = static_cast<unsigned>(cli.ports())}, rng);
+      util::Rng treeRng(cli.seed() + 100 + static_cast<std::uint64_t>(sample));
       const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
           topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
       const routing::Routing routing =
@@ -85,18 +81,29 @@ int main(int argc, char** argv) {
       pathSum += analysis.meanPathCount;
       adaptSum += routing::averageAdaptivity(routing.table());
 
-      sim::SimConfig config;
-      config.packetLengthFlits = 32;
-      config.warmupCycles = 2000;
-      config.measureCycles = 10000;
-      config.seed = *seed + 500 + static_cast<std::uint64_t>(sample);
+      sim::SimConfig config = cli.simConfig();
+      config.seed = cli.seed() + 500 + static_cast<std::uint64_t>(sample);
       const sim::UniformTraffic traffic(topo.nodeCount());
+      // The last sample per algorithm carries the optional observability
+      // artifacts (--metrics-out / --timeseries-out).
+      std::unique_ptr<obs::Observer> observer;
+      if (cli.wantsObserver() && sample + 1 == cli.samples()) {
+        obs::ObsOptions obsOptions;
+        cli.applyObsOutputs(obsOptions);
+        observer = std::make_unique<obs::Observer>(obsOptions, topo, &ct);
+        config.observer = observer.get();
+      }
       // Below saturation so queueing does not distort the comparison.
-      const sim::RunStats stats =
-          sim::simulate(routing.table(), traffic, 0.01 * *ports, config);
+      const sim::RunStats stats = sim::simulate(
+          routing.table(), traffic, 0.01 * cli.ports(), config);
       corrSum += pearson(analysis.expectedLoad, stats.channelUtilization);
+      if (observer != nullptr) {
+        cli.writeObsArtifacts(*observer, &topo, config.measureCycles,
+                              config.warmupCycles + config.measureCycles,
+                              std::string(core::toString(algorithm)));
+      }
     }
-    const auto inv = 1.0 / static_cast<double>(*samples);
+    const auto inv = 1.0 / static_cast<double>(cli.samples());
     std::cout << std::left << std::setw(20) << core::toString(algorithm)
               << std::setw(12) << std::fixed << std::setprecision(4)
               << corrSum * inv << std::setw(16) << bottleneckSum * inv

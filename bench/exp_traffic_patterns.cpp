@@ -5,30 +5,22 @@
 #include <iomanip>
 #include <iostream>
 #include <memory>
-#include <thread>
 
 #include "core/downup_routing.hpp"
+#include "exp_common.hpp"
 #include "sim/engine.hpp"
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
-#include "util/cli.hpp"
 #include "util/summary.hpp"
 #include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace downup;
-  util::Cli cli("exp_traffic_patterns",
-                "L-turn vs DOWN/UP under non-uniform traffic");
-  auto switches = cli.positiveOption<int>("switches", 32, "number of switches");
-  auto ports = cli.positiveOption<int>("ports", 4, "ports per switch");
-  auto samples = cli.positiveOption<int>("samples", 3, "random topologies");
-  auto seed = cli.option<std::uint64_t>("seed", 2004, "base seed");
-  const unsigned hw = std::thread::hardware_concurrency();
-  auto threads = cli.positiveOption<int>(
-      "threads", static_cast<int>(hw == 0 ? 1 : hw),
-      "worker threads for table construction");
+  bench::ScenarioCli cli("exp_traffic_patterns",
+                         "L-turn vs DOWN/UP under non-uniform traffic",
+                         {.samples = 3, .obsOutputs = false});
   cli.parse(argc, argv);
-  util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
 
   struct PatternSpec {
     const char* name;
@@ -47,17 +39,17 @@ int main(int argc, char** argv) {
   for (const PatternSpec& spec : specs) {
     util::RunningStat lturnSat;
     util::RunningStat downupSat;
-    for (int sample = 0; sample < *samples; ++sample) {
-      util::Rng rng(*seed + static_cast<std::uint64_t>(sample));
+    for (int sample = 0; sample < cli.samples(); ++sample) {
+      util::Rng rng(cli.seed() + static_cast<std::uint64_t>(sample));
       const topo::Topology topo = topo::randomIrregular(
-          static_cast<topo::NodeId>(*switches),
-          {.maxPorts = static_cast<unsigned>(*ports)}, rng);
-      util::Rng treeRng(*seed + 100 + static_cast<std::uint64_t>(sample));
+          static_cast<topo::NodeId>(cli.switches()),
+          {.maxPorts = static_cast<unsigned>(cli.ports())}, rng);
+      util::Rng treeRng(cli.seed() + 100 + static_cast<std::uint64_t>(sample));
       const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
           topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
 
       std::unique_ptr<sim::TrafficPattern> pattern;
-      util::Rng patternRng(*seed + 200 + static_cast<std::uint64_t>(sample));
+      util::Rng patternRng(cli.seed() + 200 + static_cast<std::uint64_t>(sample));
       const std::string name = spec.name;
       if (name.starts_with("uniform")) {
         pattern = std::make_unique<sim::UniformTraffic>(topo.nodeCount());
@@ -71,12 +63,9 @@ int main(int argc, char** argv) {
         pattern = std::make_unique<sim::LocalTraffic>(topo, 3);
       }
 
-      sim::SimConfig config;
-      config.packetLengthFlits = 64;
-      config.warmupCycles = 2000;
-      config.measureCycles = 8000;
+      sim::SimConfig config = cli.simConfig();
       config.burstFactor = spec.burstFactor;
-      config.seed = *seed + 300 + static_cast<std::uint64_t>(sample);
+      config.seed = cli.seed() + 300 + static_cast<std::uint64_t>(sample);
 
       for (const core::Algorithm algorithm :
            {core::Algorithm::kLTurn, core::Algorithm::kDownUp}) {

@@ -6,7 +6,8 @@
 // With the observability flags the same run also produces machine-readable
 // artifacts: --trace-out writes a Chrome trace_event JSON (open it in
 // https://ui.perfetto.dev or chrome://tracing), --trace-jsonl the raw event
-// log, --metrics-out the turn/level/blocked-cycle metrics JSONL.
+// log, --metrics-out the turn/level/blocked-cycle metrics JSONL,
+// --timeseries-out the windowed rate counter tracks (Perfetto JSON).
 //
 //   ./trace_paths --switches 16 --ports 4 --packets 6 --trace-out trace.json
 #include <fstream>
@@ -80,6 +81,9 @@ int main(int argc, char** argv) {
       cli.option<std::string>("trace-jsonl", "", "write the trace JSONL here");
   auto metricsOut = cli.option<std::string>(
       "metrics-out", "", "write the metrics JSONL here");
+  auto timeseriesOut = cli.option<std::string>(
+      "timeseries-out", "",
+      "write windowed time-series counter tracks (Perfetto JSON) here");
   const unsigned hw = std::thread::hardware_concurrency();
   auto threads = cli.positiveOption<int>(
       "threads", static_cast<int>(hw == 0 ? 1 : hw),
@@ -98,7 +102,9 @@ int main(int argc, char** argv) {
 
   // Every 4th packet is traced: enough to cover the printed walks without
   // buffering the whole run.
-  obs::Observer observer({.metrics = true, .traceSampleEvery = 4}, topo, &ct);
+  obs::ObsOptions obsOptions{.metrics = true, .traceSampleEvery = 4};
+  if (!timeseriesOut->empty()) obsOptions.timeseriesWindowCycles = 256;
+  obs::Observer observer(obsOptions, topo, &ct);
   sim::SimConfig config;
   config.packetLengthFlits = 16;
   config.warmupCycles = 0;
@@ -188,6 +194,13 @@ int main(int argc, char** argv) {
     std::ofstream out(*metricsOut);
     obs::writeMetricsJsonl(*observer.metrics(), &topo, net.now(), out);
     std::cout << "wrote metrics JSONL: " << *metricsOut << "\n";
+  }
+  if (!timeseriesOut->empty()) {
+    observer.timeseries()->finish(net.now());
+    std::ofstream out(*timeseriesOut);
+    obs::writeTimeSeriesChromeTrace(*observer.timeseries(), out);
+    std::cout << "wrote time-series counter tracks (open in Perfetto): "
+              << *timeseriesOut << "\n";
   }
   return 0;
 }

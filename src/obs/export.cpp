@@ -148,6 +148,123 @@ class ChromeEvents {
 
 }  // namespace
 
+void writeTimeSeriesCsv(const TimeSeriesCollector& series, std::ostream& out) {
+  out << "window_start,window_end,generated_packets,injected_flits,"
+         "channel_flits,ejected_flits,ejected_packets,blocked_cycles,"
+         "dropped_packets,degraded_cycles,lat_count,lat_mean,lat_min,"
+         "lat_max,lat_p50,lat_p95,lat_p99";
+  for (std::uint32_t l = 0; l < series.levelCount(); ++l) {
+    out << ",level" << l << "_flits,level" << l << "_blocked_cycles";
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < series.windowCount(); ++i) {
+    const TimeSeriesCollector::Window& w = series.window(i);
+    out << w.startCycle << ',' << w.endCycle << ',' << w.generatedPackets
+        << ',' << w.injectedFlits << ',' << w.channelFlits << ','
+        << w.ejectedFlits << ',' << w.ejectedPackets << ',' << w.blockedCycles
+        << ',' << w.droppedPackets << ',' << w.degradedCycles << ','
+        << w.latency.count << ',' << w.latency.mean << ',' << w.latency.min
+        << ',' << w.latency.max << ',' << w.latency.p50 << ','
+        << w.latency.p95 << ',' << w.latency.p99;
+    for (std::uint32_t l = 0; l < series.levelCount(); ++l) {
+      const std::uint64_t flits =
+          l < w.levelFlits.size() ? w.levelFlits[l] : 0;
+      const std::uint64_t blocked =
+          l < w.levelBlockedCycles.size() ? w.levelBlockedCycles[l] : 0;
+      out << ',' << flits << ',' << blocked;
+    }
+    out << '\n';
+  }
+}
+
+void writeTimeSeriesJsonl(const TimeSeriesCollector& series,
+                          const WaitForSampler* waitfor, std::ostream& out) {
+  out << "{\"record\":\"meta\",\"schema\":\"obs_timeseries/1\",\"gitRev\":\""
+      << gitRevision() << "\",\"timestampUtc\":\"" << utcTimestamp()
+      << "\",\"nodes\":" << series.nodeCount()
+      << ",\"channels\":" << series.channelCount()
+      << ",\"levels\":" << series.levelCount()
+      << ",\"windowCycles\":" << series.windowCycles()
+      << ",\"windowsClosed\":" << series.windowsClosed()
+      << ",\"windowsRetained\":" << series.windowCount()
+      << ",\"perChannel\":" << (series.perChannel() ? "true" : "false")
+      << "}\n";
+  for (std::size_t i = 0; i < series.windowCount(); ++i) {
+    const TimeSeriesCollector::Window& w = series.window(i);
+    out << "{\"record\":\"window\",\"start\":" << w.startCycle
+        << ",\"end\":" << w.endCycle << ",\"generated\":" << w.generatedPackets
+        << ",\"injectedFlits\":" << w.injectedFlits
+        << ",\"channelFlits\":" << w.channelFlits
+        << ",\"ejectedFlits\":" << w.ejectedFlits
+        << ",\"ejectedPackets\":" << w.ejectedPackets
+        << ",\"blockedCycles\":" << w.blockedCycles
+        << ",\"droppedPackets\":" << w.droppedPackets
+        << ",\"degradedCycles\":" << w.degradedCycles
+        << ",\"latency\":{\"count\":" << w.latency.count
+        << ",\"mean\":" << w.latency.mean << ",\"min\":" << w.latency.min
+        << ",\"max\":" << w.latency.max << ",\"p50\":" << w.latency.p50
+        << ",\"p95\":" << w.latency.p95 << ",\"p99\":" << w.latency.p99
+        << "},\"levelFlits\":[";
+    for (std::size_t l = 0; l < w.levelFlits.size(); ++l) {
+      out << (l == 0 ? "" : ",") << w.levelFlits[l];
+    }
+    out << "],\"levelBlockedCycles\":[";
+    for (std::size_t l = 0; l < w.levelBlockedCycles.size(); ++l) {
+      out << (l == 0 ? "" : ",") << w.levelBlockedCycles[l];
+    }
+    out << ']';
+    if (!w.channelFlitsPerChannel.empty()) {
+      out << ",\"channelFlits_perChannel\":[";
+      for (std::size_t c = 0; c < w.channelFlitsPerChannel.size(); ++c) {
+        out << (c == 0 ? "" : ",") << w.channelFlitsPerChannel[c];
+      }
+      out << ']';
+    }
+    out << "}\n";
+  }
+  for (const auto& event : series.reconfigEvents()) {
+    out << "{\"record\":\"reconfig\",\"faultCycle\":" << event.faultCycle;
+    if (event.pending()) {
+      out << ",\"swapCycle\":null";
+    } else {
+      out << ",\"swapCycle\":" << event.swapCycle;
+    }
+    out << ",\"incremental\":" << (event.incremental ? "true" : "false")
+        << ",\"destinationsRebuilt\":" << event.destinationsRebuilt
+        << ",\"unreachablePairs\":" << event.unreachablePairs << "}\n";
+  }
+  if (waitfor != nullptr) {
+    out << "{\"record\":\"waitfor_summary\",\"samplePeriod\":"
+        << waitfor->samplePeriod() << ",\"samples\":" << waitfor->samples()
+        << ",\"blockedHeadersTotal\":" << waitfor->blockedHeadersTotal()
+        << ",\"blockedHeadersPeak\":" << waitfor->blockedHeadersPeak()
+        << ",\"holdEdges\":" << waitfor->holdEdgesTotal()
+        << ",\"requestEdges\":" << waitfor->requestEdgesTotal()
+        << ",\"partialRequests\":" << waitfor->partialRequestsTotal()
+        << ",\"cycleSamples\":" << waitfor->cycleSamples()
+        << ",\"cyclesAreHard\":" << (waitfor->cyclesAreHard() ? "true" : "false")
+        << ",\"standingStalls\":" << waitfor->standingStallsTotal()
+        << ",\"witnessCycle\":[";
+    const auto witness = waitfor->witnessCycle();
+    for (std::size_t i = 0; i < witness.size(); ++i) {
+      out << (i == 0 ? "" : ",") << witness[i];
+    }
+    out << "]}\n";
+    // Standing-stall attribution cells, zero rows omitted.
+    for (NodeId v = 0; v < waitfor->nodeCount(); ++v) {
+      for (std::uint32_t from = 0; from < routing::kDirCount; ++from) {
+        for (std::uint32_t to = 0; to < routing::kDirCount; ++to) {
+          const std::uint64_t stalls = waitfor->standingStalls(v, from, to);
+          if (stalls == 0) continue;
+          out << "{\"record\":\"standing_stall\",\"node\":" << v
+              << ",\"turn\":\"" << turnName(from, to)
+              << "\",\"samples\":" << stalls << "}\n";
+        }
+      }
+    }
+  }
+}
+
 void writeChromeTrace(const PacketTracer& tracer, const topo::Topology* topo,
                       std::ostream& out) {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -223,6 +340,63 @@ void writeChromeTrace(const PacketTracer& tracer, const topo::Topology* topo,
           break;
       }
     }
+  }
+  out << "\n]}\n";
+}
+
+void writeTimeSeriesChromeTrace(const TimeSeriesCollector& series,
+                                std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  ChromeEvents events(out);
+  events.next() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                   "\"tid\":0,\"args\":{\"name\":\"network time series\"}}";
+  // One counter sample per window, stamped at the window start; Perfetto
+  // draws each track as a step function over the run.
+  for (std::size_t i = 0; i < series.windowCount(); ++i) {
+    const TimeSeriesCollector::Window& w = series.window(i);
+    const double len = static_cast<double>(w.endCycle - w.startCycle);
+    const auto rate = [len](std::uint64_t count) {
+      return len == 0.0 ? 0.0 : static_cast<double>(count) / len;
+    };
+    events.next() << "{\"name\":\"flit rate (per cycle)\",\"ph\":\"C\","
+                     "\"pid\":0,\"ts\":"
+                  << w.startCycle << ",\"args\":{\"injected\":"
+                  << rate(w.injectedFlits)
+                  << ",\"ejected\":" << rate(w.ejectedFlits) << "}}";
+    events.next() << "{\"name\":\"latency (cycles)\",\"ph\":\"C\",\"pid\":0,"
+                     "\"ts\":"
+                  << w.startCycle << ",\"args\":{\"p50\":" << w.latency.p50
+                  << ",\"p99\":" << w.latency.p99 << "}}";
+    events.next() << "{\"name\":\"blocked cycles\",\"ph\":\"C\",\"pid\":0,"
+                     "\"ts\":"
+                  << w.startCycle << ",\"args\":{\"blocked\":"
+                  << w.blockedCycles << "}}";
+    events.next() << "{\"name\":\"drops\",\"ph\":\"C\",\"pid\":0,\"ts\":"
+                  << w.startCycle << ",\"args\":{\"dropped\":"
+                  << w.droppedPackets << "}}";
+    std::ostream& o = events.next();
+    o << "{\"name\":\"level flits\",\"ph\":\"C\",\"pid\":0,\"ts\":"
+      << w.startCycle << ",\"args\":{";
+    for (std::size_t l = 0; l < w.levelFlits.size(); ++l) {
+      o << (l == 0 ? "" : ",") << "\"L" << l << "\":" << w.levelFlits[l];
+    }
+    o << "}}";
+  }
+  for (const auto& event : series.reconfigEvents()) {
+    events.next() << "{\"name\":\"fault\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
+                     "\"tid\":0,\"ts\":"
+                  << event.faultCycle << ",\"args\":{}}";
+    if (event.pending()) continue;
+    events.next() << "{\"name\":\"reconfiguration"
+                  << (event.incremental ? " (incremental)" : " (full)")
+                  << "\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":"
+                  << event.faultCycle << ",\"dur\":"
+                  << (event.swapCycle > event.faultCycle
+                          ? event.swapCycle - event.faultCycle
+                          : 1)
+                  << ",\"args\":{\"destinationsRebuilt\":"
+                  << event.destinationsRebuilt << ",\"unreachablePairs\":"
+                  << event.unreachablePairs << "}}";
   }
   out << "\n]}\n";
 }

@@ -19,7 +19,9 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/waitfor.hpp"
 #include "topology/topology.hpp"
 
 namespace downup::obs {
@@ -44,5 +46,23 @@ void writeTraceJsonl(const PacketTracer& tracer, const topo::Topology* topo,
 /// Tracer buffers as Chrome trace_event JSON (Perfetto-loadable).
 void writeChromeTrace(const PacketTracer& tracer, const topo::Topology* topo,
                       std::ostream& out);
+
+/// Time series as CSV: one row per closed window (per-level columns are
+/// expanded; per-channel counts are omitted — use the JSONL for those).
+void writeTimeSeriesCsv(const TimeSeriesCollector& series, std::ostream& out);
+
+/// Time series as JSONL (schema obs_timeseries/1): a `meta` header, one
+/// `window` record per closed window, one `reconfig` record per
+/// fault -> swap span, and — when `waitfor` is non-null — one
+/// `waitfor_summary` record with the sampler's totals.
+void writeTimeSeriesJsonl(const TimeSeriesCollector& series,
+                          const WaitForSampler* waitfor, std::ostream& out);
+
+/// Time series as Chrome trace_event JSON: Perfetto counter tracks ("C"
+/// events, one per window boundary) for the headline rates plus per-level
+/// flit counters, "X" spans for reconfiguration windows and "i" instants
+/// for fault events.  Timestamps are cycles interpreted as microseconds.
+void writeTimeSeriesChromeTrace(const TimeSeriesCollector& series,
+                                std::ostream& out);
 
 }  // namespace downup::obs

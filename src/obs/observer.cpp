@@ -6,26 +6,44 @@
 namespace downup::obs {
 
 Observer::Observer(const ObsOptions& options, const topo::Topology& topo,
-                   const tree::CoordinatedTree* ct)
+                   const tree::CoordinatedTree* ct, std::uint32_t vcCount)
     : nodeCount_(topo.nodeCount()), channelCount_(topo.channelCount()) {
+  // The coordinated tree gives both level-bucketing consumers the same
+  // mapping: nodes by Y(v), channels by min(Y(src), Y(dst)).
+  std::vector<std::uint32_t> nodeLevel;
+  std::vector<std::uint32_t> channelLevel;
+  if (ct != nullptr) {
+    nodeLevel.resize(nodeCount_);
+    for (topo::NodeId v = 0; v < nodeCount_; ++v) nodeLevel[v] = ct->y(v);
+    channelLevel.resize(channelCount_);
+    for (topo::ChannelId c = 0; c < channelCount_; ++c) {
+      channelLevel[c] =
+          std::min(ct->y(topo.channelSrc(c)), ct->y(topo.channelDst(c)));
+    }
+  }
   if (options.metrics) {
     metrics_ = std::make_unique<MetricsRegistry>(nodeCount_, channelCount_);
-    if (ct != nullptr) {
-      std::vector<std::uint32_t> nodeLevel(nodeCount_);
-      for (topo::NodeId v = 0; v < nodeCount_; ++v) nodeLevel[v] = ct->y(v);
-      std::vector<std::uint32_t> channelLevel(channelCount_);
-      for (topo::ChannelId c = 0; c < channelCount_; ++c) {
-        channelLevel[c] =
-            std::min(ct->y(topo.channelSrc(c)), ct->y(topo.channelDst(c)));
-      }
-      metrics_->setLevels(nodeLevel, channelLevel);
-    }
+    if (ct != nullptr) metrics_->setLevels(nodeLevel, channelLevel);
   }
   if (options.traceSampleEvery > 0) {
     tracer_ = std::make_unique<PacketTracer>(options.traceSampleEvery);
   }
   if (options.profilePhases) {
     profiler_ = std::make_unique<PhaseProfiler>();
+  }
+  if (options.timeseriesWindowCycles > 0) {
+    TimeSeriesOptions tsOptions;
+    tsOptions.windowCycles = options.timeseriesWindowCycles;
+    tsOptions.maxWindows = options.timeseriesMaxWindows;
+    tsOptions.perChannel = options.timeseriesPerChannel;
+    timeseries_ = std::make_unique<TimeSeriesCollector>(tsOptions, nodeCount_,
+                                                        channelCount_);
+    if (ct != nullptr) timeseries_->setLevels(nodeLevel, channelLevel);
+  }
+  if (options.waitForSamplePeriod > 0) {
+    waitfor_ = std::make_unique<WaitForSampler>(
+        options.waitForSamplePeriod, nodeCount_, channelCount_,
+        channelCount_ * vcCount, vcCount);
   }
 }
 
@@ -41,6 +59,8 @@ void Observer::reset() {
   if (metrics_) metrics_->reset();
   if (tracer_) tracer_->clear();
   if (profiler_) profiler_->reset();
+  if (timeseries_) timeseries_->reset();
+  if (waitfor_) waitfor_->reset();
 }
 
 }  // namespace downup::obs

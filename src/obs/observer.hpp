@@ -19,7 +19,9 @@
 
 #include "obs/metrics.hpp"
 #include "obs/phase_profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/waitfor.hpp"
 #include "topology/topology.hpp"
 #include "tree/coordinated_tree.hpp"
 
@@ -33,6 +35,16 @@ struct ObsOptions {
   std::uint32_t traceSampleEvery = 0;
   /// Time the engine phases with steady_clock.
   bool profilePhases = false;
+  /// Windowed time-series flight recorder (obs/timeseries.hpp): bucket the
+  /// run into windows of this many cycles; 0 disables.
+  std::uint32_t timeseriesWindowCycles = 0;
+  /// Ring capacity of the time series (most recent windows retained).
+  std::uint32_t timeseriesMaxWindows = 4096;
+  /// Record per-channel flit counts per window (memory: channels x ring).
+  bool timeseriesPerChannel = false;
+  /// Wait-for-graph deadlock-risk sampling (obs/waitfor.hpp): walk blocked
+  /// worms' channel dependencies every this many cycles; 0 disables.
+  std::uint32_t waitForSamplePeriod = 0;
 };
 
 class Observer {
@@ -40,8 +52,12 @@ class Observer {
   /// Sizes the enabled components for `topo`.  When `ct` is given, the
   /// metrics registry buckets nodes by tree level Y(v) and channels by
   /// min(Y(src), Y(dst)); otherwise everything lands in level 0.
+  /// The wait-for sampler is additionally sized for `vcCount` virtual
+  /// channels per physical channel (SimConfig::vcCount; the default matches
+  /// the simulator's default).
   Observer(const ObsOptions& options, const topo::Topology& topo,
-           const tree::CoordinatedTree* ct = nullptr);
+           const tree::CoordinatedTree* ct = nullptr,
+           std::uint32_t vcCount = 1);
 
   /// Engine handshake: throws std::invalid_argument when the observer was
   /// sized for a different topology.
@@ -53,6 +69,12 @@ class Observer {
   const PacketTracer* tracer() const noexcept { return tracer_.get(); }
   PhaseProfiler* profiler() noexcept { return profiler_.get(); }
   const PhaseProfiler* profiler() const noexcept { return profiler_.get(); }
+  TimeSeriesCollector* timeseries() noexcept { return timeseries_.get(); }
+  const TimeSeriesCollector* timeseries() const noexcept {
+    return timeseries_.get();
+  }
+  WaitForSampler* waitFor() noexcept { return waitfor_.get(); }
+  const WaitForSampler* waitFor() const noexcept { return waitfor_.get(); }
 
   /// Clears every enabled component (reuse across sweep samples).
   void reset();
@@ -63,6 +85,8 @@ class Observer {
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<PacketTracer> tracer_;
   std::unique_ptr<PhaseProfiler> profiler_;
+  std::unique_ptr<TimeSeriesCollector> timeseries_;
+  std::unique_ptr<WaitForSampler> waitfor_;
 };
 
 }  // namespace downup::obs

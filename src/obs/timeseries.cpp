@@ -1,0 +1,191 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace downup::obs {
+
+namespace {
+
+/// Delivered-count-weighted combination of two window latency snapshots:
+/// count/mean/min/max are exact; quantiles are the weighted average (the
+/// windows being merged summarize the *same* window of different sweep
+/// samples, so their distributions are close and the approximation small).
+util::QuantileSketch::Snapshot mergeSnapshots(
+    const util::QuantileSketch::Snapshot& a,
+    const util::QuantileSketch::Snapshot& b) {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  util::QuantileSketch::Snapshot merged;
+  merged.count = a.count + b.count;
+  const double wa = static_cast<double>(a.count);
+  const double wb = static_cast<double>(b.count);
+  const double total = wa + wb;
+  merged.mean = (a.mean * wa + b.mean * wb) / total;
+  merged.min = std::min(a.min, b.min);
+  merged.max = std::max(a.max, b.max);
+  merged.p50 = (a.p50 * wa + b.p50 * wb) / total;
+  merged.p95 = (a.p95 * wa + b.p95 * wb) / total;
+  merged.p99 = (a.p99 * wa + b.p99 * wb) / total;
+  return merged;
+}
+
+void addInto(std::vector<std::uint64_t>& into,
+             const std::vector<std::uint64_t>& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] += from[i];
+}
+
+}  // namespace
+
+TimeSeriesCollector::TimeSeriesCollector(const TimeSeriesOptions& options,
+                                         std::uint32_t nodeCount,
+                                         std::uint32_t channelCount)
+    : windowCycles_(options.windowCycles),
+      wantPerChannel_(options.perChannel),
+      nodeLevel_(nodeCount, 0),
+      channelLevel_(channelCount, 0),
+      windowEnd_(options.windowCycles),
+      latencySketch_(std::max<std::size_t>(1, options.latencySketchCap)),
+      levelFlits_(1, 0),
+      levelBlockedCycles_(1, 0) {
+  if (options.windowCycles == 0) {
+    throw std::invalid_argument(
+        "TimeSeriesCollector: windowCycles must be > 0");
+  }
+  if (options.maxWindows == 0) {
+    throw std::invalid_argument("TimeSeriesCollector: maxWindows must be > 0");
+  }
+  ring_.resize(options.maxWindows);
+  if (wantPerChannel_) channelFlitsPerChannel_.assign(channelCount, 0);
+}
+
+void TimeSeriesCollector::setLevels(
+    std::span<const std::uint32_t> nodeLevel,
+    std::span<const std::uint32_t> channelLevel) {
+  if (nodeLevel.size() != nodeLevel_.size() ||
+      channelLevel.size() != channelLevel_.size()) {
+    throw std::invalid_argument("TimeSeriesCollector::setLevels: wrong sizes");
+  }
+  std::uint32_t maxLevel = 0;
+  for (std::uint32_t level : nodeLevel) maxLevel = std::max(maxLevel, level);
+  for (std::uint32_t level : channelLevel) maxLevel = std::max(maxLevel, level);
+  nodeLevel_.assign(nodeLevel.begin(), nodeLevel.end());
+  channelLevel_.assign(channelLevel.begin(), channelLevel.end());
+  levelFlits_.assign(maxLevel + 1, 0);
+  levelBlockedCycles_.assign(maxLevel + 1, 0);
+}
+
+TimeSeriesCollector::Window& TimeSeriesCollector::slotForNewWindow() {
+  if (count_ < ring_.size()) {
+    return ring_[(first_ + count_++) % ring_.size()];
+  }
+  // Ring full: the oldest window's slot is recycled for the newest.
+  Window& slot = ring_[first_];
+  first_ = (first_ + 1) % ring_.size();
+  return slot;
+}
+
+void TimeSeriesCollector::closeWindow(std::uint64_t endCycle) {
+  Window& slot = slotForNewWindow();
+  slot.startCycle = windowStart_;
+  slot.endCycle = endCycle;
+  slot.generatedPackets = generatedPackets_;
+  slot.injectedFlits = injectedFlits_;
+  slot.channelFlits = channelFlits_;
+  slot.ejectedFlits = ejectedFlits_;
+  slot.ejectedPackets = ejectedPackets_;
+  slot.blockedCycles = blockedCycles_;
+  slot.droppedPackets = droppedPackets_;
+  slot.degradedCycles = degradedCycles_;
+  slot.latency = latencySketch_.snapshot();
+  // assign() reuses the slot vectors' capacity after the first lap around
+  // the ring, so steady-state window closure performs no allocation.
+  slot.levelFlits.assign(levelFlits_.begin(), levelFlits_.end());
+  slot.levelBlockedCycles.assign(levelBlockedCycles_.begin(),
+                                 levelBlockedCycles_.end());
+  slot.channelFlitsPerChannel.assign(channelFlitsPerChannel_.begin(),
+                                     channelFlitsPerChannel_.end());
+
+  windowStart_ = endCycle;
+  windowEnd_ = endCycle + windowCycles_;
+  ++windowsClosed_;
+  generatedPackets_ = 0;
+  injectedFlits_ = 0;
+  channelFlits_ = 0;
+  ejectedFlits_ = 0;
+  ejectedPackets_ = 0;
+  blockedCycles_ = 0;
+  droppedPackets_ = 0;
+  degradedCycles_ = 0;
+  latencySketch_.clear();
+  std::fill(levelFlits_.begin(), levelFlits_.end(), 0);
+  std::fill(levelBlockedCycles_.begin(), levelBlockedCycles_.end(), 0);
+  std::fill(channelFlitsPerChannel_.begin(), channelFlitsPerChannel_.end(), 0);
+}
+
+void TimeSeriesCollector::reset() {
+  first_ = 0;
+  count_ = 0;
+  windowsClosed_ = 0;
+  windowStart_ = 0;
+  windowEnd_ = windowCycles_;
+  generatedPackets_ = 0;
+  injectedFlits_ = 0;
+  channelFlits_ = 0;
+  ejectedFlits_ = 0;
+  ejectedPackets_ = 0;
+  blockedCycles_ = 0;
+  droppedPackets_ = 0;
+  degradedCycles_ = 0;
+  latencySketch_.clear();
+  std::fill(levelFlits_.begin(), levelFlits_.end(), 0);
+  std::fill(levelBlockedCycles_.begin(), levelBlockedCycles_.end(), 0);
+  std::fill(channelFlitsPerChannel_.begin(), channelFlitsPerChannel_.end(), 0);
+  events_.clear();
+}
+
+void TimeSeriesCollector::mergeFrom(const TimeSeriesCollector& other) {
+  if (other.windowCycles_ != windowCycles_ ||
+      other.nodeLevel_.size() != nodeLevel_.size() ||
+      other.channelLevel_.size() != channelLevel_.size()) {
+    throw std::invalid_argument(
+        "TimeSeriesCollector::mergeFrom: mismatched dimensions");
+  }
+  const std::lock_guard<std::mutex> lock(mergeMutex_);
+  if (count_ == 0) {
+    for (std::size_t i = 0; i < other.windowCount(); ++i) {
+      slotForNewWindow() = other.window(i);
+    }
+    windowsClosed_ += other.windowsClosed_;
+  } else {
+    if (other.windowCount() != count_) {
+      throw std::invalid_argument(
+          "TimeSeriesCollector::mergeFrom: window sequences differ");
+    }
+    for (std::size_t i = 0; i < count_; ++i) {
+      Window& mine = ring_[(first_ + i) % ring_.size()];
+      const Window& theirs = other.window(i);
+      if (mine.startCycle != theirs.startCycle ||
+          mine.endCycle != theirs.endCycle) {
+        throw std::invalid_argument(
+            "TimeSeriesCollector::mergeFrom: window sequences differ");
+      }
+      mine.generatedPackets += theirs.generatedPackets;
+      mine.injectedFlits += theirs.injectedFlits;
+      mine.channelFlits += theirs.channelFlits;
+      mine.ejectedFlits += theirs.ejectedFlits;
+      mine.ejectedPackets += theirs.ejectedPackets;
+      mine.blockedCycles += theirs.blockedCycles;
+      mine.droppedPackets += theirs.droppedPackets;
+      mine.degradedCycles += theirs.degradedCycles;
+      mine.latency = mergeSnapshots(mine.latency, theirs.latency);
+      addInto(mine.levelFlits, theirs.levelFlits);
+      addInto(mine.levelBlockedCycles, theirs.levelBlockedCycles);
+      addInto(mine.channelFlitsPerChannel, theirs.channelFlitsPerChannel);
+    }
+  }
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+}  // namespace downup::obs

@@ -1,0 +1,225 @@
+// Time-resolved observability: a flight recorder of fixed-cycle windows.
+//
+// Everything the end-of-run aggregates (RunStats, MetricsRegistry) fold
+// into one number is also interesting *over time*: congestion onset as the
+// offered load approaches saturation, the throughput dip around a fault/
+// reconfiguration event, and whether warm-up really reached steady state.
+// The collector buckets engine events into windows of `windowCycles` cycles
+// and keeps the last `maxWindows` of them in a ring, so memory is bounded
+// no matter how long the run is.
+//
+// Per window: generated packets, injected flits (left a source queue),
+// channel flits (crossed a switch-to-switch channel), ejected flits and
+// packets, a latency quantile-sketch snapshot of the packets delivered in
+// the window, blocked-cycle attribution, fault drops, degraded cycles
+// (reconfiguration window open) and per-tree-level — optionally
+// per-channel — flit/blocked breakdowns.
+//
+// Reconfiguration state is additionally recorded as explicit event spans
+// (fault cycle -> hot-swap cycle, full vs incremental, destinations
+// rebuilt), which is what the recovery-curve analyzer (stats/recovery.hpp)
+// consumes.
+//
+// Recording discipline (same contract as MetricsRegistry): recorders are
+// single-writer, never draw RNG, never touch engine state, and are
+// allocation-free in the steady state — window closure writes into
+// preallocated ring slots (per-level/per-channel vectors are sized on
+// first use of a slot and reused thereafter).  A run without a collector
+// attached pays one never-taken null check per hook.  Parallel sweeps give
+// each run its own collector and fold them with mergeFrom().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "routing/direction.hpp"
+#include "util/summary.hpp"
+
+namespace downup::obs {
+
+using routing::ChannelId;
+using routing::NodeId;
+
+struct TimeSeriesOptions {
+  /// Window length in cycles (must be > 0 to enable the collector).
+  std::uint32_t windowCycles = 1024;
+  /// Ring capacity: the most recent maxWindows windows are retained.
+  std::uint32_t maxWindows = 4096;
+  /// Record per-channel flit counts per window (memory: channels x ring).
+  bool perChannel = false;
+  /// Exact capacity of the per-window latency sketch (values beyond this
+  /// collapse to histogram quantiles, as in sim::Telemetry).
+  std::uint32_t latencySketchCap = 4096;
+};
+
+class TimeSeriesCollector {
+ public:
+  /// One closed window of the series.
+  struct Window {
+    std::uint64_t startCycle = 0;
+    std::uint64_t endCycle = 0;  // exclusive
+    std::uint64_t generatedPackets = 0;
+    std::uint64_t injectedFlits = 0;  // flits that left a source queue
+    std::uint64_t channelFlits = 0;   // switch-to-switch channel entries
+    std::uint64_t ejectedFlits = 0;
+    std::uint64_t ejectedPackets = 0;
+    std::uint64_t blockedCycles = 0;  // claim-time attribution in-window
+    std::uint64_t droppedPackets = 0;
+    std::uint64_t degradedCycles = 0;  // reconfiguration window open
+    util::QuantileSketch::Snapshot latency;  // packets delivered in-window
+    std::vector<std::uint64_t> levelFlits;
+    std::vector<std::uint64_t> levelBlockedCycles;
+    std::vector<std::uint64_t> channelFlitsPerChannel;  // iff perChannel
+  };
+
+  /// One fault -> hot-swap reconfiguration span.  A later fault during an
+  /// open window appends its own event; every event still pending at the
+  /// swap is completed by it (they share the swapCycle).
+  struct ReconfigEvent {
+    static constexpr std::uint64_t kPending = ~std::uint64_t{0};
+    std::uint64_t faultCycle = 0;
+    std::uint64_t swapCycle = kPending;
+    bool incremental = false;
+    std::uint64_t destinationsRebuilt = 0;
+    std::uint64_t unreachablePairs = 0;
+    bool pending() const noexcept { return swapCycle == kPending; }
+  };
+
+  TimeSeriesCollector(const TimeSeriesOptions& options,
+                      std::uint32_t nodeCount, std::uint32_t channelCount);
+
+  /// Installs the tree-level dimension (same convention as
+  /// MetricsRegistry::setLevels); without it every event lands in level 0.
+  void setLevels(std::span<const std::uint32_t> nodeLevel,
+                 std::span<const std::uint32_t> channelLevel);
+
+  // --- engine-facing recorders (single-writer, no allocation) ---
+
+  void recordGenerated() noexcept { ++generatedPackets_; }
+  void recordInjectedFlit() noexcept { ++injectedFlits_; }
+  void recordChannelFlit(ChannelId channel) noexcept {
+    ++channelFlits_;
+    ++levelFlits_[channelLevel_[channel]];
+    if (!channelFlitsPerChannel_.empty()) ++channelFlitsPerChannel_[channel];
+  }
+  void recordEjectedFlit() noexcept { ++ejectedFlits_; }
+  void recordDelivered(double latency) {
+    ++ejectedPackets_;
+    latencySketch_.add(latency);
+  }
+  void recordBlocked(NodeId node, std::uint64_t waitedCycles) noexcept {
+    blockedCycles_ += waitedCycles;
+    levelBlockedCycles_[nodeLevel_[node]] += waitedCycles;
+  }
+  void recordDrop() noexcept { ++droppedPackets_; }
+  void recordDegradedCycle() noexcept { ++degradedCycles_; }
+
+  /// A fault event changed the topology at `cycle` (opens a span).
+  void onFaultApplied(std::uint64_t cycle) {
+    events_.push_back(ReconfigEvent{cycle});
+  }
+  /// The rebuilt routing was hot-swapped at `cycle`; completes every
+  /// pending span.
+  void onReconfigComplete(std::uint64_t cycle, bool incremental,
+                          std::uint64_t destinationsRebuilt,
+                          std::uint64_t unreachablePairs) noexcept {
+    for (ReconfigEvent& event : events_) {
+      if (!event.pending()) continue;
+      event.swapCycle = cycle;
+      event.incremental = incremental;
+      event.destinationsRebuilt = destinationsRebuilt;
+      event.unreachablePairs = unreachablePairs;
+    }
+  }
+
+  /// End-of-cycle hook: closes the current window when `cycle` is its last
+  /// cycle.  Must be called once per simulated cycle while attached.
+  void tick(std::uint64_t cycle) {
+    if (cycle + 1 >= windowEnd_) closeWindow(cycle + 1);
+  }
+
+  /// Flushes a partially filled window (end of run); no-op when the
+  /// current window is empty of cycles.
+  void finish(std::uint64_t cycle) {
+    if (cycle > windowStart_) closeWindow(cycle);
+  }
+
+  // --- accessors ---
+
+  std::uint32_t windowCycles() const noexcept { return windowCycles_; }
+  std::uint32_t nodeCount() const noexcept {
+    return static_cast<std::uint32_t>(nodeLevel_.size());
+  }
+  std::uint32_t channelCount() const noexcept {
+    return static_cast<std::uint32_t>(channelLevel_.size());
+  }
+  std::uint32_t levelCount() const noexcept {
+    return static_cast<std::uint32_t>(levelFlits_.size());
+  }
+  bool perChannel() const noexcept { return !channelFlitsPerChannel_.empty(); }
+
+  /// Closed windows, oldest first (at most maxWindows; earlier windows are
+  /// evicted once the ring wraps).
+  std::size_t windowCount() const noexcept { return count_; }
+  const Window& window(std::size_t i) const noexcept {
+    return ring_[(first_ + i) % ring_.size()];
+  }
+  /// Total windows ever closed (== windowCount() until the ring wraps).
+  std::uint64_t windowsClosed() const noexcept { return windowsClosed_; }
+
+  std::span<const ReconfigEvent> reconfigEvents() const noexcept {
+    return events_;
+  }
+
+  /// Clears every window, event and running accumulator (sweep-sample
+  /// reuse); keeps dimensions, levels and ring capacity.
+  void reset();
+
+  /// Folds `other` (same windowCycles/dimensions, std::invalid_argument
+  /// otherwise) into this collector, matching windows by startCycle and
+  /// appending other's reconfiguration events.  Counter fields and latency
+  /// count/mean/min/max merge exactly; merged latency quantiles are the
+  /// delivered-count-weighted average of the two snapshots (documented
+  /// approximation).  Locks this collector, so concurrent merges from a
+  /// parallelFor are safe.
+  void mergeFrom(const TimeSeriesCollector& other);
+
+ private:
+  void closeWindow(std::uint64_t endCycle);
+  Window& slotForNewWindow();
+
+  std::uint32_t windowCycles_;
+  bool wantPerChannel_;
+  std::vector<std::uint32_t> nodeLevel_;
+  std::vector<std::uint32_t> channelLevel_;
+
+  // Running accumulators for the open window.
+  std::uint64_t windowStart_ = 0;
+  std::uint64_t windowEnd_;
+  std::uint64_t generatedPackets_ = 0;
+  std::uint64_t injectedFlits_ = 0;
+  std::uint64_t channelFlits_ = 0;
+  std::uint64_t ejectedFlits_ = 0;
+  std::uint64_t ejectedPackets_ = 0;
+  std::uint64_t blockedCycles_ = 0;
+  std::uint64_t droppedPackets_ = 0;
+  std::uint64_t degradedCycles_ = 0;
+  util::QuantileSketch latencySketch_;
+  std::vector<std::uint64_t> levelFlits_;
+  std::vector<std::uint64_t> levelBlockedCycles_;
+  std::vector<std::uint64_t> channelFlitsPerChannel_;  // iff perChannel
+
+  // Ring of closed windows.
+  std::vector<Window> ring_;
+  std::size_t first_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t windowsClosed_ = 0;
+
+  std::vector<ReconfigEvent> events_;
+
+  std::mutex mergeMutex_;
+};
+
+}  // namespace downup::obs

@@ -1,0 +1,165 @@
+#include "obs/waitfor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace downup::obs {
+
+WaitForSampler::WaitForSampler(std::uint32_t samplePeriodCycles,
+                               std::uint32_t nodeCount,
+                               std::uint32_t channelCount,
+                               std::uint32_t totalVcs, std::uint32_t vcCount)
+    : period_(samplePeriodCycles),
+      nodeCount_(nodeCount),
+      channelCount_(channelCount),
+      vcCount_(vcCount),
+      adjacency_(channelCount),
+      color_(channelCount, 0),
+      prevBlockedOwner_(totalVcs, kNoOwner),
+      currBlockedOwner_(totalVcs, kNoOwner),
+      stalls_(static_cast<std::size_t>(nodeCount) * routing::kDirCount *
+                  routing::kDirCount,
+              0) {
+  if (samplePeriodCycles == 0) {
+    throw std::invalid_argument("WaitForSampler: sample period must be > 0");
+  }
+  if (vcCount == 0) {
+    throw std::invalid_argument("WaitForSampler: vcCount must be > 0");
+  }
+}
+
+void WaitForSampler::beginSample(std::uint64_t cycle) {
+  sampleCycle_ = cycle;
+  for (ChannelId c : touched_) adjacency_[c].clear();
+  touched_.clear();
+  // Last sample's blocked set becomes the standing-stall reference; the
+  // buffer it replaces is recycled as this sample's (empty) current set.
+  prevBlockedOwner_.swap(currBlockedOwner_);
+  std::fill(currBlockedOwner_.begin(), currBlockedOwner_.end(), kNoOwner);
+  sampleBlocked_ = 0;
+}
+
+bool WaitForSampler::noteBlockedHeader(std::uint32_t vcId,
+                                       std::uint32_t owner) {
+  ++sampleBlocked_;
+  currBlockedOwner_[vcId] = owner;
+  return prevBlockedOwner_[vcId] == owner;
+}
+
+void WaitForSampler::addHoldEdge(ChannelId from, ChannelId to) {
+  if (adjacency_[from].empty()) touched_.push_back(from);
+  adjacency_[from].push_back(to);
+  ++holdEdges_;
+}
+
+void WaitForSampler::addRequestEdge(ChannelId from, ChannelId to,
+                                    bool fullyOwned, bool standing,
+                                    NodeId node, std::uint32_t fromDir,
+                                    std::uint32_t toDir) {
+  if (standing) {
+    ++stalls_[(static_cast<std::size_t>(node) * routing::kDirCount + fromDir) *
+                  routing::kDirCount +
+              toDir];
+    ++stallsTotal_;
+  }
+  if (!fullyOwned) {
+    if (vcCount_ > 1) ++partialRequests_;
+    return;
+  }
+  if (adjacency_[from].empty()) touched_.push_back(from);
+  adjacency_[from].push_back(to);
+  ++requestEdges_;
+}
+
+void WaitForSampler::endSample() {
+  detectCycles(sampleCycle_);
+  ++samples_;
+  blockedTotal_ += sampleBlocked_;
+  blockedPeak_ = std::max(blockedPeak_, sampleBlocked_);
+}
+
+void WaitForSampler::detectCycles(std::uint64_t cycle) {
+  if (touched_.empty()) return;
+  // Iterative three-color DFS over the touched channels; a grey->grey edge
+  // is a back edge and the grey stack suffix from its target is the cycle.
+  for (ChannelId c : touched_) color_[c] = 0;
+  bool found = false;
+  for (ChannelId root : touched_) {
+    if (found) break;
+    if (color_[root] != 0) continue;
+    stack_.clear();
+    stack_.push_back(Frame{root, 0});
+    color_[root] = 1;
+    while (!stack_.empty() && !found) {
+      Frame& frame = stack_.back();
+      const std::vector<ChannelId>& edges = adjacency_[frame.channel];
+      if (frame.nextEdge >= edges.size()) {
+        color_[frame.channel] = 2;
+        stack_.pop_back();
+        continue;
+      }
+      const ChannelId next = edges[frame.nextEdge++];
+      if (color_[next] == 1) {
+        // Back edge: extract the witness from the grey stack.
+        witness_.clear();
+        std::size_t start = stack_.size();
+        while (start > 0 && stack_[start - 1].channel != next) --start;
+        for (std::size_t i = start == 0 ? 0 : start - 1; i < stack_.size();
+             ++i) {
+          witness_.push_back(stack_[i].channel);
+        }
+        found = true;
+      } else if (color_[next] == 0) {
+        color_[next] = 1;
+        stack_.push_back(Frame{next, 0});
+      }
+    }
+  }
+  // Leave no grey residue for the next sample's partial repaint.
+  for (ChannelId c : touched_) color_[c] = 0;
+  if (found) {
+    ++cycleSamples_;
+    lastCycleAt_ = cycle;
+  }
+}
+
+void WaitForSampler::reset() {
+  for (ChannelId c : touched_) adjacency_[c].clear();
+  touched_.clear();
+  std::fill(prevBlockedOwner_.begin(), prevBlockedOwner_.end(), kNoOwner);
+  std::fill(currBlockedOwner_.begin(), currBlockedOwner_.end(), kNoOwner);
+  sampleBlocked_ = 0;
+  samples_ = 0;
+  blockedTotal_ = 0;
+  blockedPeak_ = 0;
+  holdEdges_ = 0;
+  requestEdges_ = 0;
+  partialRequests_ = 0;
+  cycleSamples_ = 0;
+  lastCycleAt_ = 0;
+  witness_.clear();
+  std::fill(stalls_.begin(), stalls_.end(), 0);
+  stallsTotal_ = 0;
+}
+
+void WaitForSampler::mergeFrom(const WaitForSampler& other) {
+  if (other.period_ != period_ || other.nodeCount_ != nodeCount_ ||
+      other.channelCount_ != channelCount_ || other.vcCount_ != vcCount_) {
+    throw std::invalid_argument(
+        "WaitForSampler::mergeFrom: mismatched dimensions");
+  }
+  const std::lock_guard<std::mutex> lock(mergeMutex_);
+  samples_ += other.samples_;
+  blockedTotal_ += other.blockedTotal_;
+  blockedPeak_ = std::max(blockedPeak_, other.blockedPeak_);
+  holdEdges_ += other.holdEdges_;
+  requestEdges_ += other.requestEdges_;
+  partialRequests_ += other.partialRequests_;
+  cycleSamples_ += other.cycleSamples_;
+  lastCycleAt_ = std::max(lastCycleAt_, other.lastCycleAt_);
+  if (witness_.empty()) witness_ = other.witness_;
+  for (std::size_t i = 0; i < stalls_.size(); ++i) stalls_[i] += other.stalls_[i];
+  stallsTotal_ += other.stallsTotal_;
+}
+
+}  // namespace downup::obs

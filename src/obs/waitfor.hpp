@@ -1,0 +1,168 @@
+// Wait-for-graph sampling: periodic deadlock-risk snapshots of the running
+// network.
+//
+// Every `samplePeriodCycles` cycles the engine walks its owned virtual
+// channels and reports the channel-dependency edges of the moment:
+//
+//   * hold edges     — an owned, routed VC in channel A forwards into
+//     channel B: the worm's flits in A drain only as B drains;
+//   * request edges  — a blocked (unrouted) header sitting in channel A
+//     wants one of its candidate output channels B, reported only when
+//     *every* VC of B is owned (a candidate with a free VC is not a wait —
+//     the claim lands as soon as allocation revisits the header).
+//
+// A directed cycle in that graph is a channel-dependency knot: with one VC
+// per channel it is a deadlock witness (each channel in the cycle is held
+// and waits on the next), and with VC > 1 it is flagged as a *near-cycle*
+// (a free VC elsewhere on a cycle channel can still break the knot — the
+// classic argument why VCs mask, not remove, cyclic dependencies).  For
+// DOWN/UP and every other acyclic turn rule, all hold and request edges
+// follow allowed turns, so the sampler can never find a cycle — the suite
+// asserts exactly that over seeded runs, and a deliberately broken rule
+// (tests/obs/waitfor_test.cpp) must produce one.
+//
+// Standing-stall attribution: a header blocked in two consecutive samples
+// is a *standing* stall, counted into a node x (from-dir x to-dir) cell per
+// requested turn — the time-resolved counterpart of MetricsRegistry's
+// blocked-cycle attribution, isolating where stalls persist rather than
+// merely occur.
+//
+// Same discipline as the rest of obs/: single-writer, never draws RNG,
+// never mutates engine state, allocation-free in the steady state (the
+// adjacency/scratch buffers grow to the working-set high-water mark and are
+// reused), and merged across parallel sweep runs with mergeFrom().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "routing/direction.hpp"
+
+namespace downup::obs {
+
+using routing::ChannelId;
+using routing::NodeId;
+
+class WaitForSampler {
+ public:
+  static constexpr std::uint32_t kNoOwner = ~std::uint32_t{0};
+
+  WaitForSampler(std::uint32_t samplePeriodCycles, std::uint32_t nodeCount,
+                 std::uint32_t channelCount, std::uint32_t totalVcs,
+                 std::uint32_t vcCount);
+
+  std::uint32_t samplePeriod() const noexcept { return period_; }
+  bool due(std::uint64_t cycle) const noexcept {
+    return cycle % period_ == 0;
+  }
+
+  // --- engine-facing per-sample protocol ---
+
+  void beginSample(std::uint64_t cycle);
+  /// Registers a blocked (unrouted) header owned by `owner` in VC `vcId`;
+  /// returns true when the same owner was blocked there in the previous
+  /// sample (a standing stall).
+  bool noteBlockedHeader(std::uint32_t vcId, std::uint32_t owner);
+  /// Committed-worm dependency: flits in `from` drain into `to`.
+  void addHoldEdge(ChannelId from, ChannelId to);
+  /// Blocked header in `from` requesting candidate `to`.  `fullyOwned` says
+  /// every VC of `to` is owned (only then does the edge join the graph);
+  /// `standing` is noteBlockedHeader's return, attributing the requested
+  /// turn into the standing-stall cells.
+  void addRequestEdge(ChannelId from, ChannelId to, bool fullyOwned,
+                      bool standing, NodeId node, std::uint32_t fromDir,
+                      std::uint32_t toDir);
+  /// Runs cycle detection over the sample's edges and folds the sample into
+  /// the running statistics.
+  void endSample();
+
+  // --- results ---
+
+  std::uint64_t samples() const noexcept { return samples_; }
+  std::uint64_t blockedHeadersTotal() const noexcept { return blockedTotal_; }
+  std::uint64_t blockedHeadersPeak() const noexcept { return blockedPeak_; }
+  std::uint64_t holdEdgesTotal() const noexcept { return holdEdges_; }
+  std::uint64_t requestEdgesTotal() const noexcept { return requestEdges_; }
+  /// Requests against channels with some but not all VCs owned (VC > 1
+  /// only): saturation pressure short of a graph edge.
+  std::uint64_t partialRequestsTotal() const noexcept {
+    return partialRequests_;
+  }
+
+  /// Samples in which at least one dependency cycle was found.
+  std::uint64_t cycleSamples() const noexcept { return cycleSamples_; }
+  bool everCycle() const noexcept { return cycleSamples_ != 0; }
+  /// True when detections are hard deadlock witnesses (vcCount == 1);
+  /// false means cycles are near-cycles (VCs may still break the knot).
+  bool cyclesAreHard() const noexcept { return vcCount_ == 1; }
+  /// Cycle of the most recent detection (channel ids in dependency order);
+  /// empty while everCycle() is false.
+  std::span<const ChannelId> witnessCycle() const noexcept { return witness_; }
+  std::uint64_t lastCycleSampleCycle() const noexcept { return lastCycleAt_; }
+
+  std::uint32_t nodeCount() const noexcept { return nodeCount_; }
+  std::uint32_t channelCount() const noexcept { return channelCount_; }
+  std::uint32_t vcCount() const noexcept { return vcCount_; }
+  /// Standing-stall count for (node, fromDir row, toDir) — fromDir is a
+  /// routing::Dir index (blocked headers always arrived over a channel).
+  std::uint64_t standingStalls(NodeId node, std::uint32_t fromDir,
+                               std::uint32_t toDir) const noexcept {
+    return stalls_[(static_cast<std::size_t>(node) * routing::kDirCount +
+                    fromDir) *
+                       routing::kDirCount +
+                   toDir];
+  }
+  std::uint64_t standingStallsTotal() const noexcept { return stallsTotal_; }
+
+  /// Clears all statistics and per-sample carry-over (sweep-sample reuse).
+  void reset();
+
+  /// Folds another run's sampler (same dimensions, std::invalid_argument
+  /// otherwise) into this one: counters and stall cells sum; the witness
+  /// cycle is adopted from `other` when this sampler has none.  Locks this
+  /// sampler, so concurrent merges from a parallelFor are safe.
+  void mergeFrom(const WaitForSampler& other);
+
+ private:
+  void detectCycles(std::uint64_t cycle);
+
+  std::uint32_t period_;
+  std::uint32_t nodeCount_;
+  std::uint32_t channelCount_;
+  std::uint32_t vcCount_;
+
+  // Per-sample scratch (capacity reused across samples).
+  std::vector<std::vector<ChannelId>> adjacency_;  // per channel
+  std::vector<ChannelId> touched_;                 // channels with edges
+  std::vector<std::uint8_t> color_;                // DFS: 0 white 1 grey 2 black
+  struct Frame {
+    ChannelId channel;
+    std::uint32_t nextEdge;
+  };
+  std::vector<Frame> stack_;
+  std::uint64_t sampleBlocked_ = 0;
+  std::uint64_t sampleCycle_ = 0;
+
+  // Standing-stall tracking: who was blocked where, last sample vs now.
+  std::vector<std::uint32_t> prevBlockedOwner_;  // per VC
+  std::vector<std::uint32_t> currBlockedOwner_;  // per VC
+
+  // Running statistics.
+  std::uint64_t samples_ = 0;
+  std::uint64_t blockedTotal_ = 0;
+  std::uint64_t blockedPeak_ = 0;
+  std::uint64_t holdEdges_ = 0;
+  std::uint64_t requestEdges_ = 0;
+  std::uint64_t partialRequests_ = 0;
+  std::uint64_t cycleSamples_ = 0;
+  std::uint64_t lastCycleAt_ = 0;
+  std::vector<ChannelId> witness_;
+  std::vector<std::uint64_t> stalls_;  // node x dir x dir
+  std::uint64_t stallsTotal_ = 0;
+
+  std::mutex mergeMutex_;
+};
+
+}  // namespace downup::obs

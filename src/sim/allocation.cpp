@@ -13,6 +13,7 @@
 #include "sim/network.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace downup::sim {
@@ -127,6 +128,9 @@ void WormholeNetwork::observeClaim(PacketId pid, topo::NodeId node,
                   routing::index(perms.dir(vcChannel(out))));
   if (metrics_ != nullptr && !eject && now_ >= config_.warmupCycles) {
     metrics_->recordTurnClaim(node, fromRow, toDir, waited);
+  }
+  if (timeseries_ != nullptr && waited > 0) {
+    timeseries_->recordBlocked(node, waited);
   }
   if (tracer_ != nullptr && tracer_->sampled(pid)) {
     const std::uint32_t channel =

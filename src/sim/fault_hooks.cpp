@@ -27,6 +27,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace downup::sim {
@@ -51,10 +52,12 @@ void WormholeNetwork::faultPhase() {
     if (applied.topologyChanged) {
       faultsActive_ = true;
       faults_->openWindowUntil(now_ + reconfigWindowLength());
+      if (timeseries_ != nullptr) timeseries_->onFaultApplied(now_);
     }
   }
   if (faults_->windowOpen()) {
     ++reconfigCyclesTotal_;
+    if (timeseries_ != nullptr) timeseries_->recordDegradedCycle();
     if (now_ >= faults_->windowEnd()) completeReconfiguration();
   }
 }
@@ -135,6 +138,7 @@ void WormholeNetwork::dropPacket(PacketId pid, topo::NodeId atNode) {
     }
   }
   if (metrics_ != nullptr) metrics_->recordDrop(atNode);
+  if (timeseries_ != nullptr) timeseries_->recordDrop();
   if (tracer_ != nullptr && tracer_->sampled(pid)) {
     tracer_->record(obs::TraceEventKind::kDropped, pid, now_, atNode,
                     obs::PacketTracer::kNoChannel);
@@ -160,6 +164,7 @@ void WormholeNetwork::quarantineNode(topo::NodeId node) {
     packets_[pid].dropped = true;
     ++droppedInFlight_;
     if (metrics_ != nullptr) metrics_->recordDrop(node);
+    if (timeseries_ != nullptr) timeseries_->recordDrop();
     if (tracer_ != nullptr && tracer_->sampled(pid)) {
       tracer_->record(obs::TraceEventKind::kDropped, pid, now_, node,
                       obs::PacketTracer::kNoChannel);
@@ -195,6 +200,11 @@ void WormholeNetwork::completeReconfiguration() {
   reconfigDestinationsRebuilt_ += outcome.rebuiltDestinations;
   reconfigVerified_ = reconfigVerified_ && outcome.ok();
   lastUnreachablePairs_ = outcome.unreachablePairs;
+  if (timeseries_ != nullptr) {
+    timeseries_->onReconfigComplete(now_, outcome.incremental,
+                                    outcome.rebuiltDestinations,
+                                    outcome.unreachablePairs);
+  }
   epochPerms_ = std::move(outcome.perms);
   epochTable_ = std::move(outcome.table);
   table_ = epochTable_.get();
@@ -232,6 +242,10 @@ bool WormholeNetwork::admitGeneratedPacket(topo::NodeId node,
     ++packetsGenerated_;
     ++droppedUnreachable_;
     if (metrics_ != nullptr) metrics_->recordDrop(node);
+    if (timeseries_ != nullptr) {
+      timeseries_->recordGenerated();
+      timeseries_->recordDrop();
+    }
     if (tracer_ != nullptr && tracer_->sampled(pid)) {
       tracer_->onGenerated(pid, node, dst, now_);
       tracer_->record(obs::TraceEventKind::kDropped, pid, now_, node,
@@ -243,6 +257,7 @@ bool WormholeNetwork::admitGeneratedPacket(topo::NodeId node,
       config_.faultInjectionPolicy == fault::InjectionPolicy::kDrop) {
     ++droppedInjection_;
     if (metrics_ != nullptr) metrics_->recordDrop(node);
+    if (timeseries_ != nullptr) timeseries_->recordDrop();
     return false;
   }
   return true;
@@ -261,6 +276,7 @@ bool WormholeNetwork::dropUnroutableSourceFront(topo::NodeId node) {
     packets_[pid].dropped = true;
     ++droppedUnreachable_;
     if (metrics_ != nullptr) metrics_->recordDrop(node);
+    if (timeseries_ != nullptr) timeseries_->recordDrop();
     if (tracer_ != nullptr && tracer_->sampled(pid)) {
       tracer_->record(obs::TraceEventKind::kDropped, pid, now_, node,
                       obs::PacketTracer::kNoChannel);

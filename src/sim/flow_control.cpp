@@ -7,6 +7,7 @@
 #include <cassert>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace downup::sim {
@@ -44,6 +45,7 @@ void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
     pid = source.queue.front();
     out = source.out;
     flitIdx = source.sent++;
+    if (timeseries_ != nullptr) timeseries_->recordInjectedFlit();
     if (flitIdx == 0) {
       packets_[pid].injectTime = now_;
       if (tracer_ != nullptr && tracer_->sampled(pid)) {
@@ -65,6 +67,7 @@ void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
 
   if (isEject(out)) {
     telemetry_.recordEjectedFlit(now_, measuring);
+    if (timeseries_ != nullptr) timeseries_->recordEjectedFlit();
     if (isTail) {
       const topo::NodeId ejectNode =
           (out - ejectBase_) / config_.ejectionPortsPerNode;
@@ -82,6 +85,12 @@ void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
             static_cast<double>(packet.injectTime - packet.genTime),
             measuring);
       }
+      // The flight recorder is not warmup-gated: warm-up windows are how
+      // warm-up adequacy is checked in the first place.
+      if (timeseries_ != nullptr) {
+        timeseries_->recordDelivered(
+            static_cast<double>(now_ - packet.genTime + 1));
+      }
       if (tracer_ != nullptr && tracer_->sampled(pid)) {
         tracer_->record(obs::TraceEventKind::kEjected, pid, now_, ejectNode,
                         obs::PacketTracer::kNoChannel);
@@ -94,6 +103,7 @@ void WormholeNetwork::executeMove(bool fromSource, std::uint32_t index) {
     if (metrics_ != nullptr && measuring) {
       metrics_->recordChannelFlit(vcChannel(out));
     }
+    if (timeseries_ != nullptr) timeseries_->recordChannelFlit(vcChannel(out));
     if (tracer_ != nullptr && flitIdx == 0 && tracer_->sampled(pid)) {
       tracer_->record(obs::TraceEventKind::kChannelCrossed, pid, now_,
                       topo_->channelSrc(vcChannel(out)), vcChannel(out));

@@ -64,7 +64,14 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
     metrics_ = config_.observer->metrics();
     tracer_ = config_.observer->tracer();
     profiler_ = config_.observer->profiler();
-    obsClaims_ = metrics_ != nullptr || tracer_ != nullptr;
+    timeseries_ = config_.observer->timeseries();
+    waitfor_ = config_.observer->waitFor();
+    obsClaims_ =
+        metrics_ != nullptr || tracer_ != nullptr || timeseries_ != nullptr;
+    if (waitfor_ != nullptr && waitfor_->vcCount() != vcCount_) {
+      throw std::invalid_argument(
+          "WormholeNetwork: wait-for sampler sized for a different vcCount");
+    }
   }
   if (config_.faultSchedule != nullptr) {
     faults_ = std::make_unique<fault::FaultController>(*topo_,
@@ -79,6 +86,7 @@ void WormholeNetwork::enqueuePacket(topo::NodeId src, topo::NodeId dst) {
   if (tracer_ != nullptr && tracer_->sampled(pid)) {
     tracer_->onGenerated(pid, src, dst, now_);
   }
+  if (timeseries_ != nullptr) timeseries_->recordGenerated();
   Source& source = sources_[src];
   // An empty queue means no output VC is claimed either, so the source
   // becomes allocatable exactly now.
@@ -130,9 +138,60 @@ void WormholeNetwork::step() {
     deadlocked_ = true;
   }
 
+  // Time-resolved observability, after the cycle's state has settled: the
+  // wait-for snapshot sees post-transfer ownership, and the time-series
+  // window closes on its last cycle.  Both are read-only on engine state.
+  if (waitfor_ != nullptr && waitfor_->due(now_)) [[unlikely]] {
+    sampleWaitFor();
+  }
+  if (timeseries_ != nullptr) [[unlikely]] timeseries_->tick(now_);
+
   if (now_ >= config_.warmupCycles) ++measuredCycles_;
   ++now_;
   ++allocOffset_;
+}
+
+void WormholeNetwork::sampleWaitFor() {
+  waitfor_->beginSample(now_);
+  const auto& perms = table_->permissions();
+  const auto channelFullyOwned = [this](ChannelId c) {
+    for (std::uint32_t v = 0; v < vcCount_; ++v) {
+      if (vcs_[c * vcCount_ + v].owner == kNoPacket) return false;
+    }
+    return true;
+  };
+  for (std::uint32_t vcId = 0; vcId < totalVcs_; ++vcId) {
+    const Vc& vc = vcs_[vcId];
+    if (vc.owner == kNoPacket) continue;
+    const ChannelId held = vcChannel(vcId);
+    if (vc.out != kNoOut) {
+      // Committed worm hop: flits in `held` drain only as the downstream
+      // channel drains.  Ejection ends the chain (ports never block a
+      // cycle: they free unconditionally as flits arrive).
+      if (!isEject(vc.out)) waitfor_->addHoldEdge(held, vcChannel(vc.out));
+      continue;
+    }
+    // Unrouted header: blocked (or within the 1-cycle routing delay) and
+    // requesting its minimal candidates.  Under escape-adaptive routing a
+    // non-escape packet additionally requests the any-turn adaptive class.
+    const bool standing = waitfor_->noteBlockedHeader(vcId, vc.owner);
+    const topo::NodeId node = topo_->channelDst(held);
+    const topo::NodeId dst = packets_[vc.owner].dst;
+    const auto fromDir =
+        static_cast<std::uint32_t>(routing::index(perms.dir(held)));
+    const auto request = [&](std::span<const ChannelId> candidates) {
+      for (ChannelId c : candidates) {
+        waitfor_->addRequestEdge(
+            held, c, channelFullyOwned(c), standing, node, fromDir,
+            static_cast<std::uint32_t>(routing::index(perms.dir(c))));
+      }
+    };
+    request(table_->nextChannels(held, dst));
+    if (config_.escapeAdaptiveRouting && !packets_[vc.owner].onEscape) {
+      request(table_->nextChannelsAnyTurn(held, dst));
+    }
+  }
+  waitfor_->endSample();
 }
 
 void WormholeNetwork::runPhasesProfiled() {

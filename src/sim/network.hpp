@@ -62,6 +62,8 @@ namespace downup::obs {
 class MetricsRegistry;
 class PacketTracer;
 class PhaseProfiler;
+class TimeSeriesCollector;
+class WaitForSampler;
 }
 
 namespace downup::sim {
@@ -208,6 +210,11 @@ class WormholeNetwork {
   /// an observer component is attached (obsClaims_).
   void observeClaim(PacketId pid, topo::NodeId node, ChannelId in,
                     std::uint32_t out, std::uint64_t waited);
+  /// Wait-for-graph snapshot (obs/waitfor.hpp): walks every owned VC and
+  /// reports hold edges (committed worm hops) and request edges (blocked
+  /// headers against fully-owned candidates).  Only called when waitfor_ is
+  /// attached and the sample period elapses; read-only on engine state.
+  void sampleWaitFor();
 
   // --- arbitration.cpp ---
   void transferFlits();
@@ -339,7 +346,9 @@ class WormholeNetwork {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::PacketTracer* tracer_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
-  bool obsClaims_ = false;  // metrics_ or tracer_ attached
+  obs::TimeSeriesCollector* timeseries_ = nullptr;
+  obs::WaitForSampler* waitfor_ = nullptr;
+  bool obsClaims_ = false;  // metrics_, tracer_ or timeseries_ attached
 
   // Fault injection + online reconfiguration (fault_hooks.cpp; null unless
   // config_.faultSchedule is set).  faultsActive_ flips true at the first

@@ -1,0 +1,116 @@
+#include "stats/recovery.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace downup::stats {
+
+namespace {
+
+double windowRate(const obs::TimeSeriesCollector::Window& w) {
+  const std::uint64_t len = w.endCycle - w.startCycle;
+  return len == 0 ? 0.0
+                  : static_cast<double>(w.ejectedFlits) /
+                        static_cast<double>(len);
+}
+
+}  // namespace
+
+std::vector<FaultRecovery> analyzeRecovery(
+    const obs::TimeSeriesCollector& series, const RecoveryOptions& options) {
+  std::vector<FaultRecovery> results;
+  const auto events = series.reconfigEvents();
+  results.reserve(events.size());
+  const std::size_t windowCount = series.windowCount();
+
+  for (const auto& event : events) {
+    FaultRecovery r;
+    r.faultCycle = event.faultCycle;
+    r.swapCycle = event.swapCycle;
+    r.incremental = event.incremental;
+    r.destinationsRebuilt = event.destinationsRebuilt;
+    r.unreachablePairs = event.unreachablePairs;
+    if (!event.pending()) r.timeToReroute = event.swapCycle - event.faultCycle;
+
+    // Baseline: the last `baselineWindows` windows fully before the fault.
+    std::size_t firstAffected = 0;  // first window with endCycle > fault
+    while (firstAffected < windowCount &&
+           series.window(firstAffected).endCycle <= event.faultCycle) {
+      ++firstAffected;
+    }
+    std::uint64_t baseFlits = 0;
+    std::uint64_t baseCycles = 0;
+    const std::size_t baseBegin =
+        firstAffected >= options.baselineWindows
+            ? firstAffected - options.baselineWindows
+            : 0;
+    for (std::size_t i = baseBegin; i < firstAffected; ++i) {
+      const auto& w = series.window(i);
+      baseFlits += w.ejectedFlits;
+      baseCycles += w.endCycle - w.startCycle;
+    }
+    r.baselineRate = baseCycles == 0 ? 0.0
+                                     : static_cast<double>(baseFlits) /
+                                           static_cast<double>(baseCycles);
+    const double threshold = options.recoveryFraction * r.baselineRate;
+
+    // Walk the affected windows: track the dip until the first window at or
+    // after the swap whose rate is back above the threshold.
+    r.dipRate = r.baselineRate;
+    for (std::size_t i = firstAffected; i < windowCount; ++i) {
+      const auto& w = series.window(i);
+      const std::uint64_t len = w.endCycle - w.startCycle;
+      const double rate = windowRate(w);
+      r.droppedPackets += w.droppedPackets;
+      r.dipRate = std::min(r.dipRate, rate);
+      if (rate < threshold) {
+        r.dipWidthCycles += len;
+        r.deliveredDeficit +=
+            (r.baselineRate - rate) * static_cast<double>(len);
+      } else if (!event.pending() && w.endCycle >= event.swapCycle) {
+        r.recovered = true;
+        r.timeToRecover = w.endCycle - event.faultCycle;
+        break;
+      }
+    }
+    if (r.baselineRate > 0.0) {
+      r.dipDepth = 1.0 - r.dipRate / r.baselineRate;
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
+void writeRecoveryCsv(const std::vector<FaultRecovery>& events,
+                      std::ostream& out) {
+  out << "fault_cycle,swap_cycle,incremental,destinations_rebuilt,"
+         "unreachable_pairs,time_to_reroute,baseline_rate,dip_rate,"
+         "dip_depth,dip_width_cycles,time_to_recover,recovered,"
+         "dropped_packets,delivered_deficit\n";
+  for (const FaultRecovery& r : events) {
+    out << r.faultCycle << ',';
+    if (r.swapCycle == FaultRecovery::kNever) {
+      out << "never";
+    } else {
+      out << r.swapCycle;
+    }
+    out << ',' << (r.incremental ? 1 : 0) << ',' << r.destinationsRebuilt
+        << ',' << r.unreachablePairs << ',';
+    if (r.timeToReroute == FaultRecovery::kNever) {
+      out << "never";
+    } else {
+      out << r.timeToReroute;
+    }
+    out << ',' << r.baselineRate << ',' << r.dipRate << ',' << r.dipDepth
+        << ',' << r.dipWidthCycles << ',';
+    if (r.timeToRecover == FaultRecovery::kNever) {
+      out << "never";
+    } else {
+      out << r.timeToRecover;
+    }
+    out << ',' << (r.recovered ? 1 : 0) << ',' << r.droppedPackets << ','
+        << r.deliveredDeficit << '\n';
+  }
+}
+
+}  // namespace downup::stats

@@ -1,0 +1,73 @@
+// Fault recovery curves: per-event transient analysis of the windowed
+// time series (obs/timeseries.hpp).
+//
+// For every fault -> hot-swap reconfiguration span recorded by the
+// collector, the analyzer extracts the transient the aggregate RunStats
+// averages away:
+//
+//   * time-to-reroute    — cycles from the fault to the routing hot-swap
+//     (the reconfiguration window the engine actually served, which under
+//     incremental reconfiguration shrinks with the dirty fraction);
+//   * throughput dip     — depth (1 - min windowed ejection rate /
+//     pre-fault baseline) and width (cycles spent below the recovery
+//     threshold) of the accepted-traffic excursion;
+//   * time-to-recover    — cycles from the fault until the first window at
+//     or after the swap whose ejection rate is back above
+//     recoveryFraction x baseline;
+//   * delivered deficit  — flits the network failed to deliver relative to
+//     the baseline over the sub-threshold span (the area of the dip);
+//   * packet drops attributed to the event's span.
+//
+// The baseline is the mean ejection rate over the last `baselineWindows`
+// complete windows preceding the fault, so back-to-back events each
+// measure against the state they actually disturbed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace downup::stats {
+
+struct RecoveryOptions {
+  /// A window counts as recovered when its ejection rate reaches this
+  /// fraction of the pre-fault baseline.
+  double recoveryFraction = 0.95;
+  /// Complete windows before the fault averaged into the baseline.
+  std::uint32_t baselineWindows = 8;
+};
+
+struct FaultRecovery {
+  static constexpr std::uint64_t kNever =
+      obs::TimeSeriesCollector::ReconfigEvent::kPending;
+
+  std::uint64_t faultCycle = 0;
+  std::uint64_t swapCycle = kNever;  // kNever: window still open at run end
+  bool incremental = false;
+  std::uint64_t destinationsRebuilt = 0;
+  std::uint64_t unreachablePairs = 0;
+
+  std::uint64_t timeToReroute = kNever;  // swapCycle - faultCycle
+  double baselineRate = 0.0;             // ejected flits/cycle before fault
+  double dipRate = 0.0;                  // minimum windowed rate in the span
+  double dipDepth = 0.0;                 // 1 - dipRate/baselineRate
+  std::uint64_t dipWidthCycles = 0;      // cycles below the threshold
+  std::uint64_t timeToRecover = kNever;  // recovery end - faultCycle
+  std::uint64_t droppedPackets = 0;      // drops over the event's span
+  double deliveredDeficit = 0.0;         // baseline-relative flits lost
+  bool recovered = false;
+};
+
+/// Extracts one FaultRecovery per reconfiguration event, in fault order.
+/// Events whose fault predates the oldest retained window analyze against a
+/// zero baseline (ring eviction; size maxWindows generously instead).
+std::vector<FaultRecovery> analyzeRecovery(
+    const obs::TimeSeriesCollector& series, const RecoveryOptions& options = {});
+
+/// CSV of the per-event summaries (schema documented in results/README.md).
+void writeRecoveryCsv(const std::vector<FaultRecovery>& events,
+                      std::ostream& out);
+
+}  // namespace downup::stats

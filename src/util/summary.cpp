@@ -110,6 +110,89 @@ double QuantileSketch::quantile(double q) const {
   return max_;
 }
 
+void QuantileSketch::regrid() {
+  // Re-bins the existing histogram onto a fresh grid spanning the current
+  // min_/max_ (same headroom rule as collapse); each old bin's mass moves
+  // to its midpoint's new bin, so the error stays bounded by the old width.
+  const std::vector<std::uint64_t> old = collapsed_;
+  const double oldLo = lo_;
+  const double oldWidth = width_;
+  lo_ = min_;
+  const double range = std::max(max_ - min_, 1.0);
+  width_ = 1.5 * range / static_cast<double>(binCount_);
+  collapsed_.assign(binCount_, 0);
+  for (std::size_t b = 0; b < old.size(); ++b) {
+    if (old[b] == 0) continue;
+    const double mid = oldLo + oldWidth * (static_cast<double>(b) + 0.5);
+    auto idx = static_cast<std::ptrdiff_t>((mid - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(collapsed_.size()) - 1);
+    collapsed_[static_cast<std::size_t>(idx)] += old[b];
+  }
+}
+
+QuantileSketch::Snapshot QuantileSketch::snapshot() const {
+  Snapshot snap;
+  if (count_ == 0) return snap;
+  snap.count = count_;
+  snap.mean = mean();
+  snap.min = min_;
+  snap.max = max_;
+  snap.p50 = quantile(0.5);
+  snap.p95 = quantile(0.95);
+  snap.p99 = quantile(0.99);
+  return snap;
+}
+
+void QuantileSketch::clear() noexcept {
+  values_.clear();  // keeps capacity: steady-state reuse allocates nothing
+  collapsed_.clear();
+  lo_ = 0.0;
+  width_ = 1.0;
+  sum_ = 0.0;
+  count_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+}
+
+void QuantileSketch::mergeFrom(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (exact() && other.exact() &&
+      values_.size() + other.values_.size() < exactCap_) {
+    // Exact x exact: replay other's values; identical to having added them
+    // here in the first place (mean uses the same left-to-right sum order).
+    for (double x : other.values_) add(x);
+    return;
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  if (collapsed_.empty()) {
+    collapse();  // grids over the already-updated union min_/max_
+  } else if (min_ < lo_ ||
+             max_ >= lo_ + width_ * static_cast<double>(binCount_)) {
+    regrid();  // disjoint windows: widen the grid to span the union
+  }
+  const auto addWeighted = [this](double x, std::uint64_t weight) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(collapsed_.size()) - 1);
+    collapsed_[static_cast<std::size_t>(idx)] += weight;
+  };
+  if (other.collapsed_.empty()) {
+    for (double x : other.values_) addWeighted(x, 1);
+  } else {
+    for (std::size_t b = 0; b < other.collapsed_.size(); ++b) {
+      if (other.collapsed_[b] == 0) continue;
+      const double mid =
+          other.lo_ + other.width_ * (static_cast<double>(b) + 0.5);
+      addWeighted(std::clamp(mid, other.min_, other.max_),
+                  other.collapsed_[b]);
+    }
+  }
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
   assert(bins > 0 && hi > lo);

@@ -91,8 +91,37 @@ class QuantileSketch {
   /// The raw values (insertion order) while exact(); empty afterwards.
   std::span<const double> exactValues() const noexcept { return values_; }
 
+  /// Point-in-time summary of the sketch, cheap enough to take once per
+  /// measurement window (time-series snapshots).  All fields are 0 for an
+  /// empty sketch.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    bool operator==(const Snapshot&) const = default;
+  };
+  Snapshot snapshot() const;
+
+  /// Empties the sketch for reuse (per-window accumulators) without
+  /// releasing the exact-phase buffer's capacity — steady-state reuse
+  /// performs no allocation while the window stays under exactCap values.
+  void clear() noexcept;
+
+  /// Folds `other` into this sketch.  The merge is exact (same result as
+  /// replaying other's values) while both sides are in the exact phase and
+  /// the union fits exactCap; otherwise both collapse and other's bins are
+  /// re-binned by midpoint into this sketch's grid, keeping count/mean/
+  /// min/max exact and quantile error bounded by the coarser bin width.
+  void mergeFrom(const QuantileSketch& other);
+
  private:
   void collapse();
+  void regrid();
 
   std::size_t exactCap_;
   std::size_t binCount_;

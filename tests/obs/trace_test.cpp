@@ -6,13 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "core/downup_routing.hpp"
 #include "obs/export.hpp"
 #include "obs/observer.hpp"
 #include "sim/engine.hpp"
 #include "topology/generate.hpp"
+#include "util/thread_pool.hpp"
 
 namespace downup {
 namespace {
@@ -187,6 +190,59 @@ TEST(ObserverTest, AttachedObserverLeavesTheRunBitForBitIdentical) {
   ASSERT_EQ(utilization.size(), expected.channelUtilization.size());
   for (std::size_t c = 0; c < utilization.size(); ++c) {
     EXPECT_DOUBLE_EQ(utilization[c], expected.channelUtilization[c]);
+  }
+}
+
+TEST(PacketTracerTest, SampledTracesAreIdenticalAcrossPoolWidths) {
+  // Sweeps fan simulations out over a thread pool; each sim carries its own
+  // tracer, so the recorded traces must not depend on how many workers the
+  // pool has. Run the same four seeded sims at pool width 1 and 4 and demand
+  // byte-identical packet and event buffers per sim.
+  const Fixture f;
+  const sim::UniformTraffic traffic(f.topo.nodeCount());
+  constexpr std::size_t kSims = 4;
+
+  const auto runAll = [&](std::size_t workers) {
+    std::vector<std::unique_ptr<obs::Observer>> observers(kSims);
+    for (auto& o : observers) {
+      o = std::make_unique<obs::Observer>(
+          obs::ObsOptions{.traceSampleEvery = 2}, f.topo, &f.ct);
+    }
+    util::ThreadPool pool(workers);
+    util::parallelFor(pool, kSims, [&](std::size_t i) {
+      sim::SimConfig config = f.config();
+      config.seed = 99 + i;
+      config.observer = observers[i].get();
+      sim::WormholeNetwork net(f.routing.table(), traffic, 0.05, config);
+      net.run();
+    });
+    return observers;
+  };
+
+  const auto serial = runAll(1);
+  const auto wide = runAll(4);
+  for (std::size_t i = 0; i < kSims; ++i) {
+    const obs::PacketTracer& a = *serial[i]->tracer();
+    const obs::PacketTracer& b = *wide[i]->tracer();
+    ASSERT_GT(a.packets().size(), 0u);
+    ASSERT_EQ(a.packets().size(), b.packets().size());
+    for (std::size_t p = 0; p < a.packets().size(); ++p) {
+      EXPECT_EQ(a.packets()[p].packet, b.packets()[p].packet);
+      EXPECT_EQ(a.packets()[p].src, b.packets()[p].src);
+      EXPECT_EQ(a.packets()[p].dst, b.packets()[p].dst);
+      EXPECT_EQ(a.packets()[p].genCycle, b.packets()[p].genCycle);
+    }
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t e = 0; e < a.events().size(); ++e) {
+      EXPECT_EQ(a.events()[e].packet, b.events()[e].packet);
+      EXPECT_EQ(a.events()[e].cycle, b.events()[e].cycle);
+      EXPECT_EQ(a.events()[e].kind, b.events()[e].kind);
+      EXPECT_EQ(a.events()[e].fromDir, b.events()[e].fromDir);
+      EXPECT_EQ(a.events()[e].toDir, b.events()[e].toDir);
+      EXPECT_EQ(a.events()[e].node, b.events()[e].node);
+      EXPECT_EQ(a.events()[e].channel, b.events()[e].channel);
+      EXPECT_EQ(a.events()[e].value, b.events()[e].value);
+    }
   }
 }
 

@@ -1,0 +1,240 @@
+// WaitForSampler: edge accounting, cycle detection, standing-stall
+// attribution, merge — plus the engine-level claims the sampler exists to
+// make: seeded DOWN/UP runs never show a channel wait cycle, and a
+// deliberately broken turn rule on a ring (the deadlock_test scenario)
+// produces a hard cycle witness.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/downup_routing.hpp"
+#include "obs/observer.hpp"
+#include "obs/waitfor.hpp"
+#include "routing/algorithm.hpp"
+#include "routing/updown.hpp"
+#include "sim/network.hpp"
+#include "topology/generate.hpp"
+
+namespace downup::obs {
+namespace {
+
+WaitForSampler makeSampler(std::uint32_t vcCount = 1) {
+  return WaitForSampler(/*samplePeriodCycles=*/8, /*nodeCount=*/4,
+                        /*channelCount=*/6, /*totalVcs=*/6 * vcCount,
+                        vcCount);
+}
+
+TEST(WaitForTest, ConstructorRejectsZeroPeriodOrVcs) {
+  EXPECT_THROW(WaitForSampler(0, 4, 6, 6, 1), std::invalid_argument);
+  EXPECT_THROW(WaitForSampler(8, 4, 6, 6, 0), std::invalid_argument);
+}
+
+TEST(WaitForTest, DuePeriodAndEdgeAccounting) {
+  WaitForSampler wf = makeSampler();
+  EXPECT_TRUE(wf.due(0));
+  EXPECT_FALSE(wf.due(7));
+  EXPECT_TRUE(wf.due(16));
+
+  wf.beginSample(16);
+  EXPECT_FALSE(wf.noteBlockedHeader(0, 42));  // first sighting: not standing
+  wf.addHoldEdge(0, 1);
+  wf.addRequestEdge(1, 2, /*fullyOwned=*/true, /*standing=*/false,
+                    /*node=*/0, /*fromDir=*/0, /*toDir=*/1);
+  // A candidate with a free VC never joins the graph; at vcCount == 1 it is
+  // not even saturation pressure (the channel is simply free).
+  wf.addRequestEdge(1, 3, /*fullyOwned=*/false, /*standing=*/false, 0, 0, 1);
+  wf.endSample();
+
+  EXPECT_EQ(wf.samples(), 1u);
+  EXPECT_EQ(wf.blockedHeadersTotal(), 1u);
+  EXPECT_EQ(wf.blockedHeadersPeak(), 1u);
+  EXPECT_EQ(wf.holdEdgesTotal(), 1u);
+  EXPECT_EQ(wf.requestEdgesTotal(), 1u);
+  EXPECT_EQ(wf.partialRequestsTotal(), 0u);
+  EXPECT_FALSE(wf.everCycle());  // 0 -> 1 -> 2 is a chain, not a knot
+  EXPECT_TRUE(wf.witnessCycle().empty());
+}
+
+TEST(WaitForTest, PartialRequestsCountOnlyWithMultipleVcs) {
+  WaitForSampler multi = makeSampler(/*vcCount=*/2);
+  multi.beginSample(0);
+  multi.addRequestEdge(0, 1, /*fullyOwned=*/false, false, 0, 0, 1);
+  multi.endSample();
+  EXPECT_EQ(multi.partialRequestsTotal(), 1u);
+  EXPECT_EQ(multi.requestEdgesTotal(), 0u);
+  EXPECT_FALSE(multi.cyclesAreHard());
+
+  WaitForSampler single = makeSampler(/*vcCount=*/1);
+  single.beginSample(0);
+  single.addRequestEdge(0, 1, /*fullyOwned=*/false, false, 0, 0, 1);
+  single.endSample();
+  EXPECT_EQ(single.partialRequestsTotal(), 0u);
+  EXPECT_TRUE(single.cyclesAreHard());
+}
+
+TEST(WaitForTest, DetectsDependencyCycleAndExtractsWitness) {
+  WaitForSampler wf = makeSampler();
+  wf.beginSample(24);
+  wf.addHoldEdge(0, 1);
+  wf.addRequestEdge(1, 2, true, false, 0, 0, 1);
+  wf.addRequestEdge(2, 0, true, false, 1, 0, 1);
+  wf.addHoldEdge(4, 5);  // disjoint chain must not confuse the DFS
+  wf.endSample();
+
+  EXPECT_TRUE(wf.everCycle());
+  EXPECT_EQ(wf.cycleSamples(), 1u);
+  EXPECT_EQ(wf.lastCycleSampleCycle(), 24u);
+  ASSERT_EQ(wf.witnessCycle().size(), 3u);
+  // The witness is the cycle in dependency order, whatever its phase.
+  for (const ChannelId c : wf.witnessCycle()) EXPECT_LT(c, 3u);
+
+  // A later clean sample leaves the cycle statistics in place.
+  wf.beginSample(32);
+  wf.addHoldEdge(0, 1);
+  wf.endSample();
+  EXPECT_EQ(wf.cycleSamples(), 1u);
+  EXPECT_EQ(wf.samples(), 2u);
+}
+
+TEST(WaitForTest, StandingStallsNeedConsecutiveSamplesOfSameOwner) {
+  WaitForSampler wf = makeSampler();
+  wf.beginSample(0);
+  EXPECT_FALSE(wf.noteBlockedHeader(2, 42));
+  wf.endSample();
+
+  wf.beginSample(8);
+  EXPECT_TRUE(wf.noteBlockedHeader(2, 42));  // same owner, same VC: standing
+  wf.addRequestEdge(2, 3, /*fullyOwned=*/true, /*standing=*/true,
+                    /*node=*/1, /*fromDir=*/2, /*toDir=*/5);
+  wf.endSample();
+
+  wf.beginSample(16);
+  EXPECT_FALSE(wf.noteBlockedHeader(2, 43));  // different worm: new stall
+  wf.endSample();
+
+  EXPECT_EQ(wf.standingStallsTotal(), 1u);
+  EXPECT_EQ(wf.standingStalls(1, 2, 5), 1u);
+  EXPECT_EQ(wf.standingStalls(1, 2, 4), 0u);
+}
+
+TEST(WaitForTest, MergeSumsCountersAndAdoptsWitness) {
+  WaitForSampler a = makeSampler();
+  WaitForSampler b = makeSampler();
+  a.beginSample(0);
+  a.noteBlockedHeader(0, 1);
+  a.addHoldEdge(0, 1);
+  a.endSample();
+  b.beginSample(8);
+  b.noteBlockedHeader(1, 2);
+  b.noteBlockedHeader(2, 3);
+  b.addHoldEdge(0, 1);
+  b.addRequestEdge(1, 0, true, false, 0, 0, 1);
+  b.endSample();
+  ASSERT_TRUE(b.everCycle());
+
+  a.mergeFrom(b);
+  EXPECT_EQ(a.samples(), 2u);
+  EXPECT_EQ(a.blockedHeadersTotal(), 3u);
+  EXPECT_EQ(a.blockedHeadersPeak(), 2u);
+  EXPECT_EQ(a.holdEdgesTotal(), 2u);
+  EXPECT_EQ(a.cycleSamples(), 1u);
+  EXPECT_EQ(a.lastCycleSampleCycle(), 8u);
+  EXPECT_FALSE(a.witnessCycle().empty());
+
+  WaitForSampler mismatched(8, 4, 7, 7, 1);
+  EXPECT_THROW(a.mergeFrom(mismatched), std::invalid_argument);
+}
+
+TEST(WaitForTest, ResetClearsStatisticsAndCarryOver) {
+  WaitForSampler wf = makeSampler();
+  wf.beginSample(0);
+  wf.noteBlockedHeader(0, 7);
+  wf.addHoldEdge(0, 1);
+  wf.addRequestEdge(1, 0, true, false, 0, 0, 1);
+  wf.endSample();
+  wf.reset();
+  EXPECT_EQ(wf.samples(), 0u);
+  EXPECT_EQ(wf.blockedHeadersTotal(), 0u);
+  EXPECT_EQ(wf.holdEdgesTotal(), 0u);
+  EXPECT_EQ(wf.cycleSamples(), 0u);
+  EXPECT_TRUE(wf.witnessCycle().empty());
+  EXPECT_EQ(wf.standingStallsTotal(), 0u);
+  wf.beginSample(0);
+  EXPECT_FALSE(wf.noteBlockedHeader(0, 7));  // carry-over cleared too
+  wf.endSample();
+}
+
+// --- engine-level claims ---
+
+TEST(WaitForEngineTest, SeededDownUpRunsNeverShowCycle) {
+  for (const std::uint64_t seed : {2024u, 77u}) {
+    util::Rng topoRng(seed);
+    const topo::Topology topo =
+        topo::randomIrregular(24, {.maxPorts = 4}, topoRng);
+    util::Rng treeRng(seed + 1);
+    const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+        topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+    const routing::Routing routing = core::buildDownUp(topo, ct);
+
+    sim::SimConfig config;
+    config.packetLengthFlits = 16;
+    config.warmupCycles = 200;
+    config.measureCycles = 3000;
+    config.seed = seed + 2;
+    Observer observer({.waitForSamplePeriod = 16}, topo, &ct);
+    config.observer = &observer;
+
+    const sim::UniformTraffic traffic(topo.nodeCount());
+    // Heavy load so plenty of blocked headers feed the graph.
+    sim::WormholeNetwork net(routing.table(), traffic, 0.4, config);
+    net.run();
+
+    const WaitForSampler& wf = *observer.waitFor();
+    EXPECT_GT(wf.samples(), 0u);
+    EXPECT_GT(wf.blockedHeadersTotal(), 0u)
+        << "load too low to exercise the sampler";
+    EXPECT_FALSE(wf.everCycle())
+        << "DOWN/UP produced a channel wait cycle at seed " << seed;
+    EXPECT_TRUE(wf.witnessCycle().empty());
+  }
+}
+
+TEST(WaitForEngineTest, UnrestrictedRingProducesHardCycleWitness) {
+  // The deadlock_test scenario with the sampler attached: every node of a
+  // 5-ring sends a long worm two hops clockwise with all turns allowed; the
+  // circular wait forms, the watchdog fires, and the wait-for graph must
+  // contain the 5-channel dependency cycle as a hard witness.
+  const topo::Topology topo = topo::ring(5);
+  util::Rng rng(1);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, rng);
+  routing::TurnPermissions perms(topo, routing::classifyUpDown(topo, ct),
+                                 routing::TurnSet::allAllowed());
+  const routing::Routing routing("unrestricted", std::move(perms));
+
+  sim::SimConfig config;
+  config.packetLengthFlits = 128;  // long worms wrap around the small ring
+  config.warmupCycles = 0;
+  config.measureCycles = 60000;
+  config.deadlockThresholdCycles = 2000;
+  config.seed = 3;
+  Observer observer({.waitForSamplePeriod = 32}, topo, &ct);
+  config.observer = &observer;
+
+  const sim::UniformTraffic traffic(topo.nodeCount());
+  sim::WormholeNetwork net(routing.table(), traffic, 0.0, config);
+  for (topo::NodeId v = 0; v < 5; ++v) net.injectPacket(v, (v + 2) % 5);
+  for (int i = 0; i < 20000 && !net.deadlocked(); ++i) net.step();
+  ASSERT_TRUE(net.deadlocked());
+
+  const WaitForSampler& wf = *observer.waitFor();
+  EXPECT_TRUE(wf.everCycle())
+      << "deadlocked ring must show a wait-for cycle";
+  EXPECT_TRUE(wf.cyclesAreHard());  // one VC: a cycle IS a deadlock witness
+  EXPECT_GE(wf.cycleSamples(), 1u);
+  // All five clockwise channels participate in the knot.
+  EXPECT_EQ(wf.witnessCycle().size(), 5u);
+}
+
+}  // namespace
+}  // namespace downup::obs

@@ -162,6 +162,118 @@ TEST(QuantileSketch, ConstantStreamCollapses) {
   EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 42.0);
 }
 
+TEST(QuantileSketch, SnapshotOfEmptyWindowIsAllZero) {
+  const QuantileSketch sketch;
+  const QuantileSketch::Snapshot snap = sketch.snapshot();
+  EXPECT_EQ(snap, QuantileSketch::Snapshot{});
+}
+
+TEST(QuantileSketch, SnapshotOfSingleSample) {
+  QuantileSketch sketch;
+  sketch.add(37.5);
+  const QuantileSketch::Snapshot snap = sketch.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.mean, 37.5);
+  EXPECT_DOUBLE_EQ(snap.min, 37.5);
+  EXPECT_DOUBLE_EQ(snap.max, 37.5);
+  EXPECT_DOUBLE_EQ(snap.p50, 37.5);
+  EXPECT_DOUBLE_EQ(snap.p99, 37.5);
+}
+
+TEST(QuantileSketch, ClearReusesWithoutStaleState) {
+  QuantileSketch sketch(/*exactCap=*/8, /*bins=*/16);
+  for (int i = 0; i < 100; ++i) sketch.add(1000.0);  // force the collapse
+  sketch.clear();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_TRUE(sketch.exact());
+  EXPECT_EQ(sketch.snapshot(), QuantileSketch::Snapshot{});
+  sketch.add(2.0);
+  sketch.add(4.0);
+  EXPECT_DOUBLE_EQ(sketch.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 2.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 4.0);
+}
+
+TEST(QuantileSketch, MergeWithEmptySidesIsIdentity) {
+  QuantileSketch target;
+  const QuantileSketch empty;
+  target.mergeFrom(empty);  // empty into empty
+  EXPECT_EQ(target.count(), 0u);
+  target.add(7.0);
+  target.mergeFrom(empty);  // empty into populated
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.mean(), 7.0);
+  QuantileSketch fresh;
+  fresh.mergeFrom(target);  // populated into empty
+  EXPECT_EQ(fresh.count(), 1u);
+  EXPECT_DOUBLE_EQ(fresh.quantile(0.5), 7.0);
+}
+
+TEST(QuantileSketch, ExactMergeMatchesSequentialAdds) {
+  QuantileSketch merged;
+  QuantileSketch other;
+  QuantileSketch reference;
+  for (int i = 0; i < 50; ++i) {
+    merged.add(i);
+    reference.add(i);
+  }
+  for (int i = 50; i < 120; ++i) {
+    other.add(i);
+    reference.add(i);
+  }
+  merged.mergeFrom(other);
+  EXPECT_TRUE(merged.exact());
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), reference.mean());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), reference.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeOfDisjointCollapsedWindowsBoundsError) {
+  // Two windows over disjoint ranges, both past their exact capacity: the
+  // merge re-bins other's histogram, so count/mean/min/max stay exact and
+  // quantiles land within the coarser bin width.
+  QuantileSketch low(/*exactCap=*/32, /*bins=*/64);
+  QuantileSketch high(/*exactCap=*/32, /*bins=*/64);
+  std::vector<double> all;
+  for (int i = 0; i < 100; ++i) {
+    low.add(i);
+    all.push_back(i);
+  }
+  for (int i = 1000; i < 1100; ++i) {
+    high.add(i);
+    all.push_back(i);
+  }
+  EXPECT_FALSE(low.exact());
+  EXPECT_FALSE(high.exact());
+  low.mergeFrom(high);
+  EXPECT_EQ(low.count(), all.size());
+  EXPECT_DOUBLE_EQ(low.mean(), mean(all));
+  EXPECT_DOUBLE_EQ(low.min(), 0.0);
+  EXPECT_DOUBLE_EQ(low.max(), 1099.0);
+  // The merged grid spans [0, 1099], so allow a few bin widths of
+  // interpolation error.  (Quantiles are probed inside each cluster — at
+  // the inter-cluster gap the raw-sample interpolation between 99 and 1000
+  // and a histogram rank lookup legitimately disagree.)
+  const double binWidth = 1.5 * (1099.0 - 0.0) / 64.0;
+  EXPECT_NEAR(low.quantile(0.25), quantile(all, 0.25), 3 * binWidth);
+  EXPECT_NEAR(low.quantile(0.9), quantile(all, 0.9), 3 * binWidth);
+}
+
+TEST(QuantileSketch, MergeExactIntoCollapsedKeepsMomentsExact) {
+  QuantileSketch collapsed(/*exactCap=*/16, /*bins=*/32);
+  for (int i = 0; i < 64; ++i) collapsed.add(i);
+  QuantileSketch exact;
+  exact.add(10.0);
+  exact.add(20.0);
+  const double expectedMean =
+      (63.0 * 64.0 / 2.0 + 30.0) / static_cast<double>(64 + 2);
+  collapsed.mergeFrom(exact);
+  EXPECT_EQ(collapsed.count(), 66u);
+  EXPECT_DOUBLE_EQ(collapsed.mean(), expectedMean);
+}
+
 TEST(Histogram, BinsAndClamps) {
   Histogram histogram(0.0, 10.0, 5);
   histogram.add(0.5);    // bin 0
