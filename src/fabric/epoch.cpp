@@ -1,0 +1,76 @@
+#include "fabric/epoch.hpp"
+
+#include <stdexcept>
+
+namespace downup::fabric {
+
+EpochPublisher::EpochPublisher(const routing::RoutingTable& baseline,
+                               std::size_t maxReaders)
+    : currentOwned_(std::make_unique<TableSnapshot>(0, &baseline)),
+      slots_(std::make_unique<ReaderSlot[]>(maxReaders)),
+      maxReaders_(maxReaders) {
+  current_.store(currentOwned_.get(), std::memory_order_release);
+}
+
+EpochPublisher::~EpochPublisher() = default;
+
+Reader EpochPublisher::makeReader() {
+  std::lock_guard<std::mutex> lock(registerMutex_);
+  if (readerCount_ >= maxReaders_) {
+    throw std::length_error("EpochPublisher: reader registry full");
+  }
+  return Reader(this, &slots_[readerCount_++]);
+}
+
+PinnedSnapshot EpochPublisher::acquire(Reader& reader) {
+  ReaderSlot* slot = reader.slot_;
+  for (;;) {
+    const TableSnapshot* p = current_.load(std::memory_order_seq_cst);
+    // Announce BEFORE validating; seq_cst RMW so the announcement and the
+    // writer's swap have a single total order TSan can reason about.
+    slot->pinned.exchange(p, std::memory_order_seq_cst);
+    if (current_.load(std::memory_order_seq_cst) == p) {
+      return PinnedSnapshot(slot, p);
+    }
+    // The writer swapped between our load and announcement; the stale
+    // announcement is harmless (it only delays reclamation).  Retry.
+  }
+}
+
+std::uint64_t EpochPublisher::publish(
+    std::unique_ptr<routing::TurnPermissions> perms,
+    std::unique_ptr<routing::RoutingTable> table) {
+  const std::uint64_t epoch = currentOwned_->epoch() + 1;
+  auto next = std::make_unique<TableSnapshot>(epoch, std::move(perms),
+                                              std::move(table));
+  current_.store(next.get(), std::memory_order_seq_cst);
+  retired_.push_back(std::move(currentOwned_));
+  currentOwned_ = std::move(next);
+  return epoch;
+}
+
+std::size_t EpochPublisher::tryReclaim() {
+  if (retired_.empty()) return 0;
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < retired_.size();) {
+    const TableSnapshot* candidate = retired_[i].get();
+    bool pinned = false;
+    for (std::size_t s = 0; s < maxReaders_; ++s) {
+      if (slots_[s].pinned.load(std::memory_order_seq_cst) == candidate) {
+        pinned = true;
+        break;
+      }
+    }
+    if (pinned) {
+      ++i;
+    } else {
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      ++freed;
+    }
+  }
+  reclaimed_ += freed;
+  return freed;
+}
+
+}  // namespace downup::fabric

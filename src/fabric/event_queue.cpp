@@ -1,0 +1,75 @@
+#include "fabric/event_queue.hpp"
+
+#include <chrono>
+
+namespace downup::fabric {
+
+FabricEventQueue::~FabricEventQueue() {
+  Node* n = head_.exchange(nullptr, std::memory_order_acquire);
+  while (n != nullptr) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+void FabricEventQueue::push(const FaultTransition& t) {
+  Node* node = new Node{t, nullptr};
+  Node* expected = head_.load(std::memory_order_relaxed);
+  do {
+    node->next = expected;
+  } while (!head_.compare_exchange_weak(expected, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed));
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  // Pairs with waitNonEmpty(): the lock orders this wake after the
+  // sleeper's empty-check, so no notification is lost.
+  {
+    std::lock_guard<std::mutex> lock(wakeMutex_);
+  }
+  wakeCv_.notify_one();
+}
+
+std::size_t FabricEventQueue::drain(std::vector<FaultTransition>& out) {
+  Node* n = head_.exchange(nullptr, std::memory_order_acquire);
+  // The detached list is newest-first; reverse for push (FIFO) order.
+  Node* reversed = nullptr;
+  while (n != nullptr) {
+    Node* next = n->next;
+    n->next = reversed;
+    reversed = n;
+    n = next;
+  }
+  std::size_t drained = 0;
+  while (reversed != nullptr) {
+    out.push_back(reversed->event);
+    Node* next = reversed->next;
+    delete reversed;
+    reversed = next;
+    ++drained;
+  }
+  return drained;
+}
+
+bool FabricEventQueue::waitNonEmpty(const std::atomic<bool>& stop,
+                                    std::uint64_t timeoutMicros) {
+  std::unique_lock<std::mutex> lock(wakeMutex_);
+  const auto ready = [&] {
+    return !empty() || stop.load(std::memory_order_acquire);
+  };
+  if (timeoutMicros == 0) {
+    wakeCv_.wait(lock, ready);
+  } else {
+    wakeCv_.wait_for(lock, std::chrono::microseconds(timeoutMicros), ready);
+  }
+  return !empty();
+}
+
+void FabricEventQueue::notify() {
+  {
+    std::lock_guard<std::mutex> lock(wakeMutex_);
+  }
+  wakeCv_.notify_all();
+}
+
+}  // namespace downup::fabric

@@ -1,0 +1,87 @@
+// Multi-producer single-consumer queue carrying alive-state transitions
+// from fault reporters to the fabric rebuild thread.
+//
+// Producers are lock-free: push is one CAS loop onto a Treiber stack.  The
+// single consumer detaches the whole stack with one exchange and reverses
+// it, so drain() yields events in push order (FIFO).  A condition variable
+// exists only to park the service thread between bursts — it is never on
+// the producer's fast path unless a sleeper is registered.
+//
+// The queue carries *transitions*, not raw schedule events: the producer
+// (FaultController) has already folded cascade semantics (a node death
+// killing its incident links, down-depth on double faults), so each entry
+// states "this link/node is now alive/dead as of cycle C".  Coalescing is
+// the consumer's job: FabricManager folds a drained batch into desired
+// alive masks, so a DOWN and UP of the same link inside one window cancel
+// out and N failures become one rebuild over the union dirty set.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace downup::fabric {
+
+struct FaultTransition {
+  enum class Entity : std::uint8_t { kLink, kNode };
+
+  std::uint64_t cycle = 0;
+  Entity entity = Entity::kLink;
+  std::uint32_t id = 0;  // LinkId or NodeId
+  bool alive = false;    // the NEW state
+
+  bool operator==(const FaultTransition&) const = default;
+};
+
+class FabricEventQueue {
+ public:
+  FabricEventQueue() = default;
+  ~FabricEventQueue();
+
+  FabricEventQueue(const FabricEventQueue&) = delete;
+  FabricEventQueue& operator=(const FabricEventQueue&) = delete;
+
+  /// Lock-free push (any thread).  Wakes a waitNonEmpty() sleeper if one is
+  /// parked.
+  void push(const FaultTransition& t);
+
+  /// Detaches every queued event and appends them to `out` in push order.
+  /// Single consumer only.  Returns the number drained.
+  std::size_t drain(std::vector<FaultTransition>& out);
+
+  /// Approximate emptiness (exact for the single consumer between pushes).
+  bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Total events ever pushed (relaxed counter, for stats).
+  std::uint64_t pushedCount() const noexcept {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+  /// Parks the consumer until the queue is non-empty, `stop` becomes true,
+  /// or `timeoutMicros` elapses (0 = no timeout).  Returns !empty().
+  bool waitNonEmpty(const std::atomic<bool>& stop,
+                    std::uint64_t timeoutMicros = 0);
+
+  /// Wakes a parked consumer without pushing (shutdown path).
+  void notify();
+
+ private:
+  struct Node {
+    FaultTransition event;
+    Node* next = nullptr;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::uint64_t> pushed_{0};
+
+  std::mutex wakeMutex_;
+  std::condition_variable wakeCv_;
+};
+
+}  // namespace downup::fabric

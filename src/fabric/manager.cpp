@@ -1,0 +1,157 @@
+#include "fabric/manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace downup::fabric {
+
+FabricManager::FabricManager(const topo::Topology& topo,
+                             const routing::RoutingTable& baseline,
+                             Options options)
+    : topo_(&topo),
+      reconfigurator_(topo, options.pool),
+      publisher_(baseline, options.maxReaders),
+      options_(options),
+      desiredLink_(topo.linkCount(), 1),
+      desiredNode_(topo.nodeCount(), 1),
+      appliedLink_(topo.linkCount(), 1),
+      appliedNode_(topo.nodeCount(), 1) {}
+
+FabricManager::~FabricManager() { stopService(); }
+
+void FabricManager::onLinkStateChanged(std::uint64_t cycle, topo::LinkId link,
+                                       bool alive) {
+  queue_.push({cycle, FaultTransition::Entity::kLink, link, alive});
+}
+
+void FabricManager::onNodeStateChanged(std::uint64_t cycle, topo::NodeId node,
+                                       bool alive) {
+  queue_.push({cycle, FaultTransition::Entity::kNode, node, alive});
+}
+
+bool FabricManager::foldBatch(std::span<const FaultTransition> batch) {
+  for (const FaultTransition& t : batch) {
+    const std::uint8_t alive = t.alive ? 1 : 0;
+    if (t.entity == FaultTransition::Entity::kLink) {
+      desiredLink_[t.id] = alive;
+    } else {
+      desiredNode_[t.id] = alive;
+    }
+  }
+  return desiredLink_ != appliedLink_ || desiredNode_ != appliedNode_;
+}
+
+PublishResult FabricManager::rebuildAndPublish(
+    std::span<const std::uint8_t> linkAlive,
+    std::span<const std::uint8_t> nodeAlive, bool incremental) {
+  rebuildActive_.store(true, std::memory_order_release);
+  fault::ReconfigOutcome outcome =
+      incremental
+          ? reconfigurator_.rebuildIncremental(
+                publisher_.currentForWriter().table(), linkAlive, nodeAlive)
+          : reconfigurator_.rebuild(linkAlive, nodeAlive);
+
+  PublishResult result;
+  result.published = true;
+  result.incremental = outcome.incremental;
+  result.rebuiltDestinations = outcome.rebuiltDestinations;
+  result.unreachablePairs = outcome.unreachablePairs;
+  result.components = outcome.components;
+  result.ok = outcome.ok();
+  result.epoch =
+      publisher_.publish(std::move(outcome.perms), std::move(outcome.table));
+  rebuildActive_.store(false, std::memory_order_release);
+
+  std::copy(linkAlive.begin(), linkAlive.end(), appliedLink_.begin());
+  std::copy(nodeAlive.begin(), nodeAlive.end(), appliedNode_.begin());
+
+  rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.incremental) {
+    rebuildsIncremental_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!result.ok) allOk_.store(false, std::memory_order_relaxed);
+  publisher_.tryReclaim();
+  return result;
+}
+
+PublishResult FabricManager::publishFromMasks(
+    std::span<const std::uint8_t> linkAlive,
+    std::span<const std::uint8_t> nodeAlive, bool incremental) {
+  // Drain for coalescing stats and to keep desired masks tracking the
+  // controller's view; the passed masks stay the authoritative input, and
+  // driven mode always publishes — the engine decides when a swap happens.
+  batch_.clear();
+  const std::size_t drained = queue_.drain(batch_);
+  foldBatch(batch_);
+  transitionsAbsorbed_.fetch_add(drained, std::memory_order_relaxed);
+  std::uint64_t prevMax = largestBatch_.load(std::memory_order_relaxed);
+  while (drained > prevMax &&
+         !largestBatch_.compare_exchange_weak(prevMax, drained,
+                                              std::memory_order_relaxed)) {
+  }
+
+  PublishResult result = rebuildAndPublish(linkAlive, nodeAlive, incremental);
+  result.transitionsAbsorbed = drained;
+  // The engine's masks are ground truth; fold them into desired so a later
+  // service start would not see phantom divergence.
+  std::copy(linkAlive.begin(), linkAlive.end(), desiredLink_.begin());
+  std::copy(nodeAlive.begin(), nodeAlive.end(), desiredNode_.begin());
+  return result;
+}
+
+double FabricManager::incrementalDirtyFraction(
+    std::span<const std::uint8_t> linkAlive,
+    std::span<const std::uint8_t> nodeAlive) const {
+  return reconfigurator_.incrementalDirtyFraction(
+      publisher_.currentForWriter().table(), linkAlive, nodeAlive);
+}
+
+void FabricManager::startService() {
+  if (serviceThread_.joinable()) return;
+  serviceStop_.store(false, std::memory_order_release);
+  serviceThread_ = std::thread([this] { serviceLoop(); });
+}
+
+void FabricManager::stopService() {
+  if (!serviceThread_.joinable()) return;
+  serviceStop_.store(true, std::memory_order_release);
+  queue_.notify();
+  serviceThread_.join();
+}
+
+void FabricManager::serviceLoop() {
+  for (;;) {
+    const bool stopping = serviceStop_.load(std::memory_order_acquire);
+    if (!stopping && queue_.empty()) {
+      queue_.waitNonEmpty(serviceStop_, /*timeoutMicros=*/50'000);
+      continue;
+    }
+    if (!queue_.empty() && !stopping && options_.coalesceWindowMicros > 0) {
+      // First transition of a burst: sleep out the coalescing window so the
+      // rest of the burst (including a matching UP) lands in this batch.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.coalesceWindowMicros));
+    }
+    batch_.clear();
+    const std::size_t drained = queue_.drain(batch_);
+    if (drained > 0) {
+      transitionsAbsorbed_.fetch_add(drained, std::memory_order_relaxed);
+      std::uint64_t prevMax = largestBatch_.load(std::memory_order_relaxed);
+      while (drained > prevMax &&
+             !largestBatch_.compare_exchange_weak(prevMax, drained,
+                                                  std::memory_order_relaxed)) {
+      }
+      if (foldBatch(batch_)) {
+        PublishResult result =
+            rebuildAndPublish(desiredLink_, desiredNode_, options_.incremental);
+        result.transitionsAbsorbed = drained;
+      } else {
+        // The burst cancelled out (flap): desired == applied, nothing to do.
+        rebuildsSkipped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (stopping && queue_.empty()) return;
+  }
+}
+
+}  // namespace downup::fabric

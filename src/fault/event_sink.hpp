@@ -1,0 +1,28 @@
+// Observer interface for alive-state transitions.
+//
+// FaultController applies schedule events, folds cascade semantics (a node
+// death killing its incident links, down-depth on double faults) and posts
+// the resulting *effective* transitions here — each call states "this
+// link/node is now alive/dead as of cycle C", never a raw schedule event.
+// Implemented by fabric::FabricManager (the interface lives in fault/ so
+// the fault layer never depends on fabric/).  Calls arrive on whichever
+// thread drives applyEventsAt(); implementations must be safe to call from
+// that thread while other threads read their state.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/topology.hpp"
+
+namespace downup::fault {
+
+class FaultEventSink {
+ public:
+  virtual ~FaultEventSink() = default;
+  virtual void onLinkStateChanged(std::uint64_t cycle, topo::LinkId link,
+                                  bool alive) = 0;
+  virtual void onNodeStateChanged(std::uint64_t cycle, topo::NodeId node,
+                                  bool alive) = 0;
+};
+
+}  // namespace downup::fault

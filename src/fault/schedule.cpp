@@ -19,13 +19,30 @@ const char* toString(FaultKind kind) noexcept {
   return "unknown";
 }
 
+namespace {
+
+/// Same-cycle ordering class: downs (0) apply before ups (1).  A link that
+/// both fails and recovers at one cycle therefore deterministically flaps —
+/// down, then up, net alive — instead of depending on insertion order,
+/// which is what a coalescing consumer must see to cancel the pair.
+inline int kindRank(FaultKind kind) noexcept {
+  return kind == FaultKind::kLinkUp || kind == FaultKind::kNodeUp ? 1 : 0;
+}
+
+}  // namespace
+
 FaultSchedule& FaultSchedule::add(std::uint64_t cycle, FaultKind kind,
                                   std::uint32_t id) {
   const FaultEvent event{cycle, kind, id};
-  // Stable insertion: after every event already scheduled at this cycle.
+  // Stable insertion within (cycle, rank): after every event already
+  // scheduled at this cycle and rank, before any same-cycle up when adding
+  // a down.
   const auto pos = std::upper_bound(
       events_.begin(), events_.end(), event,
-      [](const FaultEvent& a, const FaultEvent& b) { return a.cycle < b.cycle; });
+      [](const FaultEvent& a, const FaultEvent& b) {
+        if (a.cycle != b.cycle) return a.cycle < b.cycle;
+        return kindRank(a.kind) < kindRank(b.kind);
+      });
   events_.insert(pos, event);
   return *this;
 }

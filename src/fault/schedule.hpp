@@ -55,8 +55,10 @@ class FaultSchedule {
  public:
   FaultSchedule() = default;
 
-  // Builders keep the event list sorted by cycle (stable: events added
-  // later apply later within the same cycle) and return *this for chaining.
+  // Builders keep the event list sorted by (cycle, down-before-up): at the
+  // same cycle every down applies before any up — so a same-cycle flap of
+  // one link deterministically nets out alive — and insertion order is
+  // stable within each class.  Builders return *this for chaining.
   FaultSchedule& linkDown(std::uint64_t cycle, topo::LinkId link);
   FaultSchedule& linkUp(std::uint64_t cycle, topo::LinkId link);
   /// Transient flap: down at `cycle`, back up at `cycle + downCycles`.
@@ -89,7 +91,7 @@ class FaultSchedule {
  private:
   FaultSchedule& add(std::uint64_t cycle, FaultKind kind, std::uint32_t id);
 
-  std::vector<FaultEvent> events_;  // sorted by cycle, insertion-stable
+  std::vector<FaultEvent> events_;  // (cycle, down-before-up), stable within
 };
 
 }  // namespace downup::fault

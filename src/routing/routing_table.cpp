@@ -14,6 +14,18 @@ inline bool aliveBit(std::span<const std::uint64_t> mask, ChannelId c) noexcept 
   return mask.empty() || ((mask[c >> 6] >> (c & 63)) & 1u);
 }
 
+/// Dynamic serial/parallel cutover: a null return routes every parallelFor
+/// below through the serial path.  Small tables fan out slower than they
+/// build (kParallelBuildMinDestinations); the choice never affects output.
+inline util::ThreadPool* effectivePool(util::ThreadPool* pool,
+                                       NodeId destinations) noexcept {
+  if (pool == nullptr || pool->threadCount() <= 1 ||
+      destinations < kParallelBuildMinDestinations) {
+    return nullptr;
+  }
+  return pool;
+}
+
 /// Single source of truth for candidate enumeration: walks destination
 /// `dst`'s candidate relation in the exact order the simulator depends on
 /// (adjacency order within each row; the simulator's random pick indexes
@@ -104,6 +116,7 @@ RoutingTable RoutingTable::build(const TurnPermissions& perms,
   table.nodeCount_ = n;
   table.channelCount_ = topo.channelCount();
   table.steps_.resize(static_cast<std::size_t>(n) * table.channelCount_);
+  pool = effectivePool(pool, n);
 
   // Per-destination rows are disjoint, so the BFS fans out directly.  The
   // queue is per OS thread and grows once to channelCount_; repeated builds
@@ -327,6 +340,7 @@ RoutingTable RoutingTable::rebuildDead(
   const TurnPermissions& perms = *prev.perms_;
   const NodeId n = prev.nodeCount_;
   const std::uint32_t channels = prev.channelCount_;
+  pool = effectivePool(pool, n);
 
   std::vector<ChannelId> newlyDead;
   std::vector<std::uint8_t> deadKey;

@@ -35,13 +35,22 @@ namespace downup::routing {
 
 inline constexpr std::uint16_t kNoPath = 0xffff;
 
+/// Destination count below which RoutingTable::build/rebuildDead run
+/// serially even when handed a multi-thread pool: per-destination BFS work
+/// at these sizes is smaller than the pool's dispatch overhead (measured in
+/// results/BENCH_build.json — the parallel path loses ~20% up through a few
+/// hundred switches on this container).  Cutover changes scheduling only;
+/// outputs stay bit-for-bit identical either way.
+inline constexpr std::uint32_t kParallelBuildMinDestinations = 256;
+
 class RoutingTable {
  public:
   /// Builds the table; O(destinations x channels x avg-degree) work.
   ///
   /// Per-destination rows are independent, so the reverse BFS and the
-  /// successor-index construction fan out over `pool` (nullptr or a
-  /// single-thread pool runs serially).  Output is bit-for-bit identical at
+  /// successor-index construction fan out over `pool` (nullptr, a
+  /// single-thread pool, or fewer than kParallelBuildMinDestinations
+  /// destinations run serially).  Output is bit-for-bit identical at
   /// any thread count: BFS distances do not depend on intra-layer visit
   /// order, and the parallel index build reproduces the serial enumeration
   /// exactly via per-destination counting + prefix sums.

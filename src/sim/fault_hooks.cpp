@@ -9,7 +9,9 @@
 // every worm still holding an unrouted frontier is flushed, routing is
 // rebuilt on the degraded topology (fault/reconfigure.hpp — per-component
 // coordinated trees, DOWN/UP turn rule, repair + release passes, verified
-// deadlock-free) and the table is hot-swapped.
+// deadlock-free) and the table is hot-swapped through the fabric manager's
+// epoch publish (fabric/manager.hpp, driven mode): the engine pins the new
+// epoch and the superseded table is reclaimed once unpinned.
 //
 // Why this cannot deadlock or hang: after the swap the network holds only
 // (a) fully-routed worms, whose dependency chains end at ejection ports and
@@ -67,10 +69,10 @@ std::uint64_t WormholeNetwork::reconfigWindowLength() const {
   // The window models route recomputation + distribution time, so an
   // incremental epoch that redoes a fraction of the per-destination work
   // finishes proportionally sooner (never below one cycle).  The fraction
-  // is computed against the CURRENT table — exactly the epoch the swap at
+  // is computed against the CURRENT epoch — exactly the one the swap at
   // window end will be built from.
-  const double fraction = reconfigurator_->incrementalDirtyFraction(
-      *table_, faults_->linkAliveMask(), faults_->nodeAliveMask());
+  const double fraction = fabric_->incrementalDirtyFraction(
+      faults_->linkAliveMask(), faults_->nodeAliveMask());
   const double cycles = static_cast<double>(config_.reconfigLatencyCycles);
   const auto scaled = static_cast<std::uint64_t>(cycles * fraction + 0.5);
   return std::max<std::uint64_t>(1, scaled);
@@ -189,25 +191,27 @@ void WormholeNetwork::completeReconfiguration() {
     }
   }
 
-  fault::ReconfigOutcome outcome =
-      config_.reconfigIncremental
-          ? reconfigurator_->rebuildIncremental(*table_,
-                                                faults_->linkAliveMask(),
-                                                faults_->nodeAliveMask())
-          : reconfigurator_->rebuild(faults_->linkAliveMask(),
-                                     faults_->nodeAliveMask());
+  // The fabric rebuilds from the controller's authoritative masks (driven
+  // mode always publishes) and this thread re-pins the new epoch; the old
+  // pin is superseded, so the fabric reclaims the retired table once no
+  // reader announces it.  Incremental rebuilds run against the epoch being
+  // replaced — identical Reconfigurator inputs to the historical in-place
+  // swap, so the published table is bit-for-bit the same.
+  const fabric::PublishResult outcome = fabric_->publishFromMasks(
+      faults_->linkAliveMask(), faults_->nodeAliveMask(),
+      config_.reconfigIncremental);
   reconfigIncrementalSwaps_ += outcome.incremental;
   reconfigDestinationsRebuilt_ += outcome.rebuiltDestinations;
-  reconfigVerified_ = reconfigVerified_ && outcome.ok();
+  reconfigVerified_ = reconfigVerified_ && outcome.ok;
   lastUnreachablePairs_ = outcome.unreachablePairs;
   if (timeseries_ != nullptr) {
     timeseries_->onReconfigComplete(now_, outcome.incremental,
                                     outcome.rebuiltDestinations,
                                     outcome.unreachablePairs);
   }
-  epochPerms_ = std::move(outcome.perms);
-  epochTable_ = std::move(outcome.table);
-  table_ = epochTable_.get();
+  fabricPin_ = fabric_->acquire(fabricReader_);
+  table_ = &fabricPin_.table();
+  fabric_->tryReclaim();
   ++reconfigurations_;
   faults_->closeWindow();
   if (!faults_->anyFault()) faultsActive_ = false;

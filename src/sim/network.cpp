@@ -76,7 +76,11 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
   if (config_.faultSchedule != nullptr) {
     faults_ = std::make_unique<fault::FaultController>(*topo_,
                                                        *config_.faultSchedule);
-    reconfigurator_ = std::make_unique<fault::Reconfigurator>(*topo_);
+    // Driven mode: this thread is the fabric's single writer; the engine
+    // decides when each epoch swaps (window end), so no service thread.
+    fabric_ = std::make_unique<fabric::FabricManager>(*topo_, table);
+    fabricReader_ = fabric_->makeReader();
+    faults_->attachSink(fabric_.get());
   }
 }
 

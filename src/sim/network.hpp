@@ -49,8 +49,8 @@
 #include <span>
 #include <vector>
 
+#include "fabric/manager.hpp"
 #include "fault/controller.hpp"
-#include "fault/reconfigure.hpp"
 #include "routing/routing_table.hpp"
 #include "sim/active_set.hpp"
 #include "sim/config.hpp"
@@ -357,9 +357,13 @@ class WormholeNetwork {
   // branch checks and draw no extra RNG — an attached empty schedule is
   // therefore bit-for-bit inert.
   std::unique_ptr<fault::FaultController> faults_;
-  std::unique_ptr<fault::Reconfigurator> reconfigurator_;
-  std::unique_ptr<routing::TurnPermissions> epochPerms_;  // degraded epoch
-  std::unique_ptr<routing::RoutingTable> epochTable_;     // table_ after swap
+  // Routing epochs live in the fabric manager (driven mode: this thread is
+  // the single writer).  table_ aliases the pinned snapshot's table after
+  // the first swap; the pin keeps the epoch alive until the next swap
+  // supersedes it.
+  std::unique_ptr<fabric::FabricManager> fabric_;
+  fabric::Reader fabricReader_;
+  fabric::PinnedSnapshot fabricPin_;
   bool faultsActive_ = false;
   bool generationStopped_ = false;  // drainRemaining()
   std::uint64_t reconfigurations_ = 0;

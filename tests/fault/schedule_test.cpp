@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/controller.hpp"
 #include "fault/schedule.hpp"
 #include "topology/generate.hpp"
 #include "util/rng.hpp"
@@ -63,6 +64,52 @@ TEST(FaultScheduleTest, SameCycleEventsAreInsertionStable) {
   EXPECT_EQ(events[1].kind, FaultKind::kNodeDown);
   EXPECT_EQ(events[2].kind, FaultKind::kLinkUp);
   EXPECT_EQ(events[3].kind, FaultKind::kNodeUp);
+}
+
+TEST(FaultScheduleTest, SameCycleUpInsertedFirstStillAppliesDownBeforeUp) {
+  // Regression (flap bursts): same-cycle ordering must be down-before-up
+  // regardless of insertion order, so a one-cycle flap deterministically
+  // nets out alive instead of depending on builder call order.
+  FaultSchedule schedule;
+  schedule.linkUp(50, 1).nodeUp(50, 3).linkDown(50, 1).nodeDown(50, 3);
+  const auto events = schedule.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], (FaultEvent{50, FaultKind::kLinkDown, 1}));
+  EXPECT_EQ(events[1], (FaultEvent{50, FaultKind::kNodeDown, 3}));
+  EXPECT_EQ(events[2], (FaultEvent{50, FaultKind::kLinkUp, 1}));
+  EXPECT_EQ(events[3], (FaultEvent{50, FaultKind::kNodeUp, 3}));
+}
+
+TEST(FaultScheduleTest, SameCycleFlapBurstKeepsAllDownsBeforeAllUps) {
+  FaultSchedule schedule;
+  // Three links flapping at one cycle, ups interleaved before downs.
+  schedule.linkUp(10, 2).linkDown(10, 0).linkUp(10, 0).linkDown(10, 1);
+  schedule.linkUp(10, 1).linkDown(10, 2);
+  const auto events = schedule.events();
+  ASSERT_EQ(events.size(), 6u);
+  // Downs first (insertion-stable within the class: 0, 1, 2), then ups
+  // (insertion order 2, 0, 1).
+  EXPECT_EQ(events[0], (FaultEvent{10, FaultKind::kLinkDown, 0}));
+  EXPECT_EQ(events[1], (FaultEvent{10, FaultKind::kLinkDown, 1}));
+  EXPECT_EQ(events[2], (FaultEvent{10, FaultKind::kLinkDown, 2}));
+  EXPECT_EQ(events[3], (FaultEvent{10, FaultKind::kLinkUp, 2}));
+  EXPECT_EQ(events[4], (FaultEvent{10, FaultKind::kLinkUp, 0}));
+  EXPECT_EQ(events[5], (FaultEvent{10, FaultKind::kLinkUp, 1}));
+}
+
+TEST(FaultScheduleTest, SameCycleFlapNetsAliveInController) {
+  const topo::Topology topo = ring(8);
+  FaultSchedule schedule;
+  schedule.linkUp(100, 2).linkDown(100, 2);  // reordered to down-then-up
+  FaultController controller(topo, schedule);
+  const FaultController::Applied applied = controller.applyEventsAt(100);
+  // The link went down mid-batch (worms on it must still be dropped) but
+  // nets out alive, and no fault remains outstanding.
+  ASSERT_EQ(applied.newlyDeadLinks.size(), 1u);
+  EXPECT_EQ(applied.newlyDeadLinks[0], 2u);
+  EXPECT_TRUE(applied.topologyChanged);
+  EXPECT_TRUE(controller.linkAlive(2));
+  EXPECT_FALSE(controller.anyFault());
 }
 
 TEST(FaultScheduleTest, LinkFlapExpandsToDownThenUp) {
