@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -44,8 +45,10 @@
 #include "core/repair.hpp"
 #include "fault/reconfigure.hpp"
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
+#include "util/span_recorder.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -94,7 +97,8 @@ struct SizeResult {
 };
 
 SizeResult benchOneSize(topo::NodeId switches, util::ThreadPool& pool,
-                        int repeats, int dfsMaxSwitches) {
+                        int repeats, int dfsMaxSwitches,
+                        util::SpanRecorder* spans) {
   SizeResult res;
   res.switches = switches;
 
@@ -236,6 +240,19 @@ SizeResult benchOneSize(topo::NodeId switches, util::ThreadPool& pool,
                  .rebuildIncremental(*healthy.table, linksUp, nodesUp)
                  .rebuiltDestinations);
   });
+
+  // One untimed instrumented pass per size: record the full rebuild and the
+  // incremental reconfiguration stage spans outside the timed loops so the
+  // timings above stay undisturbed.
+  if (spans != nullptr) {
+    keep(routing::RoutingTable::build(released, &pool, {}, spans)
+             .fingerprint());
+    fault::Reconfigurator traced(topo, &pool);
+    traced.setSpans(spans);
+    keep(traced.rebuild(linksUp, nodesUp).rebuiltDestinations);
+    keep(traced.rebuildIncremental(*healthy.table, linksUp, nodesUp)
+             .rebuiltDestinations);
+  }
   return res;
 }
 
@@ -313,6 +330,10 @@ int main(int argc, char** argv) {
       "json", "",
       "JSON output path (default BENCH_build.json or "
       "$DOWNUP_BENCH_BUILD_JSON; \"\" with the env var disables)");
+  auto spansOpt = cli.option<std::string>(
+      "spans-out", "",
+      "control-plane span path prefix (.{jsonl,trace.json} appended); "
+      "records one untimed instrumented build + reconfiguration per size");
   cli.parse(argc, argv);
 
   std::string jsonPath = *jsonOpt;
@@ -322,14 +343,16 @@ int main(int argc, char** argv) {
   }
 
   util::ThreadPool pool(static_cast<std::size_t>(*threads));
+  util::SpanRecorder spans;
+  util::SpanRecorder* spansPtr = spansOpt->empty() ? nullptr : &spans;
   std::vector<SizeResult> results;
   std::printf("%8s %8s %9s %9s %9s %9s %9s %9s %9s %9s\n", "switches",
               "tree", "repair", "relDFS", "relBatch", "tblSer", "tblPar",
               "fullSer", "rcfgFull", "rcfgIncr");
   for (const int size : {64, 128, 256, 512, 1024, 2048, 4096}) {
     if (size < *minSwitches || size > *maxSwitches) continue;
-    const SizeResult r =
-        benchOneSize(static_cast<topo::NodeId>(size), pool, *repeats, *dfsMax);
+    const SizeResult r = benchOneSize(static_cast<topo::NodeId>(size), pool,
+                                      *repeats, *dfsMax, spansPtr);
     std::printf(
         "%8u %8.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
         static_cast<unsigned>(r.switches), r.treeMs, r.repairMs,
@@ -345,5 +368,17 @@ int main(int argc, char** argv) {
 
   if (!jsonPath.empty()) writeJson(jsonPath.c_str(), results, *threads,
                                    *repeats);
+  if (spansPtr != nullptr) {
+    {
+      std::ofstream out(*spansOpt + ".jsonl");
+      obs::writeSpansJsonl(spans, out);
+    }
+    {
+      std::ofstream out(*spansOpt + ".trace.json");
+      obs::writeSpansChromeTrace(spans, out);
+    }
+    std::printf("bench_build: wrote %s.{jsonl,trace.json}\n",
+                spansOpt->c_str());
+  }
   return 0;
 }

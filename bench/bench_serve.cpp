@@ -15,9 +15,16 @@
 //   rebuilds/rebuildsSkipped/transitionsAbsorbed/rebuildsCoalesced
 //                           coalescing effectiveness (flap cancel-outs,
 //                           burst folding)
+//   retireDepthMax          retired-snapshot list high-water mark
+//   snapshotLifetimeP50Ns/P99Ns
+//                           publish -> reclaim lifetime per retired epoch
+//   fabricMetrics           full FabricMetrics JSON object (histograms +
+//                           coalescing ledger)
 //
 // Writes BENCH_serve.json (--json or $DOWNUP_BENCH_SERVE_JSON overrides,
-// "" disables); --metrics-out appends the same row as one JSONL line.
+// "" disables); --metrics-out appends the same row as one JSONL line;
+// --spans-out writes the service thread's control-plane spans as JSONL plus
+// a Perfetto-loadable trace.
 //
 //   ./bench_serve --switches 64 --threads 4 --churn 16 --serve-ms 400
 #include <atomic>
@@ -25,6 +32,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,9 +44,11 @@
 #include "fault/controller.hpp"
 #include "fault/schedule.hpp"
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "topology/generate.hpp"
 #include "tree/coordinated_tree.hpp"
 #include "util/rng.hpp"
+#include "util/span_recorder.hpp"
 #include "util/summary.hpp"
 
 namespace {
@@ -73,6 +84,10 @@ struct ServeResult {
   std::uint64_t largestBatch = 0;
   std::uint64_t finalEpoch = 0;
   std::uint64_t reclaimed = 0;
+  std::uint64_t retireDepthMax = 0;
+  double snapshotLifetimeP50Ns = 0.0;
+  double snapshotLifetimeP99Ns = 0.0;
+  std::string fabricMetricsJson;
   bool allOk = true;
 };
 
@@ -190,10 +205,17 @@ void writeRow(std::FILE* out, const ServeResult& r, int switches, int ports,
                static_cast<unsigned long long>(coalesced),
                static_cast<unsigned long long>(r.largestBatch), lineEnd);
   std::fprintf(out,
-               "%s\"finalEpoch\": %llu, \"epochsReclaimed\": %llu, "
-               "\"allPublishedOk\": %s",
+               "%s\"finalEpoch\": %llu, \"epochsReclaimed\": %llu,%s",
                indent, static_cast<unsigned long long>(r.finalEpoch),
-               static_cast<unsigned long long>(r.reclaimed),
+               static_cast<unsigned long long>(r.reclaimed), lineEnd);
+  std::fprintf(out,
+               "%s\"retireDepthMax\": %llu, \"snapshotLifetimeP50Ns\": "
+               "%.0f, \"snapshotLifetimeP99Ns\": %.0f,%s",
+               indent, static_cast<unsigned long long>(r.retireDepthMax),
+               r.snapshotLifetimeP50Ns, r.snapshotLifetimeP99Ns, lineEnd);
+  std::fprintf(out, "%s\"fabricMetrics\": %s,%s", indent,
+               r.fabricMetricsJson.c_str(), lineEnd);
+  std::fprintf(out, "%s\"allPublishedOk\": %s", indent,
                r.allOk ? "true" : "false");
 }
 
@@ -218,6 +240,9 @@ int main(int argc, char** argv) {
       "serve-ms", 400, "minimum serving span in milliseconds");
   auto metricsOut = scli.cli().option<std::string>(
       "metrics-out", "", "append the result row as one JSONL line");
+  auto spansOut = scli.cli().option<std::string>(
+      "spans-out", "",
+      "control-plane span path prefix (.{jsonl,trace.json} appended)");
   auto jsonOpt = scli.cli().option<std::string>(
       "json", "",
       "JSON output path (default BENCH_serve.json or "
@@ -243,8 +268,13 @@ int main(int argc, char** argv) {
   const fault::FaultSchedule schedule =
       makeChurn(topo, churn, scli.seed() + 2);
   fault::FaultController controller(topo, schedule);
-  fabric::FabricManager fm(topo, baseline.table(),
-                           {.coalesceWindowMicros = coalesceUs});
+  util::SpanRecorder spans;
+  fabric::FabricMetrics metrics;
+  fabric::FabricManager::Options fmOptions;
+  fmOptions.coalesceWindowMicros = coalesceUs;
+  fmOptions.metrics = &metrics;
+  if (!spansOut->empty()) fmOptions.spans = &spans;
+  fabric::FabricManager fm(topo, baseline.table(), fmOptions);
   controller.attachSink(&fm);
 
   std::vector<fabric::Reader> handles;
@@ -302,6 +332,16 @@ int main(int argc, char** argv) {
   result.finalEpoch = fm.currentEpoch();
   result.reclaimed = fm.reclaimedCount();
   result.allOk = fm.allPublishedOk();
+  result.retireDepthMax =
+      metrics.retireDepthMax.load(std::memory_order_relaxed);
+  const auto lifetime = metrics.snapshotLifetimeNs.snapshot();
+  result.snapshotLifetimeP50Ns = lifetime.p50Ns;
+  result.snapshotLifetimeP99Ns = lifetime.p99Ns;
+  {
+    std::ostringstream mjson;
+    metrics.writeJson(mjson);
+    result.fabricMetricsJson = mjson.str();
+  }
 
   const auto lk = result.total.lookupNs.snapshot();
   std::printf(
@@ -355,6 +395,18 @@ int main(int argc, char** argv) {
       std::fclose(out);
       std::printf("bench_serve: appended %s\n", metricsOut->c_str());
     }
+  }
+  if (!spansOut->empty()) {
+    {
+      std::ofstream out(*spansOut + ".jsonl");
+      obs::writeSpansJsonl(spans, out);
+    }
+    {
+      std::ofstream out(*spansOut + ".trace.json");
+      obs::writeSpansChromeTrace(spans, out);
+    }
+    std::printf("bench_serve: wrote %s.{jsonl,trace.json}\n",
+                spansOut->c_str());
   }
   return 0;
 }

@@ -168,6 +168,10 @@ class ScenarioCli {
       waitforPeriod_ = cli_.option<int>(
           "waitfor-period", 0,
           "wait-for-graph sample period in cycles (0 = off)");
+      spansOut_ = cli_.option<std::string>(
+          "spans-out", "",
+          "control-plane span path prefix (.LABEL.{jsonl,trace.json} "
+          "appended)");
     }
   }
 
@@ -197,6 +201,10 @@ class ScenarioCli {
   int waitforPeriod() const {
     return waitforPeriod_ ? *waitforPeriod_ : 0;
   }
+  const std::string& spansOut() const {
+    static const std::string kEmpty;
+    return spansOut_ ? *spansOut_ : kEmpty;
+  }
 
   /// SimConfig with the shared window/packet knobs filled in.  The seed is
   /// left at its default — benches derive per-sample seeds from seed().
@@ -208,11 +216,13 @@ class ScenarioCli {
     return config;
   }
 
-  /// True when any --metrics-out / --timeseries-out artifact was requested
-  /// (attaching an observer is only worth the hook overhead then).
+  /// True when any --metrics-out / --timeseries-out / --spans-out artifact
+  /// was requested (attaching an observer is only worth the hook overhead
+  /// then).
   bool wantsObserver() const {
     return metricsOut_ && timeseriesOut_ &&
-           (!metricsOut_->empty() || !timeseriesOut_->empty());
+           (!metricsOut_->empty() || !timeseriesOut_->empty() ||
+            !spansOut_->empty());
   }
 
   /// Enables the collectors the requested outputs need.
@@ -225,6 +235,7 @@ class ScenarioCli {
     }
     options.waitForSamplePeriod = static_cast<std::uint32_t>(
         *waitforPeriod_ < 0 ? 0 : *waitforPeriod_);
+    if (!spansOut_->empty()) options.controlPlaneSpans = true;
   }
 
   /// Writes the uniform artifacts for one labelled run: the metrics JSONL
@@ -264,6 +275,30 @@ class ScenarioCli {
       std::cout << "wrote " << dotted(*timeseriesOut_, ".{csv,jsonl,trace.json}")
                 << "\n";
     }
+    if (!spansOut_->empty() && observer.controlPlaneSpans() != nullptr) {
+      writeSpans(*observer.controlPlaneSpans(), label);
+    }
+  }
+
+  /// Writes the control-plane span artifacts (JSONL + Perfetto trace) for
+  /// one labelled recorder; usable with a standalone SpanRecorder too (the
+  /// service-mode benches record spans without an Observer).
+  void writeSpans(const obs::SpanRecorder& spans,
+                  const std::string& label) const {
+    if (!spansOut_ || spansOut_->empty()) return;
+    const auto dotted = [&label, this](const char* suffix) {
+      return label.empty() ? *spansOut_ + suffix
+                           : *spansOut_ + "." + label + suffix;
+    };
+    {
+      std::ofstream out(dotted(".jsonl"));
+      obs::writeSpansJsonl(spans, out);
+    }
+    {
+      std::ofstream out(dotted(".trace.json"));
+      obs::writeSpansChromeTrace(spans, out);
+    }
+    std::cout << "wrote " << dotted(".{jsonl,trace.json}") << "\n";
   }
 
  private:
@@ -281,6 +316,7 @@ class ScenarioCli {
   std::shared_ptr<std::string> timeseriesOut_;
   std::shared_ptr<int> timeseriesWindow_;
   std::shared_ptr<int> waitforPeriod_;
+  std::shared_ptr<std::string> spansOut_;
 };
 
 /// Prints the paper's published numbers next to ours for one table, so the

@@ -7,18 +7,22 @@ namespace downup::core {
 routing::Routing buildDownUp(const routing::Topology& topo,
                              const tree::CoordinatedTree& ct,
                              const DownUpOptions& options) {
+  util::ScopedSpan classifySpan(options.spans, "classify");
   routing::TurnPermissions perms(topo, routing::classifyDownUp(topo, ct),
                                  downUpTurnSet());
+  classifySpan.close();
   // Repair before release: releases are checked against (and must remain
   // consistent with) the final acyclic permission set.
   if (options.repairCycles) {
+    util::ScopedSpan repairSpan(options.spans, "repair");
     repairTurnCycles(perms);
   }
   if (options.releaseRedundant) {
+    util::ScopedSpan releaseSpan(options.spans, "release");
     releaseRedundantProhibitions(perms);
   }
   return routing::Routing(options.releaseRedundant ? "downup" : "downup-norelease",
-                          std::move(perms), options.pool);
+                          std::move(perms), options.pool, options.spans);
 }
 
 std::string_view toString(Algorithm algorithm) noexcept {

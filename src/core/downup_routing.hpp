@@ -25,6 +25,9 @@ struct DownUpOptions {
   /// Parallelises the routing-table build (nullptr: serial).  The table is
   /// bit-for-bit identical at any thread count; the pool is not retained.
   util::ThreadPool* pool = nullptr;
+  /// Records classify/repair/release/table-build stage spans (nullptr: no
+  /// tracing, zero overhead).  Not retained.
+  util::SpanRecorder* spans = nullptr;
 };
 
 /// Builds DOWN/UP routing over a coordinated tree: Definition-5 channel

@@ -1,8 +1,20 @@
 #include "fabric/epoch.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace downup::fabric {
+
+namespace {
+
+std::uint64_t steadyNowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 EpochPublisher::EpochPublisher(const routing::RoutingTable& baseline,
                                std::size_t maxReaders)
@@ -19,10 +31,15 @@ Reader EpochPublisher::makeReader() {
   if (readerCount_ >= maxReaders_) {
     throw std::length_error("EpochPublisher: reader registry full");
   }
+  if (metrics_ != nullptr) {
+    metrics_->readersRegistered.fetch_add(1, std::memory_order_relaxed);
+  }
   return Reader(this, &slots_[readerCount_++]);
 }
 
 PinnedSnapshot EpochPublisher::acquire(Reader& reader) {
+  FabricMetrics* metrics = metrics_;
+  const std::uint64_t startNs = metrics != nullptr ? steadyNowNs() : 0;
   ReaderSlot* slot = reader.slot_;
   for (;;) {
     const TableSnapshot* p = current_.load(std::memory_order_seq_cst);
@@ -30,6 +47,9 @@ PinnedSnapshot EpochPublisher::acquire(Reader& reader) {
     // writer's swap have a single total order TSan can reason about.
     slot->pinned.exchange(p, std::memory_order_seq_cst);
     if (current_.load(std::memory_order_seq_cst) == p) {
+      if (metrics != nullptr) {
+        metrics->acquireNs.record(steadyNowNs() - startNs);
+      }
       return PinnedSnapshot(slot, p);
     }
     // The writer swapped between our load and announcement; the stale
@@ -43,14 +63,20 @@ std::uint64_t EpochPublisher::publish(
   const std::uint64_t epoch = currentOwned_->epoch() + 1;
   auto next = std::make_unique<TableSnapshot>(epoch, std::move(perms),
                                               std::move(table));
+  if (metrics_ != nullptr) next->publishNs_ = steadyNowNs();
   current_.store(next.get(), std::memory_order_seq_cst);
   retired_.push_back(std::move(currentOwned_));
   currentOwned_ = std::move(next);
+  if (metrics_ != nullptr) {
+    metrics_->publishes.fetch_add(1, std::memory_order_relaxed);
+    atomicMax(metrics_->retireDepthMax, retired_.size());
+  }
   return epoch;
 }
 
 std::size_t EpochPublisher::tryReclaim() {
   if (retired_.empty()) return 0;
+  const std::uint64_t nowNs = metrics_ != nullptr ? steadyNowNs() : 0;
   std::size_t freed = 0;
   for (std::size_t i = 0; i < retired_.size();) {
     const TableSnapshot* candidate = retired_[i].get();
@@ -64,12 +90,26 @@ std::size_t EpochPublisher::tryReclaim() {
     if (pinned) {
       ++i;
     } else {
+      if (metrics_ != nullptr && candidate->publishNs_ != 0) {
+        metrics_->snapshotLifetimeNs.record(nowNs - candidate->publishNs_);
+      }
       retired_[i] = std::move(retired_.back());
       retired_.pop_back();
       ++freed;
     }
   }
   reclaimed_ += freed;
+  if (metrics_ != nullptr) {
+    metrics_->reclaims.fetch_add(freed, std::memory_order_relaxed);
+    std::uint64_t pinnedSlots = 0;
+    // Scan the full registry — readerCount_ is mutex-guarded and readers
+    // may still be registering while the writer reclaims.
+    for (std::size_t s = 0; s < maxReaders_; ++s) {
+      pinnedSlots +=
+          slots_[s].pinned.load(std::memory_order_relaxed) != nullptr;
+    }
+    atomicMax(metrics_->readerPinnedMax, pinnedSlots);
+  }
   return freed;
 }
 

@@ -43,6 +43,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fabric/metrics.hpp"
 #include "routing/routing_table.hpp"
 
 namespace downup::fabric {
@@ -69,7 +70,13 @@ class TableSnapshot {
   std::uint64_t epoch() const noexcept { return epoch_; }
   const routing::RoutingTable& table() const noexcept { return *table_; }
 
+  /// Steady-clock ns at publish (0 for the borrowed baseline).  Written by
+  /// the publisher at publish time, read at reclaim for lifetime metrics.
+  std::uint64_t publishNs() const noexcept { return publishNs_; }
+
  private:
+  friend class EpochPublisher;
+  std::uint64_t publishNs_ = 0;
   std::uint64_t epoch_;
   const routing::RoutingTable* table_;
   std::unique_ptr<routing::TurnPermissions> ownedPerms_;
@@ -166,6 +173,12 @@ class EpochPublisher {
   EpochPublisher(const EpochPublisher&) = delete;
   EpochPublisher& operator=(const EpochPublisher&) = delete;
 
+  /// Attaches service metrics (pin-acquire latency, snapshot lifetime,
+  /// retire-list depth, reader-slot occupancy).  nullptr detaches — the
+  /// default, and the read path then pays exactly one branch.  Must be set
+  /// before readers start acquiring; the pointer is shared unsynchronised.
+  void setMetrics(FabricMetrics* metrics) noexcept { metrics_ = metrics; }
+
   /// Registers a reader slot (mutex-guarded; NOT the read path).  Throws
   /// std::length_error past maxReaders.
   Reader makeReader();
@@ -211,6 +224,7 @@ class EpochPublisher {
   std::size_t maxReaders_;
   std::size_t readerCount_ = 0;  // guarded by registerMutex_
   std::mutex registerMutex_;
+  FabricMetrics* metrics_ = nullptr;
 };
 
 }  // namespace downup::fabric

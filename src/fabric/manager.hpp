@@ -42,6 +42,7 @@
 #include "fabric/event_queue.hpp"
 #include "fault/event_sink.hpp"
 #include "fault/reconfigure.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace downup::fabric {
 
@@ -70,6 +71,18 @@ class FabricManager final : public fault::FaultEventSink {
     std::uint64_t coalesceWindowMicros = 200;
     /// Service mode: prefer the incremental rebuild path.
     bool incremental = true;
+    /// Optional span recorder: every publish decision emits a `rebuild`
+    /// root span with coalesce/dequeue/construction/publish children (see
+    /// obs/span.hpp for the tree).  Must outlive the manager; nullptr (the
+    /// default) costs one branch per stage.
+    util::SpanRecorder* spans = nullptr;
+    /// Optional service metrics (fabric/metrics.hpp): pin-acquire latency,
+    /// snapshot lifetimes, retire-list depth, the coalescing ledger.  Must
+    /// outlive the manager; attach before readers start.
+    FabricMetrics* metrics = nullptr;
+    /// Flight-recorder ring capacity (entries; rounded up to a power of
+    /// two).  The recorder itself is always on — see flightRecorder().
+    std::size_t flightCapacity = 1024;
   };
 
   /// `topo` and `baseline` (the healthy epoch-0 table) must outlive the
@@ -95,6 +108,18 @@ class FabricManager final : public fault::FaultEventSink {
   bool rebuildActive() const noexcept {
     return rebuildActive_.load(std::memory_order_acquire);
   }
+
+  /// The always-on bounded ring of recent control-plane events (transition
+  /// posted, window opened, rebuild started/finished, publish, reclaim,
+  /// anomaly).  Dump it on demand or after an anomaly; recording from any
+  /// thread is lock-free and allocation-free.
+  obs::FlightRecorder& flightRecorder() noexcept { return flight_; }
+  const obs::FlightRecorder& flightRecorder() const noexcept {
+    return flight_;
+  }
+
+  /// The attached metrics, or nullptr when none were configured.
+  FabricMetrics* metrics() const noexcept { return options_.metrics; }
 
   // --- fault ingestion (any thread; lock-free) ---
   void onLinkStateChanged(std::uint64_t cycle, topo::LinkId link,
@@ -169,9 +194,12 @@ class FabricManager final : public fault::FaultEventSink {
   /// masks now differ from the applied ones.
   bool foldBatch(std::span<const FaultTransition> batch);
   /// Rebuilds from desiredLink_/desiredNode_ and publishes (service mode).
+  /// `batchSize` is the transition count folded into this decision
+  /// (flight-recorder annotation only).
   PublishResult rebuildAndPublish(std::span<const std::uint8_t> linkAlive,
                                   std::span<const std::uint8_t> nodeAlive,
-                                  bool incremental);
+                                  bool incremental,
+                                  std::uint64_t batchSize);
   void serviceLoop();
 
   const topo::Topology* topo_;
@@ -179,6 +207,7 @@ class FabricManager final : public fault::FaultEventSink {
   EpochPublisher publisher_;
   FabricEventQueue queue_;
   Options options_;
+  obs::FlightRecorder flight_;
 
   // Service-thread state (touched only by the service thread / driven
   // writer): desired = folded queue view, applied = masks of the current

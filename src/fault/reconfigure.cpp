@@ -106,6 +106,7 @@ ReconfigOutcome Reconfigurator::rebuild(
   out.deadlockFree = true;
   out.componentsConnected = true;
 
+  util::ScopedSpan partitionSpan(spans_, "partition");
   const std::vector<std::uint8_t> effLink =
       effectiveLinks(topo, linkAlive, nodeAlive, out.aliveLinks);
   const ComponentLabels labels = labelComponents(topo, effLink, nodeAlive);
@@ -120,6 +121,9 @@ ReconfigOutcome Reconfigurator::rebuild(
   for (NodeId v = 0; v < n; ++v) {
     if (labels.comp[v] != kNoComp) members[labels.comp[v]].push_back(v);
   }
+  partitionSpan.arg("components", labels.count);
+  partitionSpan.arg("aliveNodes", labels.aliveNodes);
+  partitionSpan.close();
 
   // Route every component with at least two switches independently: its own
   // compacted topology, coordinated tree (M1 is deterministic; the RNG is
@@ -132,6 +136,8 @@ ReconfigOutcome Reconfigurator::rebuild(
     if (m.size() < 2) continue;
     Component part;
     part.nodeToHost = m;
+    util::ScopedSpan subtopoSpan(spans_, "subtopo");
+    subtopoSpan.arg("nodes", m.size());
     for (NodeId i = 0; i < m.size(); ++i) hostToSub[m[i]] = i;
     part.sub = std::make_unique<Topology>(static_cast<NodeId>(m.size()));
     for (LinkId l = 0; l < linkCount; ++l) {
@@ -144,13 +150,18 @@ ReconfigOutcome Reconfigurator::rebuild(
       part.channelToHost.push_back(2 * l);
       part.channelToHost.push_back(2 * l + 1);
     }
+    subtopoSpan.close();
     util::Rng rng(0);
+    util::ScopedSpan treeSpan(spans_, "tree");
     const auto ct = tree::CoordinatedTree::build(
         *part.sub, tree::TreePolicy::kM1SmallestFirst, rng);
+    treeSpan.close();
     part.routing = std::make_unique<routing::Routing>(
-        core::buildDownUp(*part.sub, ct, {.pool = pool_}));
+        core::buildDownUp(*part.sub, ct, {.pool = pool_, .spans = spans_}));
 
+    util::ScopedSpan verifySpan(spans_, "verify");
     const routing::VerifyReport report = routing::verifyRouting(*part.routing);
+    verifySpan.close();
     out.deadlockFree = out.deadlockFree && report.deadlockFree;
     out.componentsConnected = out.componentsConnected && report.connected;
     out.unreachablePairs += report.unreachablePairs;
@@ -172,6 +183,8 @@ ReconfigOutcome Reconfigurator::rebuild(
   // Merge the per-component rules into host numbering.  Dead channels keep
   // an arbitrary direction: their steps stay kNoPath and their candidate
   // rows stay empty, so the table never offers them.
+  util::ScopedSpan mergeSpan(spans_, "merge");
+  mergeSpan.arg("parts", parts.size());
   DirectionMap hostDirs(topo.channelCount(), Dir::kRdTree);
   for (const Component& part : parts) {
     for (ChannelId c = 0; c < part.channelToHost.size(); ++c) {
@@ -246,28 +259,40 @@ ReconfigOutcome Reconfigurator::rebuildIncremental(
   // A channel that is alive now but was dead in the previous epoch revived;
   // its epoch's turn rule never classified it, so only a full rebuild can
   // route through it.
-  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
-    const bool aliveNow = (alive[c >> 6] >> (c & 63)) & 1u;
-    const bool alivePrev =
-        prevTable.channelSteps(topo.channelDst(c), c) == 1;
-    if (aliveNow && !alivePrev) return rebuild(linkAlive, nodeAlive);
+  {
+    util::ScopedSpan applicabilitySpan(spans_, "dirty_set");
+    for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+      const bool aliveNow = (alive[c >> 6] >> (c & 63)) & 1u;
+      const bool alivePrev =
+          prevTable.channelSteps(topo.channelDst(c), c) == 1;
+      if (aliveNow && !alivePrev) {
+        applicabilitySpan.arg("revived", 1);
+        applicabilitySpan.close();
+        return rebuild(linkAlive, nodeAlive);
+      }
+    }
   }
 
   ReconfigOutcome out;
   out.incremental = true;
+  util::ScopedSpan partitionSpan(spans_, "partition");
   const std::vector<std::uint8_t> effLink =
       effectiveLinks(topo, linkAlive, nodeAlive, out.aliveLinks);
   const ComponentLabels labels = labelComponents(topo, effLink, nodeAlive);
   out.components = labels.count;
   out.aliveNodes = labels.aliveNodes;
+  partitionSpan.arg("components", labels.count);
+  partitionSpan.arg("aliveNodes", labels.aliveNodes);
+  partitionSpan.close();
 
   out.perms = std::make_unique<TurnPermissions>(prevTable.permissions());
   std::vector<NodeId> dirty;
   out.table = std::make_unique<RoutingTable>(
-      RoutingTable::rebuildDead(prevTable, pool_, alive, &dirty));
+      RoutingTable::rebuildDead(prevTable, pool_, alive, &dirty, spans_));
   out.table->rebindPermissions(*out.perms);
   out.rebuiltDestinations = static_cast<std::uint32_t>(dirty.size());
 
+  util::ScopedSpan verifySpan(spans_, "verify");
   // The inherited rule's channel-dependency graph was acyclic and lost only
   // vertices/edges, so the epoch is deadlock-free by construction; the
   // check below re-verifies the (superset) inherited graph.
@@ -298,6 +323,7 @@ ReconfigOutcome Reconfigurator::rebuildIncremental(
       static_cast<std::uint64_t>(out.aliveNodes) * (out.aliveNodes - 1) -
       labels.sameComponentPairs;
   out.componentsConnected = out.unreachablePairs == crossComponentPairs;
+  verifySpan.close();
   if (!out.componentsConnected || !out.deadlockFree) {
     return rebuild(linkAlive, nodeAlive);
   }

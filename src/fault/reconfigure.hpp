@@ -64,6 +64,13 @@ class Reconfigurator {
 
   const topo::Topology& topology() const noexcept { return *topo_; }
 
+  /// Attaches a span recorder: every rebuild emits partition / subtopo /
+  /// tree / classify / repair / release / table_build / verify / merge
+  /// stage spans.  nullptr (the default) detaches; the pointer must stay
+  /// valid across rebuild calls and is shared with them unsynchronised, so
+  /// set it before rebuilds start.
+  void setSpans(util::SpanRecorder* spans) noexcept { spans_ = spans; }
+
   /// Rebuilds routing over the subgraph restricted to nodes with
   /// nodeAlive[v] != 0 and links with linkAlive[l] != 0 (a dead endpoint
   /// implies a dead link regardless of linkAlive).  Deterministic: uses the
@@ -100,6 +107,7 @@ class Reconfigurator {
 
   const topo::Topology* topo_;
   util::ThreadPool* pool_ = nullptr;
+  util::SpanRecorder* spans_ = nullptr;
 };
 
 }  // namespace downup::fault

@@ -45,6 +45,9 @@ Observer::Observer(const ObsOptions& options, const topo::Topology& topo,
         options.waitForSamplePeriod, nodeCount_, channelCount_,
         channelCount_ * vcCount, vcCount);
   }
+  if (options.controlPlaneSpans) {
+    controlPlaneSpans_ = std::make_unique<SpanRecorder>();
+  }
 }
 
 void Observer::attach(std::uint32_t nodeCount,
@@ -61,6 +64,7 @@ void Observer::reset() {
   if (profiler_) profiler_->reset();
   if (timeseries_) timeseries_->reset();
   if (waitfor_) waitfor_->reset();
+  if (controlPlaneSpans_) controlPlaneSpans_->clear();
 }
 
 }  // namespace downup::obs

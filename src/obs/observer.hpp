@@ -19,6 +19,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/phase_profiler.hpp"
+#include "obs/span.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/waitfor.hpp"
@@ -45,6 +46,11 @@ struct ObsOptions {
   /// Wait-for-graph deadlock-risk sampling (obs/waitfor.hpp): walk blocked
   /// worms' channel dependencies every this many cycles; 0 disables.
   std::uint32_t waitForSamplePeriod = 0;
+  /// Record control-plane rebuild spans (obs/span.hpp): the engine hands
+  /// the recorder to its internal FabricManager, so every reconfiguration
+  /// epoch traces its pipeline stages.  Export with writeSpansJsonl /
+  /// writeSpansChromeTrace.
+  bool controlPlaneSpans = false;
 };
 
 class Observer {
@@ -75,6 +81,12 @@ class Observer {
   }
   WaitForSampler* waitFor() noexcept { return waitfor_.get(); }
   const WaitForSampler* waitFor() const noexcept { return waitfor_.get(); }
+  SpanRecorder* controlPlaneSpans() noexcept {
+    return controlPlaneSpans_.get();
+  }
+  const SpanRecorder* controlPlaneSpans() const noexcept {
+    return controlPlaneSpans_.get();
+  }
 
   /// Clears every enabled component (reuse across sweep samples).
   void reset();
@@ -87,6 +99,7 @@ class Observer {
   std::unique_ptr<PhaseProfiler> profiler_;
   std::unique_ptr<TimeSeriesCollector> timeseries_;
   std::unique_ptr<WaitForSampler> waitfor_;
+  std::unique_ptr<SpanRecorder> controlPlaneSpans_;
 };
 
 }  // namespace downup::obs

@@ -1,0 +1,82 @@
+#include "obs/span.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/export.hpp"
+
+namespace downup::obs {
+
+namespace {
+
+/// Microseconds with fractional precision — spans are wall-clock ns; the
+/// trace_event format expects microsecond doubles.
+double toUs(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void writeArgsJson(const SpanRecorder::Span& span, std::ostream& out) {
+  out << "{";
+  for (std::uint8_t a = 0; a < span.argCount; ++a) {
+    if (a > 0) out << ",";
+    char value[32];
+    std::snprintf(value, sizeof value, "%.6g", span.args[a].value);
+    out << "\"" << span.args[a].key << "\":" << value;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void writeSpansJsonl(const SpanRecorder& spans, std::ostream& out) {
+  const std::vector<SpanRecorder::Span> all = spans.snapshot();
+  out << "{\"record\":\"meta\",\"schema\":\"obs_spans/1\",\"gitRev\":\""
+      << gitRevision() << "\",\"timestampUtc\":\"" << utcTimestamp()
+      << "\",\"spans\":" << all.size() << "}\n";
+  char buffer[96];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const SpanRecorder::Span& span = all[i];
+    out << "{\"record\":\"span\",\"id\":" << i << ",\"parent\":";
+    if (span.parent == SpanRecorder::kNoParent) {
+      out << "null";
+    } else {
+      out << span.parent;
+    }
+    std::snprintf(buffer, sizeof buffer,
+                  ",\"tid\":%u,\"depth\":%u,\"startUs\":%.3f,\"durUs\":%.3f",
+                  span.tid, span.depth, toUs(span.startNs),
+                  toUs(span.durationNs()));
+    out << ",\"name\":\"" << span.name << "\"" << buffer;
+    if (span.endNs == 0) out << ",\"open\":true";
+    if (span.argCount > 0) {
+      out << ",\"args\":";
+      writeArgsJson(span, out);
+    }
+    out << "}\n";
+  }
+}
+
+void writeSpansChromeTrace(const SpanRecorder& spans, std::ostream& out) {
+  const std::vector<SpanRecorder::Span> all = spans.snapshot();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buffer[96];
+  for (const SpanRecorder::Span& span : all) {
+    if (span.endNs == 0) continue;  // still open: no complete event
+    if (!first) out << ",";
+    first = false;
+    std::snprintf(buffer, sizeof buffer,
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%u",
+                  toUs(span.startNs), toUs(span.durationNs()), span.tid);
+    out << "\n{\"name\":\"" << span.name << "\",\"ph\":\"X\"," << buffer
+        << ",\"args\":";
+    writeArgsJson(span, out);
+    out << "}";
+  }
+  // Name the process so Perfetto labels the track meaningfully.
+  if (!first) out << ",";
+  out << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"control-plane\"}}";
+  out << "\n]}\n";
+}
+
+}  // namespace downup::obs

@@ -1,0 +1,47 @@
+// Control-plane span tracing: the obs-layer surface over
+// util::SpanRecorder (see util/span_recorder.hpp for why the recorder
+// itself lives a layer down) plus the exporters.
+//
+// A SpanRecorder handed to FabricManager::Options::spans (or to the
+// construction pipeline via core::DownUpOptions / fault::Reconfigurator)
+// records the full rebuild pipeline as nested spans:
+//
+//   rebuild                     one service-loop decision or driven publish
+//   ├─ coalesce_wait            the burst-coalescing sleep (service mode)
+//   ├─ event_dequeue            queue drain + fold into desired masks
+//   ├─ dirty_set                incremental applicability + dirty-set scan
+//   ├─ partition / subtopo      alive-component labelling + compaction
+//   ├─ tree                     coordinated-tree construction per component
+//   ├─ classify / repair / release   turn-rule stages per component
+//   ├─ table_build              RoutingTable::build or rebuildDead
+//   │  ├─ bfs                   per-destination reverse BFS fan-out
+//   │  └─ candidate_fill        CSR successor-index construction
+//   ├─ verify                   deadlock-freedom + connectivity check
+//   ├─ merge                    per-component remap into host numbering
+//   └─ publish                  epoch swap + reclaim sweep
+//
+// Parallel stages carry `threads` / `parallel` args so a trace shows which
+// path ran.  Schemas: spans JSONL is obs_spans/1 (results/README.md); the
+// Chrome trace is standard trace_event JSON, loadable in Perfetto with one
+// track per recording thread.
+#pragma once
+
+#include <iosfwd>
+
+#include "util/span_recorder.hpp"
+
+namespace downup::obs {
+
+using util::ScopedSpan;
+using util::SpanRecorder;
+
+/// Spans as JSONL (schema obs_spans/1): a `meta` header, then one `span`
+/// record per span in begin order with id/parent/tid/depth, microsecond
+/// start/duration and the numeric args.
+void writeSpansJsonl(const SpanRecorder& spans, std::ostream& out);
+
+/// Spans as Chrome trace_event JSON (Perfetto-loadable): one "X" complete
+/// event per closed span (pid 0, tid = recording thread), args attached.
+void writeSpansChromeTrace(const SpanRecorder& spans, std::ostream& out);
+
+}  // namespace downup::obs

@@ -15,12 +15,14 @@ namespace downup::routing {
 class Routing {
  public:
   /// `pool` (optional) parallelises the table build; output is identical
-  /// at any thread count.  The pool is not retained.
+  /// at any thread count.  `spans` (optional) records the table-build
+  /// stage spans.  Neither pointer is retained.
   Routing(std::string name, TurnPermissions perms,
-          util::ThreadPool* pool = nullptr)
+          util::ThreadPool* pool = nullptr,
+          util::SpanRecorder* spans = nullptr)
       : name_(std::move(name)),
         perms_(std::make_unique<TurnPermissions>(std::move(perms))),
-        table_(RoutingTable::build(*perms_, pool)) {}
+        table_(RoutingTable::build(*perms_, pool, {}, spans)) {}
 
   const std::string& name() const noexcept { return name_; }
   const TurnPermissions& permissions() const noexcept { return *perms_; }

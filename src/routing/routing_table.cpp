@@ -108,7 +108,8 @@ void RoutingTable::bfsDestination(NodeId dst,
 
 RoutingTable RoutingTable::build(const TurnPermissions& perms,
                                  util::ThreadPool* pool,
-                                 std::span<const std::uint64_t> channelAlive) {
+                                 std::span<const std::uint64_t> channelAlive,
+                                 util::SpanRecorder* spans) {
   RoutingTable table;
   table.perms_ = &perms;
   const Topology& topo = perms.topology();
@@ -118,14 +119,25 @@ RoutingTable RoutingTable::build(const TurnPermissions& perms,
   table.steps_.resize(static_cast<std::size_t>(n) * table.channelCount_);
   pool = effectivePool(pool, n);
 
+  util::ScopedSpan buildSpan(spans, "table_build");
+  buildSpan.arg("destinations", n);
+  buildSpan.arg("threads", pool != nullptr ? pool->threadCount() : 1);
+  buildSpan.arg("parallel", pool != nullptr ? 1 : 0);
+
   // Per-destination rows are disjoint, so the BFS fans out directly.  The
   // queue is per OS thread and grows once to channelCount_; repeated builds
   // on warm threads allocate nothing here.
-  util::parallelFor(pool, n, [&table, channelAlive](std::size_t dst) {
-    thread_local std::vector<ChannelId> queue;
-    table.bfsDestination(static_cast<NodeId>(dst), channelAlive, queue);
-  });
-  table.buildSuccessorIndexes(pool);
+  {
+    util::ScopedSpan bfsSpan(spans, "bfs");
+    util::parallelFor(pool, n, [&table, channelAlive](std::size_t dst) {
+      thread_local std::vector<ChannelId> queue;
+      table.bfsDestination(static_cast<NodeId>(dst), channelAlive, queue);
+    });
+  }
+  {
+    util::ScopedSpan fillSpan(spans, "candidate_fill");
+    table.buildSuccessorIndexes(pool);
+  }
   return table;
 }
 
@@ -336,19 +348,32 @@ std::uint32_t RoutingTable::dirtyDestinationCount(
 RoutingTable RoutingTable::rebuildDead(
     const RoutingTable& prev, util::ThreadPool* pool,
     std::span<const std::uint64_t> channelAlive,
-    std::vector<NodeId>* dirtyDestinations) {
+    std::vector<NodeId>* dirtyDestinations, util::SpanRecorder* spans) {
   const TurnPermissions& perms = *prev.perms_;
   const NodeId n = prev.nodeCount_;
   const std::uint32_t channels = prev.channelCount_;
   pool = effectivePool(pool, n);
 
+  util::ScopedSpan buildSpan(spans, "table_build");
+  buildSpan.arg("destinations", n);
+  buildSpan.arg("threads", pool != nullptr ? pool->threadCount() : 1);
+  buildSpan.arg("parallel", pool != nullptr ? 1 : 0);
+  buildSpan.arg("incremental", 1);
+
   std::vector<ChannelId> newlyDead;
   std::vector<std::uint8_t> deadKey;
   std::vector<std::uint8_t> dirty;
-  const bool applicable =
-      prev.computeDeadDelta(channelAlive, newlyDead, deadKey, dirty);
-  assert(applicable && "revived channel needs a full build");
-  (void)applicable;
+  std::uint32_t dirtyCount = 0;
+  {
+    util::ScopedSpan deltaSpan(spans, "dirty_delta");
+    const bool applicable =
+        prev.computeDeadDelta(channelAlive, newlyDead, deadKey, dirty);
+    assert(applicable && "revived channel needs a full build");
+    (void)applicable;
+    for (const std::uint8_t bit : dirty) dirtyCount += bit;
+    deltaSpan.arg("dirty", dirtyCount);
+    deltaSpan.arg("deadChannels", newlyDead.size());
+  }
   if (dirtyDestinations != nullptr) {
     dirtyDestinations->clear();
     for (NodeId d = 0; d < n; ++d) {
@@ -361,6 +386,8 @@ RoutingTable RoutingTable::rebuildDead(
   table.nodeCount_ = n;
   table.channelCount_ = channels;
   table.steps_ = prev.steps_;
+  util::ScopedSpan bfsSpan(spans, "bfs");
+  bfsSpan.arg("dirty", dirtyCount);
   util::parallelFor(pool, n, [&](std::size_t d) {
     if (dirty[d]) {
       thread_local std::vector<ChannelId> queue;
@@ -370,6 +397,8 @@ RoutingTable RoutingTable::rebuildDead(
       for (const ChannelId c : newlyDead) steps[c] = kNoPath;
     }
   });
+  bfsSpan.close();
+  util::ScopedSpan fillSpan(spans, "candidate_fill");
 
   // Candidate indexes: dirty destinations re-enumerate from the fresh
   // steps; clean destinations copy prev's rows verbatim (dead channels are

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "routing/turns.hpp"
+#include "util/span_recorder.hpp"
 
 namespace downup::util {
 class ThreadPool;
@@ -60,9 +61,14 @@ class RoutingTable {
   /// predecessor, keep kNoPath steps everywhere, and appear in no candidate
   /// row — the contract remapComponents() establishes for dead links, so a
   /// running simulator can consume a masked table directly.
+  ///
+  /// `spans` (optional) records a `table_build` span with `bfs` and
+  /// `candidate_fill` children annotated with destination/thread counts;
+  /// nullptr (the default) takes a branch-per-stage and nothing else.
   static RoutingTable build(const TurnPermissions& perms,
                             util::ThreadPool* pool = nullptr,
-                            std::span<const std::uint64_t> channelAlive = {});
+                            std::span<const std::uint64_t> channelAlive = {},
+                            util::SpanRecorder* spans = nullptr);
 
   /// Incremental rebuild after channel deaths: produces a table with
   /// contents identical to build(prev.permissions(), pool, channelAlive)
@@ -81,7 +87,8 @@ class RoutingTable {
   static RoutingTable rebuildDead(const RoutingTable& prev,
                                   util::ThreadPool* pool,
                                   std::span<const std::uint64_t> channelAlive,
-                                  std::vector<NodeId>* dirtyDestinations = nullptr);
+                                  std::vector<NodeId>* dirtyDestinations = nullptr,
+                                  util::SpanRecorder* spans = nullptr);
 
   /// Number of destinations rebuildDead(*this, ..., channelAlive) would
   /// recompute, or nodeCount() when a channel revived relative to this

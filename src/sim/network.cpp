@@ -78,7 +78,12 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
                                                        *config_.faultSchedule);
     // Driven mode: this thread is the fabric's single writer; the engine
     // decides when each epoch swaps (window end), so no service thread.
-    fabric_ = std::make_unique<fabric::FabricManager>(*topo_, table);
+    fabric::FabricManager::Options fabricOptions;
+    if (config_.observer != nullptr) {
+      fabricOptions.spans = config_.observer->controlPlaneSpans();
+    }
+    fabric_ = std::make_unique<fabric::FabricManager>(*topo_, table,
+                                                      fabricOptions);
     fabricReader_ = fabric_->makeReader();
     faults_->attachSink(fabric_.get());
   }
@@ -196,6 +201,17 @@ void WormholeNetwork::sampleWaitFor() {
     }
   }
   waitfor_->endSample();
+  // A hard deadlock witness (vcCount == 1: no virtual channel can break the
+  // knot) is a control-plane anomaly — note it in the fabric's flight
+  // recorder so a dump shows what the rebuild pipeline did around it.
+  if (fabric_ != nullptr && waitfor_->cyclesAreHard() &&
+      waitfor_->lastCycleSampleCycle() == now_ && waitfor_->everCycle())
+      [[unlikely]] {
+    fabric_->flightRecorder().record(
+        obs::FabricEventKind::kAnomaly, now_,
+        static_cast<std::uint64_t>(obs::AnomalyCode::kWaitForHardCycle),
+        waitfor_->witnessCycle().size());
+  }
 }
 
 void WormholeNetwork::runPhasesProfiled() {

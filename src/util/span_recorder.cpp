@@ -1,0 +1,101 @@
+#include "util/span_recorder.hpp"
+
+namespace downup::util {
+
+namespace {
+
+/// Per-thread stack of open spans, shared across recorders (frames carry
+/// the recorder they belong to).  Strict begin/end nesting per thread makes
+/// a plain stack sufficient even when two recorders interleave.
+struct OpenFrame {
+  const SpanRecorder* recorder;
+  std::uint32_t index;
+  std::uint16_t depth;
+};
+
+thread_local std::vector<OpenFrame> tOpenStack;
+
+/// Dense thread index, cached per (thread, recorder).  One cache entry per
+/// thread suffices in practice (a thread talks to one recorder at a time);
+/// a different recorder simply re-registers.
+struct TidCache {
+  const SpanRecorder* recorder = nullptr;
+  std::uint32_t tid = 0;
+};
+
+thread_local TidCache tTidCache;
+
+}  // namespace
+
+std::uint32_t SpanRecorder::threadIndexLocked() {
+  if (tTidCache.recorder != this) {
+    tTidCache.recorder = this;
+    tTidCache.tid = threadCount_++;
+  }
+  return tTidCache.tid;
+}
+
+std::uint32_t SpanRecorder::begin(const char* name) {
+  const std::uint64_t start = nowNs();
+  // Innermost open span of this thread *on this recorder* is the parent.
+  std::uint32_t parent = kNoParent;
+  std::uint16_t depth = 0;
+  for (auto it = tOpenStack.rbegin(); it != tOpenStack.rend(); ++it) {
+    if (it->recorder == this) {
+      parent = it->index;
+      depth = static_cast<std::uint16_t>(it->depth + 1);
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto index = static_cast<std::uint32_t>(spans_.size());
+  Span span;
+  span.name = name;
+  span.parent = parent;
+  span.tid = threadIndexLocked();
+  span.depth = depth;
+  span.startNs = start;
+  spans_.push_back(span);
+  tOpenStack.push_back({this, index, depth});
+  return index;
+}
+
+void SpanRecorder::end(std::uint32_t index) {
+  const std::uint64_t now = nowNs();
+  while (!tOpenStack.empty() && tOpenStack.back().recorder == this &&
+         tOpenStack.back().index != index) {
+    tOpenStack.pop_back();  // defensive: drop frames a missed end() leaked
+  }
+  if (!tOpenStack.empty() && tOpenStack.back().recorder == this) {
+    tOpenStack.pop_back();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index < spans_.size() && spans_[index].endNs == 0) {
+    spans_[index].endNs = now;
+  }
+}
+
+void SpanRecorder::addArg(std::uint32_t index, const char* key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index >= spans_.size()) return;
+  Span& span = spans_[index];
+  if (span.argCount >= kMaxArgs) return;
+  span.args[span.argCount++] = {key, value};
+}
+
+std::vector<SpanRecorder::Span> SpanRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t SpanRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void SpanRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+}  // namespace downup::util

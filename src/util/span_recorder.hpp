@@ -1,0 +1,140 @@
+// Wall-clock span tracing for the control plane (routing construction and
+// the fabric rebuild pipeline).
+//
+// The recorder lives in util/ — the bottom layer — so that routing/, core/,
+// fault/ and fabric/ can all emit spans without a dependency on obs/ (which
+// itself depends on routing/).  obs/span.hpp re-exports the type under the
+// obs namespace and owns the JSONL / Perfetto exporters; callers above the
+// routing layer should include that header instead.
+//
+// Contract (mirrors the simulator observability discipline):
+//   * every hook is guarded by a null check — a component handed a nullptr
+//     recorder performs no clock read, no allocation, no synchronization;
+//   * spans never draw RNG and never alter scheduling, so instrumented
+//     builds stay bit-for-bit identical to uninstrumented ones;
+//   * begin/end pairs nest per thread (ScopedSpan enforces this); spans
+//     from different threads interleave freely and carry a dense per-thread
+//     index for the exporters;
+//   * recording is thread-safe behind one mutex — control-plane events are
+//     rare (rebuilds per second, not packets per cycle), so contention is
+//     not a concern and the simple structure keeps dump() trivially
+//     consistent.
+//
+// Timestamps are steady_clock nanoseconds relative to the recorder's
+// construction, so one recorder shared across threads yields one coherent
+// timeline.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace downup::util {
+
+class SpanRecorder {
+ public:
+  static constexpr std::uint32_t kNoParent = ~std::uint32_t{0};
+  static constexpr std::size_t kMaxArgs = 4;
+
+  /// One numeric annotation (name -> value); keys must be string literals
+  /// (the recorder stores the pointer, not a copy).
+  struct Arg {
+    const char* key = nullptr;
+    double value = 0.0;
+  };
+
+  struct Span {
+    const char* name = nullptr;  // static string
+    std::uint32_t parent = kNoParent;  // index into the span list
+    std::uint32_t tid = 0;       // dense per-recorder thread index
+    std::uint16_t depth = 0;     // root = 0
+    std::uint64_t startNs = 0;   // since recorder construction
+    std::uint64_t endNs = 0;     // 0 while still open
+    std::array<Arg, kMaxArgs> args{};
+    std::uint8_t argCount = 0;
+
+    std::uint64_t durationNs() const noexcept {
+      return endNs >= startNs ? endNs - startNs : 0;
+    }
+  };
+
+  SpanRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Opens a span on the calling thread, nested under the thread's
+  /// innermost open span.  `name` must be a string literal (stored by
+  /// pointer).  Returns the span's index.
+  std::uint32_t begin(const char* name);
+
+  /// Closes the span `index` (must be the calling thread's innermost open
+  /// span — ScopedSpan guarantees this).
+  void end(std::uint32_t index);
+
+  /// Attaches a numeric annotation to an open span (up to kMaxArgs;
+  /// further args are dropped).
+  void addArg(std::uint32_t index, const char* key, double value);
+
+  /// Snapshot of every recorded span (closed or still open), in begin
+  /// order.  Safe to call from any thread.
+  std::vector<Span> snapshot() const;
+
+  std::size_t size() const;
+
+  /// Drops every recorded span (reuse across runs).  Call between runs,
+  /// not while spans are open — frames still on a thread's stack would
+  /// dangle into the next recording.
+  void clear();
+
+  /// Nanoseconds since the recorder's construction (the span timebase).
+  std::uint64_t nowNs() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  std::uint32_t threadIndexLocked();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::uint32_t threadCount_ = 0;  // dense tids handed out so far
+};
+
+/// RAII span: no-op when the recorder is null, so call sites read
+///   ScopedSpan span(spans, "bfs");
+///   span.arg("destinations", n);
+/// and cost one branch when tracing is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanRecorder* recorder, const char* name)
+      : recorder_(recorder),
+        index_(recorder != nullptr ? recorder->begin(name) : 0) {}
+  ~ScopedSpan() { close(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void arg(const char* key, double value) {
+    if (recorder_ != nullptr) recorder_->addArg(index_, key, value);
+  }
+
+  /// Closes the span early (idempotent).
+  void close() {
+    if (recorder_ != nullptr) {
+      recorder_->end(index_);
+      recorder_ = nullptr;
+    }
+  }
+
+ private:
+  SpanRecorder* recorder_;
+  std::uint32_t index_;
+};
+
+}  // namespace downup::util
