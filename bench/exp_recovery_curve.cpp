@@ -9,6 +9,14 @@
 // (exit 1) if any sample ever contains a channel wait cycle, making it a
 // standing no-deadlock assertion for CI, alongside drain + routing-verify.
 //
+// The independent deadlock oracle (src/verify/) is ON by default: every
+// table build, reconfiguration merge, epoch publish and both
+// mid-reconfiguration snapshots are cross-validated, and the bench fails
+// on any violation (or if fault churn ran without the oracle ever seeing a
+// quarantine state).  --plant-violation audits a deliberately corrupted
+// rule instead, proving the gate fires: the run then exits nonzero and
+// (with --oracle-dump PREFIX) leaves a replayable oracle_case/1 witness.
+//
 // Datasets (checked into results/ for the 32- and 1024-switch single-link
 // scenarios):
 //
@@ -33,6 +41,7 @@
 #include "stats/sweep.hpp"
 #include "topology/generate.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/gate.hpp"
 
 namespace {
 
@@ -67,8 +76,26 @@ int main(int argc, char** argv) {
   auto outPrefix = cli.cli().option<std::string>(
       "out", "",
       "dataset prefix (.<strategy>.timeseries.csv / .events.csv appended)");
+  auto noOracle = cli.cli().flag(
+      "no-oracle", "detach the independent deadlock oracle (default: on)");
+  auto plantViolation = cli.cli().flag(
+      "plant-violation",
+      "audit an unrestricted copy of every rule (gate self-test; the run "
+      "must exit nonzero)");
+  auto oracleDump = cli.cli().option<std::string>(
+      "oracle-dump", "",
+      "replay-case path prefix for oracle violations (.caseN.jsonl)");
   cli.parse(argc, argv);
   util::ThreadPool pool(static_cast<std::size_t>(cli.threads()));
+
+  // Gate first, build hook installed before any table exists, so the
+  // initial healthy build is audited too.
+  verify::OracleGate::Options gateOptions;
+  gateOptions.enabled = !*noOracle;
+  gateOptions.plantViolation = *plantViolation;
+  gateOptions.dumpPathPrefix = *oracleDump;
+  verify::OracleGate gate(gateOptions);
+  if (gateOptions.enabled) gate.installBuildHook();
 
   util::Rng rng(cli.seed());
   const topo::Topology topo = topo::randomIrregular(
@@ -84,6 +111,7 @@ int main(int argc, char** argv) {
   sim::SimConfig config = cli.simConfig();
   config.reconfigLatencyCycles = static_cast<std::uint32_t>(*latency);
   config.seed = cli.seed() + 300;
+  if (gateOptions.enabled) config.oracleGate = &gate;
 
   const double saturation =
       stats::probeSaturationLoad(routing.table(), traffic, config);
@@ -190,6 +218,29 @@ int main(int argc, char** argv) {
               << " cycle samples=" << run.cycleSamples
               << (run.cycleSamples == 0 ? " (no deadlock risk observed)"
                                         : " [WAIT-FOR CYCLE OBSERVED]");
+  }
+  if (gateOptions.enabled) {
+    std::cout << "\n\noracle: " << gate.audits() << " audits ("
+              << gate.auditsAt("table_build") << " table_build, "
+              << gate.auditsAt("reconfig_full") << " reconfig_full, "
+              << gate.auditsAt("reconfig_incremental") << " reconfig_incr, "
+              << gate.auditsAt("epoch_publish") << " epoch_publish, "
+              << gate.auditsAt("mid_reconfig_quarantine") << " quarantine, "
+              << gate.auditsAt("mid_reconfig_preswap") << " preswap), "
+              << gate.violations() << " violation(s)";
+    if (gate.violations() != 0) {
+      ok = false;
+      std::cout << "\n" << gate.lastViolation().describe();
+      if (!gate.lastCasePath().empty()) {
+        std::cout << "\nlast replay case: " << gate.lastCasePath();
+      }
+    }
+    if (schedule.size() > 0 &&
+        gate.auditsAt("mid_reconfig_quarantine") == 0) {
+      std::cout << "\nERROR: faults fired but no mid-reconfiguration "
+                   "quarantine state was audited";
+      ok = false;
+    }
   }
   std::cout << "\n\n(time-to-reroute = fault -> hot-swap; time-to-recover = "
                "fault -> first window back above 95% of the pre-fault "

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <vector>
+
+#include "verify/gate.hpp"
 
 namespace downup::fabric {
 
@@ -18,6 +21,7 @@ FabricManager::FabricManager(const topo::Topology& topo,
       appliedLink_(topo.linkCount(), 1),
       appliedNode_(topo.nodeCount(), 1) {
   reconfigurator_.setSpans(options_.spans);
+  reconfigurator_.setOracle(options_.oracle);
   publisher_.setMetrics(options_.metrics);
 }
 
@@ -78,6 +82,31 @@ PublishResult FabricManager::rebuildAndPublish(
   result.unreachablePairs = outcome.unreachablePairs;
   result.components = outcome.components;
   result.ok = outcome.ok();
+  // Independent gate on the epoch about to go live.  Shared by driven and
+  // service publishes; observational only (the publish proceeds so the
+  // engine's deterministic swap protocol is unaffected).
+  if (options_.oracle != nullptr) {
+    std::vector<std::uint8_t> channelAlive(topo_->channelCount(), 0);
+    for (topo::LinkId l = 0; l < topo_->linkCount(); ++l) {
+      const auto [a, b] = topo_->linkEnds(l);
+      const std::uint8_t alive = linkAlive[l] && nodeAlive[a] && nodeAlive[b];
+      channelAlive[2 * l] = alive;
+      channelAlive[2 * l + 1] = alive;
+    }
+    verify::OracleInput input;
+    input.perms = outcome.perms.get();
+    input.table = outcome.table.get();
+    input.channelAlive = channelAlive;
+    const std::uint64_t nextEpoch = publisher_.currentEpoch() + 1;
+    if (!options_.oracle->audit(input,
+                                {.point = "epoch_publish", .epoch = nextEpoch})) {
+      oracleViolations_.fetch_add(1, std::memory_order_relaxed);
+      flight_.record(
+          obs::FabricEventKind::kAnomaly, 0,
+          static_cast<std::uint64_t>(obs::AnomalyCode::kOracleViolation),
+          nextEpoch);
+    }
+  }
   {
     util::ScopedSpan publishSpan(options_.spans, "publish");
     result.epoch =

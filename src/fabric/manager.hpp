@@ -44,6 +44,10 @@
 #include "fault/reconfigure.hpp"
 #include "obs/flight_recorder.hpp"
 
+namespace downup::verify {
+class OracleGate;
+}
+
 namespace downup::fabric {
 
 /// What one writer-side publish attempt did (scalars only; the table itself
@@ -83,6 +87,15 @@ class FabricManager final : public fault::FaultEventSink {
     /// Flight-recorder ring capacity (entries; rounded up to a power of
     /// two).  The recorder itself is always on — see flightRecorder().
     std::size_t flightCapacity = 1024;
+    /// Optional independent deadlock oracle (verify/gate.hpp).  When set,
+    /// the Reconfigurator audits every merged outcome and the manager
+    /// audits every epoch at "epoch_publish" just before it goes live —
+    /// from BOTH writer modes, since driven and service publishes share
+    /// rebuildAndPublish().  A violation records a kOracleViolation
+    /// anomaly and bumps oracleViolations() but never blocks the publish:
+    /// enforcement stays with the caller so driven-mode determinism holds.
+    /// Must outlive the manager.
+    verify::OracleGate* oracle = nullptr;
   };
 
   /// `topo` and `baseline` (the healthy epoch-0 table) must outlive the
@@ -188,6 +201,10 @@ class FabricManager final : public fault::FaultEventSink {
   bool allPublishedOk() const noexcept {
     return allOk_.load(std::memory_order_relaxed);
   }
+  /// Epoch publishes the oracle rejected (0 when no oracle is attached).
+  std::uint64_t oracleViolations() const noexcept {
+    return oracleViolations_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Folds `batch` into desiredLink_/desiredNode_; true when the desired
@@ -228,6 +245,7 @@ class FabricManager final : public fault::FaultEventSink {
   std::atomic<std::uint64_t> transitionsAbsorbed_{0};
   std::atomic<std::uint64_t> largestBatch_{0};
   std::atomic<bool> allOk_{true};
+  std::atomic<std::uint64_t> oracleViolations_{0};
 };
 
 }  // namespace downup::fabric

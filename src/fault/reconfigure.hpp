@@ -21,6 +21,10 @@
 #include "routing/routing_table.hpp"
 #include "routing/verify.hpp"
 
+namespace downup::verify {
+class OracleGate;
+}
+
 namespace downup::fault {
 
 /// One rebuilt routing epoch.  `table` indexes the ORIGINAL topology's
@@ -71,6 +75,13 @@ class Reconfigurator {
   /// set it before rebuilds start.
   void setSpans(util::SpanRecorder* spans) noexcept { spans_ = spans; }
 
+  /// Attaches the independent deadlock oracle (verify/gate.hpp): every
+  /// merged outcome — full rebuilds at "reconfig_full", incremental epochs
+  /// at "reconfig_incremental" — is audited against its alive-channel mask
+  /// before it is returned.  Same lifetime/synchronisation contract as
+  /// setSpans; nullptr (the default) is a never-taken branch per rebuild.
+  void setOracle(verify::OracleGate* oracle) noexcept { oracle_ = oracle; }
+
   /// Rebuilds routing over the subgraph restricted to nodes with
   /// nodeAlive[v] != 0 and links with linkAlive[l] != 0 (a dead endpoint
   /// implies a dead link regardless of linkAlive).  Deterministic: uses the
@@ -105,9 +116,15 @@ class Reconfigurator {
       std::span<const std::uint8_t> linkAlive,
       std::span<const std::uint8_t> nodeAlive) const;
 
+  void auditOutcome(const ReconfigOutcome& out,
+                    std::span<const std::uint8_t> linkAlive,
+                    std::span<const std::uint8_t> nodeAlive,
+                    const char* point) const;
+
   const topo::Topology* topo_;
   util::ThreadPool* pool_ = nullptr;
   util::SpanRecorder* spans_ = nullptr;
+  verify::OracleGate* oracle_ = nullptr;
 };
 
 }  // namespace downup::fault

@@ -26,6 +26,7 @@ const char* toString(AnomalyCode code) noexcept {
   switch (code) {
     case AnomalyCode::kUnverifiedRouting: return "unverified_routing";
     case AnomalyCode::kWaitForHardCycle: return "waitfor_hard_cycle";
+    case AnomalyCode::kOracleViolation: return "oracle_violation";
   }
   return "?";
 }

@@ -50,6 +50,8 @@ const char* toString(FabricEventKind kind) noexcept;
 enum class AnomalyCode : std::uint8_t {
   kUnverifiedRouting = 0,  // a published epoch failed verification
   kWaitForHardCycle = 1,   // the wait-for sampler found a hard deadlock
+  kOracleViolation = 2,    // the independent deadlock oracle rejected a
+                           // routing snapshot (verify/gate.hpp)
 };
 
 const char* toString(AnomalyCode code) noexcept;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "routing/audit.hpp"
 #include "util/thread_pool.hpp"
 
 namespace downup::routing {
@@ -138,6 +139,7 @@ RoutingTable RoutingTable::build(const TurnPermissions& perms,
     util::ScopedSpan fillSpan(spans, "candidate_fill");
     table.buildSuccessorIndexes(pool);
   }
+  invokeTableAuditHook(perms, table, channelAlive);
   return table;
 }
 
@@ -528,6 +530,7 @@ RoutingTable RoutingTable::rebuildDead(
       }
     }
   });
+  invokeTableAuditHook(*table.perms_, table, channelAlive);
   return table;
 }
 

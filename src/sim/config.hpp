@@ -17,6 +17,10 @@ namespace downup::obs {
 class Observer;
 }
 
+namespace downup::verify {
+class OracleGate;
+}
+
 namespace downup::sim {
 
 struct SimConfig {
@@ -102,6 +106,17 @@ struct SimConfig {
   /// What happens to packets generated while a reconfiguration window is
   /// open: parked in the source queue (default) or dropped at generation.
   fault::InjectionPolicy faultInjectionPolicy = fault::InjectionPolicy::kPark;
+  /// Optional independent deadlock oracle (verify/gate.hpp).  Non-owning —
+  /// must outlive the run.  When set alongside a fault schedule, the gate
+  /// is handed to the fabric manager (auditing every reconfiguration
+  /// outcome and epoch publish) and the engine additionally audits its own
+  /// occupancy state against the stale rule at the two mid-reconfiguration
+  /// points: "mid_reconfig_quarantine" when a window opens (quarantined
+  /// worms + frozen injection + old table) and "mid_reconfig_preswap" just
+  /// before the new epoch is swapped in.  Audits are read-only, draw no
+  /// RNG and never block the run, so results are bit-for-bit identical
+  /// with or without the gate.
+  verify::OracleGate* oracleGate = nullptr;
   std::uint64_t seed = 1;
 
   /// Throws std::invalid_argument on nonsensical values.

@@ -27,10 +27,13 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "obs/waitfor.hpp"
+#include "verify/gate.hpp"
 
 namespace downup::sim {
 
@@ -55,6 +58,11 @@ void WormholeNetwork::faultPhase() {
       faultsActive_ = true;
       faults_->openWindowUntil(now_ + reconfigWindowLength());
       if (timeseries_ != nullptr) timeseries_->onFaultApplied(now_);
+      // First oracle look at the quarantine state: survivors' occupancy
+      // plus the stale rule restricted to what is still alive.
+      if (config_.oracleGate != nullptr) [[unlikely]] {
+        auditRoutingState("mid_reconfig_quarantine");
+      }
     }
   }
   if (faults_->windowOpen()) {
@@ -191,6 +199,12 @@ void WormholeNetwork::completeReconfiguration() {
     }
   }
 
+  // Second oracle look, after the flush: only fully-routed worms survive,
+  // so their hold chains must peel (end at ejection) under the stale rule.
+  if (config_.oracleGate != nullptr) [[unlikely]] {
+    auditRoutingState("mid_reconfig_preswap");
+  }
+
   // The fabric rebuilds from the controller's authoritative masks (driven
   // mode always publishes) and this thread re-pins the new epoch; the old
   // pin is superseded, so the fabric reclaims the retired table once no
@@ -288,6 +302,60 @@ bool WormholeNetwork::dropUnroutableSourceFront(topo::NodeId node) {
     source.queue.pop_front();
   }
   return false;
+}
+
+void WormholeNetwork::auditRoutingState(const char* point) {
+  verify::OracleGate* const gate = config_.oracleGate;
+  // Occupancy overlay in oracle form, mirroring sampleWaitFor(): a VC with
+  // a committed next hop holds its channel against the downstream one
+  // (ejection ends the chain); an unrouted header requests its minimal
+  // candidates, but only fully-owned targets can actually block it.
+  std::vector<verify::OccupancyEdge> holds;
+  std::vector<verify::OccupancyEdge> requests;
+  const auto channelFullyOwned = [this](ChannelId c) {
+    for (std::uint32_t v = 0; v < vcCount_; ++v) {
+      if (vcs_[c * vcCount_ + v].owner == kNoPacket) return false;
+    }
+    return true;
+  };
+  for (std::uint32_t vcId = 0; vcId < totalVcs_; ++vcId) {
+    const Vc& vc = vcs_[vcId];
+    if (vc.owner == kNoPacket) continue;
+    const ChannelId held = vcChannel(vcId);
+    if (vc.out != kNoOut) {
+      if (!isEject(vc.out)) holds.push_back({held, vcChannel(vc.out)});
+      continue;
+    }
+    const topo::NodeId dst = packets_[vc.owner].dst;
+    for (ChannelId c : table_->nextChannels(held, dst)) {
+      if (channelFullyOwned(c)) requests.push_back({held, c});
+    }
+  }
+  std::vector<std::uint8_t> alive(topo_->channelCount(), 0);
+  for (ChannelId c = 0; c < topo_->channelCount(); ++c) {
+    alive[c] = faults_->channelAlive(c) ? 1 : 0;
+  }
+  verify::OracleInput input;
+  // The CURRENT rule — during an open window this is the stale epoch the
+  // survivors were routed under, which is exactly what must still drain.
+  // No table layer: its rows reference dead channels by design here.
+  input.perms = &table_->permissions();
+  input.channelAlive = alive;
+  input.holdEdges = holds;
+  input.requestEdges = requests;
+  verify::CaseContext context;
+  context.point = point;
+  context.cycle = now_;
+  context.epoch = fabric_->currentEpoch();
+  if (waitfor_ != nullptr && waitfor_->everCycle()) {
+    const auto witness = waitfor_->witnessCycle();
+    context.waitForWitness.assign(witness.begin(), witness.end());
+  }
+  if (!gate->audit(input, context)) {
+    fabric_->flightRecorder().record(
+        obs::FabricEventKind::kAnomaly, now_,
+        static_cast<std::uint64_t>(obs::AnomalyCode::kOracleViolation), 0);
+  }
 }
 
 std::uint32_t WormholeNetwork::claimOutputVcDegraded(PacketId pid,

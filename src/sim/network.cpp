@@ -30,6 +30,7 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
   }
   genProbability_ =
       injectionRate / static_cast<double>(config_.packetLengthFlits);
+  modulatedPattern_ = pattern.modulatesRate();
 
   vcCount_ = config_.vcCount;
   totalVcs_ = topo_->channelCount() * vcCount_;
@@ -82,6 +83,7 @@ WormholeNetwork::WormholeNetwork(const RoutingTable& table,
     if (config_.observer != nullptr) {
       fabricOptions.spans = config_.observer->controlPlaneSpans();
     }
+    fabricOptions.oracle = config_.oracleGate;
     fabric_ = std::make_unique<fabric::FabricManager>(*topo_, table,
                                                       fabricOptions);
     fabricReader_ = fabric_->makeReader();
@@ -238,6 +240,10 @@ void WormholeNetwork::runPhasesProfiled() {
 
 void WormholeNetwork::generateTraffic() {
   if (genProbability_ <= 0.0 || generationStopped_) return;
+  if (modulatedPattern_) [[unlikely]] {
+    generateTrafficModulated();
+    return;
+  }
   const topo::NodeId nodeCount = topo_->nodeCount();
   if (config_.burstFactor <= 1.0) {
     // Smooth-traffic fast path: one Bernoulli draw per node per cycle is the
@@ -275,6 +281,25 @@ void WormholeNetwork::generateTraffic() {
     }
     if (!rng_.chance(probability)) continue;
     if (sources_[node].queue.size() >= config_.sourceQueueCapPackets) continue;
+    const topo::NodeId dst = pattern_->destination(node, rng_);
+    assert(dst != node && "traffic pattern produced src == dst");
+    if (faultsActive_ && !admitGeneratedPacket(node, dst)) continue;
+    enqueuePacket(node, dst);
+  }
+}
+
+void WormholeNetwork::generateTrafficModulated() {
+  // The pattern's modulation state evolves on its OWN RNG; only the
+  // Bernoulli draws and destination picks below touch the engine stream,
+  // so the sequence is still fully determined by (seed, pattern seed).
+  pattern_->advanceCycle(now_);
+  const topo::NodeId nodeCount = topo_->nodeCount();
+  const std::size_t queueCap = config_.sourceQueueCapPackets;
+  for (topo::NodeId node = 0; node < nodeCount; ++node) {
+    const double probability =
+        std::min(1.0, genProbability_ * pattern_->rateMultiplier(node));
+    if (!rng_.chance(probability)) continue;
+    if (sources_[node].queue.size() >= queueCap) continue;
     const topo::NodeId dst = pattern_->destination(node, rng_);
     assert(dst != node && "traffic pattern produced src == dst");
     if (faultsActive_ && !admitGeneratedPacket(node, dst)) continue;

@@ -184,6 +184,11 @@ class WormholeNetwork {
 
   // --- network.cpp ---
   void generateTraffic();
+  /// Generation under a rate-modulating pattern (TrafficPattern modulation
+  /// hooks): advances the pattern once per cycle and scales each node's
+  /// Bernoulli probability by its multiplier.  Separate from the smooth
+  /// fast path so non-modulating runs keep their pinned draw sequence.
+  void generateTrafficModulated();
   void enqueuePacket(topo::NodeId src, topo::NodeId dst);
   /// The four engine phases wrapped in steady_clock timers (profiler
   /// attached); the detached path calls them directly from step().
@@ -251,6 +256,13 @@ class WormholeNetwork {
   /// Generation-time admission under faults; may count a drop.  `node` has
   /// already passed the queue-cap check and drawn `dst`.
   bool admitGeneratedPacket(topo::NodeId node, topo::NodeId dst);
+  /// Audits the engine's live occupancy (worm hold edges + blocked-header
+  /// request edges) together with the CURRENT (possibly stale) rule against
+  /// the independent deadlock oracle (config_.oracleGate; no-op when
+  /// detached).  Called at the mid-reconfiguration points — window open and
+  /// just before the epoch swap — so the oracle sees exactly the states the
+  /// drain-then-swap argument claims are safe.  Read-only; no RNG.
+  void auditRoutingState(const char* point);
 
   // --- active-set bookkeeping (inline: called on every state transition) ---
   /// VC `vcId` gained a forwardable flit (out claimed with flits buffered,
@@ -270,6 +282,7 @@ class WormholeNetwork {
   const RoutingTable* table_;
   const topo::Topology* topo_;
   const TrafficPattern* pattern_;
+  bool modulatedPattern_ = false;  // cached pattern_->modulatesRate()
   SimConfig config_;
   double injectionRate_;
   double genProbability_;  // per node per cycle

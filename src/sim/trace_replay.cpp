@@ -1,0 +1,106 @@
+#include "sim/trace_replay.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "util/jsonl.hpp"
+
+namespace downup::sim {
+
+using util::JsonlField;
+
+namespace {
+
+[[noreturn]] void fail(std::string_view source, std::size_t lineNo,
+                       const std::string& message) {
+  throw std::runtime_error("traffic trace: " + std::string(source) + ":" +
+                           std::to_string(lineNo) + ": " + message);
+}
+
+std::uint64_t asUnsigned(const JsonlField& f, std::uint64_t max,
+                         std::string_view source, std::size_t lineNo) {
+  if (f.intValue < 0 || static_cast<std::uint64_t>(f.intValue) > max) {
+    fail(source, lineNo, "field \"" + f.key + "\" out of range");
+  }
+  return static_cast<std::uint64_t>(f.intValue);
+}
+
+/// Rejects any key outside `allowed` — a typo'd or foreign field is an
+/// error at its line, not silently ignored data.
+void rejectUnknownKeys(const std::vector<JsonlField>& fields,
+                       std::span<const std::string_view> allowed,
+                       std::string_view source, std::size_t lineNo) {
+  for (const JsonlField& f : fields) {
+    bool known = false;
+    for (const std::string_view a : allowed) known = known || f.key == a;
+    if (!known) fail(source, lineNo, "unknown key \"" + f.key + "\"");
+  }
+}
+
+}  // namespace
+
+TrafficTrace loadTrafficTrace(std::istream& in, std::string_view source) {
+  TrafficTrace trace;
+  std::string line;
+  std::size_t lineNo = 0;
+
+  if (!std::getline(in, line)) fail(source, 1, "empty file");
+  ++lineNo;
+  const auto meta = util::parseJsonlLine(line, source, lineNo);
+  static constexpr std::string_view kMetaKeys[] = {"schema", "nodes"};
+  rejectUnknownKeys(meta, kMetaKeys, source, lineNo);
+  const auto& schema = util::requireField(meta, "schema",
+                                          JsonlField::Kind::kString, source,
+                                          lineNo);
+  if (schema.stringValue != "traffic_trace/1") {
+    fail(source, lineNo, "unsupported schema \"" + schema.stringValue + "\"");
+  }
+  const std::uint64_t nodes =
+      asUnsigned(util::requireField(meta, "nodes", JsonlField::Kind::kInt,
+                                    source, lineNo),
+                 1u << 24, source, lineNo);
+  if (nodes < 2) fail(source, lineNo, "need >= 2 nodes");
+  trace.nodeCount = static_cast<NodeId>(nodes);
+  trace.flows.assign(trace.nodeCount, {});
+
+  static constexpr std::string_view kRecordKeys[] = {"src", "dst", "cycle"};
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto fields = util::parseJsonlLine(line, source, lineNo);
+    rejectUnknownKeys(fields, kRecordKeys, source, lineNo);
+    const auto src = static_cast<NodeId>(asUnsigned(
+        util::requireField(fields, "src", JsonlField::Kind::kInt, source,
+                           lineNo),
+        nodes - 1, source, lineNo));
+    const auto dst = static_cast<NodeId>(asUnsigned(
+        util::requireField(fields, "dst", JsonlField::Kind::kInt, source,
+                           lineNo),
+        nodes - 1, source, lineNo));
+    if (src == dst) fail(source, lineNo, "src == dst");
+    if (const JsonlField* cycle = util::findField(
+            fields, "cycle", JsonlField::Kind::kInt, source, lineNo)) {
+      // Provenance only; still range-checked so a corrupted timestamp is
+      // caught at its line.
+      asUnsigned(*cycle, std::numeric_limits<std::int64_t>::max(), source,
+                 lineNo);
+    }
+    trace.flows[src].push_back(dst);
+    ++trace.records;
+  }
+  if (trace.records == 0) fail(source, lineNo, "trace has no records");
+  return trace;
+}
+
+TrafficTrace loadTrafficTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("traffic trace: cannot open " + path);
+  }
+  return loadTrafficTrace(in, path);
+}
+
+}  // namespace downup::sim

@@ -1,0 +1,49 @@
+// Traffic-trace ingestion (schema `traffic_trace/1`): recorded src->dst
+// demands as strict JSONL, replayed through TraceReplayTraffic.
+//
+// File layout (one flat JSON object per line, util/jsonl.hpp strictness —
+// a malformed byte is an error at its `source:line`, never a skipped
+// record):
+//
+//   {"schema":"traffic_trace/1","nodes":16}
+//   {"src":0,"dst":9}
+//   {"src":3,"dst":12,"cycle":41}
+//
+// The meta line is mandatory and first; `cycle` is an optional recording
+// timestamp (kept for provenance, not used by replay — injection timing
+// stays the engine's Bernoulli process).  Out-of-range ids, src == dst,
+// unknown keys, duplicate meta lines and empty files are all rejected, the
+// same contract topo::load established for topology files (DESIGN.md §7);
+// the negative corpus lives in tests/sim/corpus/.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/traffic.hpp"
+
+namespace downup::sim {
+
+/// A parsed trace: per-source destination sequences in record order.
+struct TrafficTrace {
+  NodeId nodeCount = 0;
+  std::vector<std::vector<NodeId>> flows;  // flows[src] = recorded dsts
+  std::uint64_t records = 0;
+
+  /// The replay pattern over this trace (copies the flows).
+  TraceReplayTraffic makePattern() const {
+    return TraceReplayTraffic(nodeCount, flows);
+  }
+};
+
+/// Parses a traffic_trace/1 stream.  Throws std::runtime_error with a
+/// `source:line` diagnostic on any malformed, truncated or out-of-range
+/// record; `source` names the stream in those diagnostics.
+TrafficTrace loadTrafficTrace(std::istream& in, std::string_view source);
+
+/// Opens and parses `path` (diagnostics use the path as the source name).
+TrafficTrace loadTrafficTraceFile(const std::string& path);
+
+}  // namespace downup::sim

@@ -1,5 +1,6 @@
 #include "sim/traffic.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "topology/properties.hpp"
@@ -82,6 +83,153 @@ LocalTraffic::LocalTraffic(const topo::Topology& topo, std::uint32_t radius)
 NodeId LocalTraffic::destination(NodeId src, util::Rng& rng) const {
   const auto& options = candidates_[src];
   return options[rng.below(options.size())];
+}
+
+TornadoTraffic::TornadoTraffic(NodeId nodeCount) : nodeCount_(nodeCount) {
+  if (nodeCount < 2) {
+    throw std::invalid_argument("TornadoTraffic: need >= 2 nodes");
+  }
+}
+
+NodeId TornadoTraffic::destination(NodeId src, util::Rng&) const {
+  // src + floor(n/2) mod n is never src for n >= 2.
+  return static_cast<NodeId>((src + nodeCount_ / 2) % nodeCount_);
+}
+
+HotspotStormTraffic::HotspotStormTraffic(NodeId nodeCount,
+                                         std::vector<NodeId> targets,
+                                         double stormFraction, double surge,
+                                         std::uint32_t onMeanCycles,
+                                         std::uint32_t offMeanCycles,
+                                         std::uint64_t seed)
+    : nodeCount_(nodeCount),
+      targets_(std::move(targets)),
+      stormFraction_(stormFraction),
+      surge_(surge),
+      onExit_(1.0 / std::max<std::uint32_t>(1, onMeanCycles)),
+      offExit_(1.0 / std::max<std::uint32_t>(1, offMeanCycles)),
+      modRng_(seed) {
+  if (nodeCount < 2) {
+    throw std::invalid_argument("HotspotStormTraffic: need >= 2 nodes");
+  }
+  if (targets_.empty()) {
+    throw std::invalid_argument("HotspotStormTraffic: empty target set");
+  }
+  std::vector<std::uint8_t> seen(nodeCount, 0);
+  for (NodeId t : targets_) {
+    if (t >= nodeCount || seen[t]) {
+      throw std::invalid_argument(
+          "HotspotStormTraffic: targets must be in-range and duplicate-free");
+    }
+    seen[t] = 1;
+  }
+  if (stormFraction < 0.0 || stormFraction > 1.0) {
+    throw std::invalid_argument(
+        "HotspotStormTraffic: stormFraction must be in [0,1]");
+  }
+  if (surge < 1.0) {
+    throw std::invalid_argument("HotspotStormTraffic: surge must be >= 1");
+  }
+}
+
+void HotspotStormTraffic::advanceCycle(std::uint64_t cycle) const {
+  if (cycle == lastCycle_) return;
+  lastCycle_ = cycle;
+  if (on_) {
+    if (modRng_.chance(onExit_)) on_ = false;
+  } else {
+    if (modRng_.chance(offExit_)) on_ = true;
+  }
+}
+
+double HotspotStormTraffic::rateMultiplier(NodeId) const {
+  return on_ ? surge_ : 1.0;
+}
+
+NodeId HotspotStormTraffic::destination(NodeId src, util::Rng& rng) const {
+  if (on_ && rng.chance(stormFraction_)) {
+    // A storm packet aims at a uniformly drawn target; a target node never
+    // storms itself (falls through to the uniform draw below).
+    const NodeId t = targets_[rng.below(targets_.size())];
+    if (t != src) return t;
+  }
+  const auto draw = static_cast<NodeId>(rng.below(nodeCount_ - 1));
+  return draw >= src ? draw + 1 : draw;
+}
+
+MmppTraffic MmppTraffic::onOff(NodeId nodeCount, double burst,
+                               std::uint32_t onMeanCycles,
+                               std::uint32_t offMeanCycles,
+                               std::uint64_t seed) {
+  return MmppTraffic(nodeCount,
+                     {State{burst, onMeanCycles}, State{0.0, offMeanCycles}},
+                     seed);
+}
+
+MmppTraffic::MmppTraffic(NodeId nodeCount, std::vector<State> states,
+                         std::uint64_t seed)
+    : nodeCount_(nodeCount), states_(std::move(states)), modRng_(seed) {
+  if (nodeCount < 2) {
+    throw std::invalid_argument("MmppTraffic: need >= 2 nodes");
+  }
+  if (states_.size() < 2) {
+    throw std::invalid_argument("MmppTraffic: need >= 2 states");
+  }
+  for (const State& s : states_) {
+    if (s.rateMultiplier < 0.0 || s.meanCycles == 0) {
+      throw std::invalid_argument("MmppTraffic: bad state parameters");
+    }
+  }
+}
+
+void MmppTraffic::advanceCycle(std::uint64_t cycle) const {
+  if (cycle == lastCycle_) return;
+  lastCycle_ = cycle;
+  if (!modRng_.chance(1.0 / states_[state_].meanCycles)) return;
+  // Leave for a uniformly drawn OTHER state.
+  const auto draw = modRng_.below(states_.size() - 1);
+  state_ = draw >= state_ ? draw + 1 : draw;
+}
+
+double MmppTraffic::rateMultiplier(NodeId) const {
+  return states_[state_].rateMultiplier;
+}
+
+NodeId MmppTraffic::destination(NodeId src, util::Rng& rng) const {
+  const auto draw = static_cast<NodeId>(rng.below(nodeCount_ - 1));
+  return draw >= src ? draw + 1 : draw;
+}
+
+TraceReplayTraffic::TraceReplayTraffic(NodeId nodeCount,
+                                       std::vector<std::vector<NodeId>> flows)
+    : nodeCount_(nodeCount), flows_(std::move(flows)) {
+  if (nodeCount < 2) {
+    throw std::invalid_argument("TraceReplayTraffic: need >= 2 nodes");
+  }
+  if (flows_.size() != nodeCount) {
+    throw std::invalid_argument(
+        "TraceReplayTraffic: flows must have one entry per node");
+  }
+  for (NodeId src = 0; src < nodeCount_; ++src) {
+    for (NodeId dst : flows_[src]) {
+      if (dst >= nodeCount_ || dst == src) {
+        throw std::invalid_argument(
+            "TraceReplayTraffic: recorded destination out of range or == src");
+      }
+    }
+  }
+  cursor_.assign(nodeCount_, 0);
+}
+
+NodeId TraceReplayTraffic::destination(NodeId src, util::Rng& rng) const {
+  const auto& seq = flows_[src];
+  if (seq.empty()) {
+    const auto draw = static_cast<NodeId>(rng.below(nodeCount_ - 1));
+    return draw >= src ? draw + 1 : draw;
+  }
+  const NodeId dst = seq[cursor_[src]];
+  cursor_[src] = (cursor_[src] + 1) % static_cast<std::uint32_t>(seq.size());
+  return dst;
 }
 
 }  // namespace downup::sim

@@ -1,6 +1,17 @@
 // Traffic patterns: given a source switch, choose a destination.  The paper
 // evaluates uniform traffic; hotspot, permutation and local patterns are
-// provided for the extension experiments and for stress tests.
+// provided for the extension experiments, and the adversarial patterns
+// (tornado, hotspot storm, MMPP, trace replay) drive the oracle-gated
+// robustness runs in bench/exp_adversarial.cpp.
+//
+// Rate modulation: a pattern may additionally shape WHEN nodes inject by
+// overriding the modulation hooks.  The engine advances the pattern once
+// per cycle and scales each node's Bernoulli injection probability by
+// rateMultiplier(src).  Modulating patterns keep their evolution state in
+// mutable members driven by a pattern-OWNED RNG (never the engine's shared
+// stream), so attaching one changes only its own runs — every existing
+// pattern reports modulatesRate() == false and the engine's historical
+// generation path (and its golden-pinned draw sequence) is untouched.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +33,24 @@ class TrafficPattern {
   /// Must return a node != src.
   virtual NodeId destination(NodeId src, util::Rng& rng) const = 0;
   virtual std::string_view name() const = 0;
+
+  // --- rate modulation (optional; see the header comment) ---
+
+  /// True when the pattern shapes injection rate over time; the engine then
+  /// routes generation through its modulated path.  Must be constant for
+  /// the pattern's lifetime.
+  virtual bool modulatesRate() const { return false; }
+  /// Advances the pattern's modulation state to `cycle`.  Called once per
+  /// simulated cycle (before any rateMultiplier query for that cycle);
+  /// implementations must be idempotent per cycle.  Const because the
+  /// engine holds the pattern const; modulation state is mutable by design.
+  virtual void advanceCycle(std::uint64_t cycle) const { (void)cycle; }
+  /// Multiplier applied to `src`'s base injection probability this cycle
+  /// (clamped to probability 1 by the engine).  0 silences the node.
+  virtual double rateMultiplier(NodeId src) const {
+    (void)src;
+    return 1.0;
+  }
 };
 
 /// Every other node equally likely (the paper's pattern).
@@ -73,6 +102,109 @@ class LocalTraffic final : public TrafficPattern {
 
  private:
   std::vector<std::vector<NodeId>> candidates_;
+};
+
+/// Tornado: every source always sends to the node half the id space away
+/// ((src + n/2) mod n).  On tree-routed irregular networks this is the
+/// classic worst case for root congestion: no locality, every flow crosses
+/// the id midpoint, and the load is a fixed permutation-like pattern the
+/// adaptive selection cannot spread.
+class TornadoTraffic final : public TrafficPattern {
+ public:
+  explicit TornadoTraffic(NodeId nodeCount);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "tornado"; }
+
+ private:
+  NodeId nodeCount_;
+};
+
+/// Hotspot storm: a global two-state ON/OFF process (pattern-owned RNG).
+/// During a storm every node injects at `surge` times the base rate and
+/// directs `stormFraction` of its packets at a small target set (typically
+/// the switches adjacent to the coordinated tree's root — the channels the
+/// DOWN/UP rule already concentrates); between storms traffic is plain
+/// uniform at the base rate.
+class HotspotStormTraffic final : public TrafficPattern {
+ public:
+  /// `targets` must be non-empty, in range and duplicate-free.
+  HotspotStormTraffic(NodeId nodeCount, std::vector<NodeId> targets,
+                      double stormFraction, double surge,
+                      std::uint32_t onMeanCycles, std::uint32_t offMeanCycles,
+                      std::uint64_t seed);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "hotspot-storm"; }
+
+  bool modulatesRate() const override { return true; }
+  void advanceCycle(std::uint64_t cycle) const override;
+  double rateMultiplier(NodeId src) const override;
+  bool stormActive() const noexcept { return on_; }
+
+ private:
+  NodeId nodeCount_;
+  std::vector<NodeId> targets_;
+  double stormFraction_;
+  double surge_;
+  double onExit_;   // per-cycle probability of leaving ON
+  double offExit_;  // per-cycle probability of leaving OFF
+  mutable util::Rng modRng_;
+  mutable bool on_ = false;
+  mutable std::uint64_t lastCycle_ = ~std::uint64_t{0};
+};
+
+/// Markov-modulated injection (MMPP): a global continuous-state chain over
+/// `states`, each scaling the base rate by its multiplier; destinations are
+/// uniform.  Per cycle the chain leaves state i with probability
+/// 1/meanCycles[i], moving to a uniformly drawn other state (pattern-owned
+/// RNG).  The canonical bursty instance is onOff().
+class MmppTraffic final : public TrafficPattern {
+ public:
+  struct State {
+    double rateMultiplier = 1.0;
+    std::uint32_t meanCycles = 100;  // mean dwell time in this state
+  };
+
+  /// Classic 2-state ON/OFF burst process with duty cycle onMean/(onMean +
+  /// offMean); `burst` is the ON-state multiplier (OFF is silent).
+  static MmppTraffic onOff(NodeId nodeCount, double burst,
+                           std::uint32_t onMeanCycles,
+                           std::uint32_t offMeanCycles, std::uint64_t seed);
+
+  MmppTraffic(NodeId nodeCount, std::vector<State> states, std::uint64_t seed);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "mmpp"; }
+
+  bool modulatesRate() const override { return true; }
+  void advanceCycle(std::uint64_t cycle) const override;
+  double rateMultiplier(NodeId src) const override;
+  std::size_t currentState() const noexcept { return state_; }
+
+ private:
+  NodeId nodeCount_;
+  std::vector<State> states_;
+  mutable util::Rng modRng_;
+  mutable std::size_t state_ = 0;
+  mutable std::uint64_t lastCycle_ = ~std::uint64_t{0};
+};
+
+/// Replays recorded src->dst demands (sim/trace_replay.hpp loads the
+/// traffic_trace/1 JSONL form).  Each source cycles through its recorded
+/// destination sequence in order, wrapping at the end; sources with no
+/// recorded demand fall back to a uniform draw.  Injection timing stays the
+/// engine's Bernoulli process — the trace pins the demand matrix, not the
+/// clock — which keeps replay composable with fault schedules.
+class TraceReplayTraffic final : public TrafficPattern {
+ public:
+  /// `flows[src]` lists the recorded destinations of `src` in order; every
+  /// entry must be an in-range node != src.
+  TraceReplayTraffic(NodeId nodeCount, std::vector<std::vector<NodeId>> flows);
+  NodeId destination(NodeId src, util::Rng& rng) const override;
+  std::string_view name() const override { return "trace-replay"; }
+
+ private:
+  NodeId nodeCount_;
+  std::vector<std::vector<NodeId>> flows_;
+  mutable std::vector<std::uint32_t> cursor_;
 };
 
 }  // namespace downup::sim

@@ -1,0 +1,178 @@
+#include "util/jsonl.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace downup::util {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view source, std::size_t lineNo,
+                       const std::string& message) {
+  throw std::runtime_error("jsonl: " + std::string(source) + ":" +
+                           std::to_string(lineNo) + ": " + message);
+}
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string_view source;
+  std::size_t lineNo;
+
+  bool done() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+  void skipSpaces() {
+    while (!done() && (peek() == ' ' || peek() == '\t')) ++pos;
+  }
+  void expect(char c, const char* what) {
+    skipSpaces();
+    if (done() || peek() != c) {
+      fail(source, lineNo,
+           std::string("expected ") + what + (done() ? " but line ended"
+                                                     : " at column " +
+                                                           std::to_string(pos + 1)));
+    }
+    ++pos;
+  }
+
+  std::string parseString() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (done()) fail(source, lineNo, "unterminated string (truncated line?)");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (done()) fail(source, lineNo, "unterminated escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default:
+            fail(source, lineNo,
+                 std::string("unsupported escape '\\") + e + "'");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  std::int64_t parseInt() {
+    skipSpaces();
+    const std::size_t start = pos;
+    if (!done() && peek() == '-') ++pos;
+    while (!done() && peek() >= '0' && peek() <= '9') ++pos;
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      fail(source, lineNo, "expected an integer value");
+    }
+    if (!done() && (peek() == '.' || peek() == 'e' || peek() == 'E')) {
+      fail(source, lineNo, "non-integer numbers are not allowed");
+    }
+    std::int64_t value = 0;
+    const auto res = std::from_chars(text.data() + start, text.data() + pos, value);
+    if (res.ec != std::errc{} || res.ptr != text.data() + pos) {
+      fail(source, lineNo, "integer out of range");
+    }
+    return value;
+  }
+
+  bool tryKeyword(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<JsonlField> parseJsonlLine(std::string_view line,
+                                       std::string_view source,
+                                       std::size_t lineNo) {
+  // Tolerate a trailing carriage return (files written on Windows).
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  Cursor cur{line, 0, source, lineNo};
+  cur.skipSpaces();
+  if (cur.done()) fail(source, lineNo, "empty line (blank lines are not allowed)");
+  cur.expect('{', "'{'");
+  std::vector<JsonlField> fields;
+  cur.skipSpaces();
+  if (!cur.done() && cur.peek() == '}') {
+    ++cur.pos;
+  } else {
+    while (true) {
+      JsonlField field;
+      field.key = cur.parseString();
+      for (const JsonlField& prev : fields) {
+        if (prev.key == field.key) {
+          fail(source, lineNo, "duplicate key \"" + field.key + "\"");
+        }
+      }
+      cur.expect(':', "':'");
+      cur.skipSpaces();
+      if (cur.done()) fail(source, lineNo, "value missing (truncated line?)");
+      const char c = cur.peek();
+      if (c == '"') {
+        field.kind = JsonlField::Kind::kString;
+        field.stringValue = cur.parseString();
+      } else if (c == 't' && cur.tryKeyword("true")) {
+        field.kind = JsonlField::Kind::kBool;
+        field.intValue = 1;
+      } else if (c == 'f' && cur.tryKeyword("false")) {
+        field.kind = JsonlField::Kind::kBool;
+        field.intValue = 0;
+      } else if (c == '{' || c == '[') {
+        fail(source, lineNo, "nested objects/arrays are not allowed");
+      } else {
+        field.kind = JsonlField::Kind::kInt;
+        field.intValue = cur.parseInt();
+      }
+      fields.push_back(std::move(field));
+      cur.skipSpaces();
+      if (cur.done()) fail(source, lineNo, "object not closed (truncated line?)");
+      if (cur.peek() == ',') {
+        ++cur.pos;
+        continue;
+      }
+      cur.expect('}', "',' or '}'");
+      break;
+    }
+  }
+  cur.skipSpaces();
+  if (!cur.done()) {
+    fail(source, lineNo,
+         "trailing garbage after object at column " + std::to_string(cur.pos + 1));
+  }
+  return fields;
+}
+
+const JsonlField* findField(const std::vector<JsonlField>& fields,
+                            std::string_view key, JsonlField::Kind kind,
+                            std::string_view source, std::size_t lineNo) {
+  for (const JsonlField& f : fields) {
+    if (f.key == key) {
+      if (f.kind != kind) {
+        fail(source, lineNo, "field \"" + std::string(key) + "\" has the wrong type");
+      }
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const JsonlField& requireField(const std::vector<JsonlField>& fields,
+                               std::string_view key, JsonlField::Kind kind,
+                               std::string_view source, std::size_t lineNo) {
+  const JsonlField* f = findField(fields, key, kind, source, lineNo);
+  if (f == nullptr) {
+    fail(source, lineNo, "missing required field \"" + std::string(key) + "\"");
+  }
+  return *f;
+}
+
+}  // namespace downup::util

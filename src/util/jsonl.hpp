@@ -1,0 +1,47 @@
+// Strict line-oriented JSON-object scanner for the repo's JSONL formats
+// (traffic traces, oracle replay cases).
+//
+// Deliberately minimal: each line must be exactly one flat JSON object with
+// string keys and integer, string or boolean values — no nesting, no
+// floats, no duplicate keys, no trailing garbage.  Anything else fails with
+// a `source:line: message` diagnostic, the same contract topo::load
+// established for topology files (DESIGN.md §7): a malformed byte is an
+// error at its exact location, never a silently skipped record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace downup::util {
+
+struct JsonlField {
+  enum class Kind : std::uint8_t { kInt, kString, kBool };
+  std::string key;
+  Kind kind = Kind::kInt;
+  std::int64_t intValue = 0;  // also holds bools (0/1)
+  std::string stringValue;
+};
+
+/// Parses one JSONL line into its fields (declaration order preserved).
+/// Throws std::runtime_error("jsonl: <source>:<lineNo>: <message>") on any
+/// deviation: missing braces, unquoted keys, duplicate keys, non-integer
+/// numbers, nested values, truncation, trailing garbage.
+std::vector<JsonlField> parseJsonlLine(std::string_view line,
+                                       std::string_view source,
+                                       std::size_t lineNo);
+
+/// Convenience over a parsed line: returns the field with `key` or throws
+/// the same source:line diagnostic when absent or of the wrong kind.
+const JsonlField& requireField(const std::vector<JsonlField>& fields,
+                               std::string_view key, JsonlField::Kind kind,
+                               std::string_view source, std::size_t lineNo);
+
+/// Like requireField but returns nullptr when the key is absent (still
+/// throws on a present-but-wrong-kind field).
+const JsonlField* findField(const std::vector<JsonlField>& fields,
+                            std::string_view key, JsonlField::Kind kind,
+                            std::string_view source, std::size_t lineNo);
+
+}  // namespace downup::util

@@ -1,0 +1,118 @@
+// Independent deadlock-freedom oracle.
+//
+// The constructive pipeline already checks its own work: verifyRouting()
+// runs an iterative three-color DFS over the channel-dependency graph
+// (routing/cdg.cpp) and trusts the routing table's own distance field for
+// connectivity.  This oracle re-derives both verdicts through a different
+// algorithm and a different formulation so that a bug in the constructive
+// path and a bug in its checker are unlikely to coincide.
+//
+// Condition.  Mendlovic & Matias (2025, PAPERS.md) characterise
+// deadlock-free routing through an escape property: a configuration can
+// wedge iff there is a non-empty set S of channels in which every channel's
+// permitted continuations all lead back into S — no member of S can ever
+// drain.  For a fixed routing relation this is the greatest fixed point of
+// the "keep channels with a non-drainable successor" operator, and the
+// routing is deadlock-free iff that fixed point is empty.  We compute it by
+// Kahn-style peeling: repeatedly remove channels whose out-degree in the
+// dependency graph (restricted to not-yet-removed channels) is zero — such
+// a channel can always drain.  The residual set after peeling converges is
+// exactly the greatest fixed point; on a finite graph it is empty iff the
+// graph is acyclic, so the verdict provably agrees with Dally & Seitz
+// acyclicity while sharing no code or traversal order with the DFS.
+//
+// The oracle audits three independent layers, each optional beyond the
+// first:
+//   1. Rule check — peel the permission CDG restricted to alive channels.
+//      Residual non-empty => the published turn rule itself can wedge.
+//   2. State check — peel the occupancy graph of a running network: hold
+//      edges (worm occupies channel A and extends onto channel B) plus
+//      request edges (blocked header on A waiting for a fully-owned
+//      channel B).  This is what the mid-reconfiguration quarantine state
+//      is audited with: survivors routed under the *old* rule coexist with
+//      the frozen fabric, and a residual here is an actual wedged worm set
+//      regardless of what any rule says.  Note the state check deliberately
+//      does NOT union old-epoch hold edges with new-rule permission edges:
+//      a fully-routed survivor drains unconditionally, so that union would
+//      manufacture false cycles.
+//   3. Table cross-check — every candidate row must satisfy the turn rule
+//      and the steps law (steps(dst, out) + 1 == steps(dst, in)); the deep
+//      variant re-derives all-pairs distances by *forward* BFS over the
+//      channel graph (the table builds them by reverse BFS) and compares.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "routing/routing_table.hpp"
+
+namespace downup::verify {
+
+using routing::ChannelId;
+using routing::NodeId;
+
+/// One directed occupancy edge between channels (holds and requests share
+/// the shape; the oracle treats both as "from cannot drain before to").
+struct OccupancyEdge {
+  ChannelId from = 0;
+  ChannelId to = 0;
+};
+
+struct OracleInput {
+  /// The turn rule to audit (required).
+  const routing::TurnPermissions* perms = nullptr;
+  /// Optional channel liveness, one byte per channel (empty = all alive).
+  /// Dead channels are excluded from every layer.
+  std::span<const std::uint8_t> channelAlive = {};
+  /// Optional occupancy overlay for the state check: hold edges are
+  /// committed worm extensions, request edges point at fully-owned targets.
+  std::span<const OccupancyEdge> holdEdges = {};
+  std::span<const OccupancyEdge> requestEdges = {};
+  /// Optional routing table for the candidate cross-check.  Must have been
+  /// built against a rule equivalent to `perms` on the same topology.
+  const routing::RoutingTable* table = nullptr;
+  /// Re-derive all-pairs distances by forward BFS and compare against the
+  /// table (O(nodes x channels); only meaningful when `table` is set).
+  bool deepDistanceCheck = false;
+};
+
+struct OracleReport {
+  // Layer 1: rule check.
+  bool ruleDeadlockFree = false;
+  std::uint32_t aliveChannels = 0;
+  std::uint64_t ruleEdges = 0;
+  /// Channels never peeled — the greatest fixed point.  0 iff deadlock-free.
+  std::uint32_t ruleResidual = 0;
+  /// A witness cycle inside the residual core (empty when deadlock-free):
+  /// c0 -> c1 -> ... -> c0, first element not repeated.
+  std::vector<ChannelId> ruleCycle;
+
+  // Layer 2: state check (trivially true when no occupancy edges given).
+  bool stateDrains = true;
+  std::uint32_t stateResidual = 0;
+  std::vector<ChannelId> stateCycle;
+  /// Hold edges the current rule would not permit — worms committed under
+  /// an older epoch's rule.  Informational: such worms still drain.
+  std::uint64_t crossEpochHolds = 0;
+
+  // Layer 3: table cross-check (trivially true when no table given).
+  bool tableConsistent = true;
+  /// Candidate-row entries violating the turn rule or the steps law.
+  std::uint64_t candidateViolations = 0;
+  /// Pairs where the forward-BFS distance disagrees with the table.
+  std::uint64_t distanceMismatches = 0;
+
+  bool ok() const noexcept {
+    return ruleDeadlockFree && stateDrains && tableConsistent;
+  }
+  /// One-line human summary ("ok" or the failing layers).
+  std::string describe() const;
+};
+
+/// Runs every layer the input enables.  Pure: no RNG, no global state, no
+/// mutation of the audited structures.
+OracleReport runOracle(const OracleInput& input);
+
+}  // namespace downup::verify

@@ -1,0 +1,274 @@
+#include "verify/replay.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "routing/direction.hpp"
+#include "topology/topology.hpp"
+#include "util/jsonl.hpp"
+
+namespace downup::verify {
+
+using routing::Dir;
+using routing::kDirCount;
+using routing::TurnPermissions;
+using routing::TurnSet;
+using topo::Topology;
+using util::JsonlField;
+
+namespace {
+
+void writeEscaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void writeCycle(std::ostream& out, const char* key,
+                std::span<const ChannelId> cycle) {
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    out << "{\"k\":\"" << key << "\",\"i\":" << i << ",\"c\":" << cycle[i]
+        << "}\n";
+  }
+}
+
+[[noreturn]] void fail(std::string_view source, std::size_t lineNo,
+                       const std::string& message) {
+  throw std::runtime_error("oracle case: " + std::string(source) + ":" +
+                           std::to_string(lineNo) + ": " + message);
+}
+
+std::uint64_t asUnsigned(const JsonlField& f, std::uint64_t max,
+                         std::string_view source, std::size_t lineNo) {
+  if (f.intValue < 0 || static_cast<std::uint64_t>(f.intValue) > max) {
+    fail(source, lineNo, "field \"" + f.key + "\" out of range");
+  }
+  return static_cast<std::uint64_t>(f.intValue);
+}
+
+}  // namespace
+
+void writeReplayCase(std::ostream& out, const OracleInput& input,
+                     const OracleReport& report, const CaseContext& context) {
+  const TurnPermissions& perms = *input.perms;
+  const Topology& topo = perms.topology();
+  out << "{\"schema\":\"oracle_case/1\",\"point\":";
+  writeEscaped(out, context.point);
+  out << ",\"cycle\":" << context.cycle << ",\"epoch\":" << context.epoch
+      << ",\"nodes\":" << topo.nodeCount() << ",\"links\":" << topo.linkCount()
+      << ",\"ruleDeadlockFree\":" << (report.ruleDeadlockFree ? "true" : "false")
+      << ",\"stateDrains\":" << (report.stateDrains ? "true" : "false")
+      << ",\"tableConsistent\":" << (report.tableConsistent ? "true" : "false")
+      << "}\n";
+  for (topo::LinkId l = 0; l < topo.linkCount(); ++l) {
+    const auto [a, b] = topo.linkEnds(l);
+    out << "{\"k\":\"link\",\"id\":" << l << ",\"a\":" << a << ",\"b\":" << b
+        << "}\n";
+  }
+  for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+    out << "{\"k\":\"dir\",\"c\":" << c
+        << ",\"d\":" << routing::index(perms.dir(c)) << "}\n";
+  }
+  for (const auto& [d1, d2] : perms.global().prohibitedList()) {
+    out << "{\"k\":\"prohibit\",\"from\":" << routing::index(d1)
+        << ",\"to\":" << routing::index(d2) << "}\n";
+  }
+  for (NodeId v = 0; v < topo.nodeCount(); ++v) {
+    for (std::size_t i = 0; i < kDirCount; ++i) {
+      for (std::size_t j = 0; j < kDirCount; ++j) {
+        const Dir d1 = static_cast<Dir>(i);
+        const Dir d2 = static_cast<Dir>(j);
+        if (perms.isReleasedAt(v, d1, d2)) {
+          out << "{\"k\":\"release\",\"node\":" << v << ",\"from\":" << i
+              << ",\"to\":" << j << "}\n";
+        }
+        if (perms.isBlockedAt(v, d1, d2)) {
+          out << "{\"k\":\"block\",\"node\":" << v << ",\"from\":" << i
+              << ",\"to\":" << j << "}\n";
+        }
+      }
+    }
+  }
+  if (!input.channelAlive.empty()) {
+    for (ChannelId c = 0; c < topo.channelCount(); ++c) {
+      if (input.channelAlive[c] == 0) {
+        out << "{\"k\":\"dead\",\"c\":" << c << "}\n";
+      }
+    }
+  }
+  for (const OccupancyEdge& e : input.holdEdges) {
+    out << "{\"k\":\"hold\",\"from\":" << e.from << ",\"to\":" << e.to << "}\n";
+  }
+  for (const OccupancyEdge& e : input.requestEdges) {
+    out << "{\"k\":\"request\",\"from\":" << e.from << ",\"to\":" << e.to
+        << "}\n";
+  }
+  writeCycle(out, "rule_cycle", report.ruleCycle);
+  writeCycle(out, "state_cycle", report.stateCycle);
+  writeCycle(out, "waitfor", context.waitForWitness);
+}
+
+OracleInput ReplayCase::input() const {
+  OracleInput in;
+  in.perms = perms.get();
+  if (!channelAlive.empty()) in.channelAlive = channelAlive;
+  in.holdEdges = holdEdges;
+  in.requestEdges = requestEdges;
+  return in;
+}
+
+ReplayCase loadReplayCase(std::istream& in, std::string_view source) {
+  ReplayCase rc;
+  std::string line;
+  std::size_t lineNo = 0;
+
+  if (!std::getline(in, line)) fail(source, 1, "empty file");
+  ++lineNo;
+  const auto meta = util::parseJsonlLine(line, source, lineNo);
+  const auto& schema = util::requireField(meta, "schema",
+                                          JsonlField::Kind::kString, source,
+                                          lineNo);
+  if (schema.stringValue != "oracle_case/1") {
+    fail(source, lineNo, "unsupported schema \"" + schema.stringValue + "\"");
+  }
+  rc.context.point = util::requireField(meta, "point",
+                                        JsonlField::Kind::kString, source,
+                                        lineNo)
+                         .stringValue;
+  rc.context.cycle =
+      asUnsigned(util::requireField(meta, "cycle", JsonlField::Kind::kInt,
+                                    source, lineNo),
+                 std::numeric_limits<std::int64_t>::max(), source, lineNo);
+  rc.context.epoch =
+      asUnsigned(util::requireField(meta, "epoch", JsonlField::Kind::kInt,
+                                    source, lineNo),
+                 std::numeric_limits<std::int64_t>::max(), source, lineNo);
+  const std::uint64_t nodes =
+      asUnsigned(util::requireField(meta, "nodes", JsonlField::Kind::kInt,
+                                    source, lineNo),
+                 1u << 24, source, lineNo);
+  const std::uint64_t links =
+      asUnsigned(util::requireField(meta, "links", JsonlField::Kind::kInt,
+                                    source, lineNo),
+                 1u << 26, source, lineNo);
+  rc.expectedRuleDeadlockFree =
+      util::requireField(meta, "ruleDeadlockFree", JsonlField::Kind::kBool,
+                         source, lineNo)
+          .intValue != 0;
+  rc.expectedStateDrains =
+      util::requireField(meta, "stateDrains", JsonlField::Kind::kBool, source,
+                         lineNo)
+          .intValue != 0;
+
+  rc.topology = std::make_unique<Topology>(static_cast<NodeId>(nodes));
+  const std::uint64_t channels = 2 * links;
+  routing::DirectionMap dirs(channels, Dir::kRdTree);
+  std::vector<std::uint8_t> dirSeen(channels, 0);
+  TurnSet global = TurnSet::allAllowed();
+  struct NodeTurn {
+    NodeId node;
+    Dir from, to;
+  };
+  std::vector<NodeTurn> releases;
+  std::vector<NodeTurn> blocks;
+  rc.channelAlive.clear();
+
+  const auto channelField = [&](const std::vector<JsonlField>& fields,
+                                std::string_view key, std::size_t no) {
+    return static_cast<ChannelId>(asUnsigned(
+        util::requireField(fields, key, JsonlField::Kind::kInt, source, no),
+        channels == 0 ? 0 : channels - 1, source, no));
+  };
+  const auto dirField = [&](const std::vector<JsonlField>& fields,
+                            std::string_view key, std::size_t no) {
+    return static_cast<Dir>(asUnsigned(
+        util::requireField(fields, key, JsonlField::Kind::kInt, source, no),
+        kDirCount - 1, source, no));
+  };
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto fields = util::parseJsonlLine(line, source, lineNo);
+    const std::string& k =
+        util::requireField(fields, "k", JsonlField::Kind::kString, source,
+                           lineNo)
+            .stringValue;
+    if (k == "link") {
+      const std::uint64_t id = asUnsigned(
+          util::requireField(fields, "id", JsonlField::Kind::kInt, source,
+                             lineNo),
+          links == 0 ? 0 : links - 1, source, lineNo);
+      if (id != rc.topology->linkCount()) {
+        fail(source, lineNo, "link records must appear in id order");
+      }
+      const auto a = static_cast<NodeId>(asUnsigned(
+          util::requireField(fields, "a", JsonlField::Kind::kInt, source,
+                             lineNo),
+          nodes == 0 ? 0 : nodes - 1, source, lineNo));
+      const auto b = static_cast<NodeId>(asUnsigned(
+          util::requireField(fields, "b", JsonlField::Kind::kInt, source,
+                             lineNo),
+          nodes == 0 ? 0 : nodes - 1, source, lineNo));
+      try {
+        rc.topology->addLink(a, b);
+      } catch (const std::invalid_argument& e) {
+        fail(source, lineNo, e.what());
+      }
+    } else if (k == "dir") {
+      const ChannelId c = channelField(fields, "c", lineNo);
+      dirs[c] = dirField(fields, "d", lineNo);
+      dirSeen[c] = 1;
+    } else if (k == "prohibit") {
+      global.prohibit(dirField(fields, "from", lineNo),
+                      dirField(fields, "to", lineNo));
+    } else if (k == "release" || k == "block") {
+      NodeTurn t;
+      t.node = static_cast<NodeId>(asUnsigned(
+          util::requireField(fields, "node", JsonlField::Kind::kInt, source,
+                             lineNo),
+          nodes == 0 ? 0 : nodes - 1, source, lineNo));
+      t.from = dirField(fields, "from", lineNo);
+      t.to = dirField(fields, "to", lineNo);
+      (k == "release" ? releases : blocks).push_back(t);
+    } else if (k == "dead") {
+      if (rc.channelAlive.empty()) rc.channelAlive.assign(channels, 1);
+      rc.channelAlive[channelField(fields, "c", lineNo)] = 0;
+    } else if (k == "hold" || k == "request") {
+      OccupancyEdge e;
+      e.from = channelField(fields, "from", lineNo);
+      e.to = channelField(fields, "to", lineNo);
+      (k == "hold" ? rc.holdEdges : rc.requestEdges).push_back(e);
+    } else if (k == "rule_cycle") {
+      rc.recordedRuleCycle.push_back(channelField(fields, "c", lineNo));
+    } else if (k == "state_cycle") {
+      rc.recordedStateCycle.push_back(channelField(fields, "c", lineNo));
+    } else if (k == "waitfor") {
+      rc.context.waitForWitness.push_back(channelField(fields, "c", lineNo));
+    } else {
+      fail(source, lineNo, "unknown record kind \"" + k + "\"");
+    }
+  }
+  if (rc.topology->linkCount() != links) {
+    fail(source, lineNo,
+         "truncated case: " + std::to_string(rc.topology->linkCount()) +
+             " of " + std::to_string(links) + " link records present");
+  }
+  for (ChannelId c = 0; c < channels; ++c) {
+    if (!dirSeen[c]) {
+      fail(source, lineNo,
+           "truncated case: no dir record for channel " + std::to_string(c));
+    }
+  }
+  rc.perms = std::make_unique<TurnPermissions>(*rc.topology, std::move(dirs),
+                                               global);
+  for (const NodeTurn& t : releases) rc.perms->releaseAt(t.node, t.from, t.to);
+  for (const NodeTurn& t : blocks) rc.perms->blockAt(t.node, t.from, t.to);
+  return rc;
+}
+
+}  // namespace downup::verify

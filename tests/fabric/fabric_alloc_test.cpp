@@ -92,5 +92,23 @@ TEST(FabricAllocTest, FlightRecorderRecordNeverAllocates) {
   EXPECT_EQ(rec.recorded(), 1000u);
 }
 
+TEST(FabricAllocTest, OracleViolationAnomalyRecordNeverAllocates) {
+  // The gate's violation path in the fabric ends in exactly this record()
+  // call; an allocating anomaly report would be the worst possible time to
+  // touch the heap.
+  obs::FlightRecorder rec(64);
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_countAllocations.store(true, std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    rec.record(obs::FabricEventKind::kAnomaly, i,
+               static_cast<std::uint64_t>(obs::AnomalyCode::kOracleViolation),
+               /*epoch=*/i & 15, 0);
+  }
+  g_countAllocations.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(g_allocations.load(), 0u) << "anomaly record() allocated";
+  EXPECT_EQ(rec.recorded(), 1000u);
+}
+
 }  // namespace
 }  // namespace downup::fabric

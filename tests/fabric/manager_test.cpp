@@ -1,8 +1,11 @@
 // FabricManager: driven-mode publishes match the Reconfigurator reference
 // bit for bit, service mode coalesces fault bursts (flap cancel-out, union
-// dirty set), and the FaultController sink feeds effective transitions.
+// dirty set), the FaultController sink feeds effective transitions, and an
+// attached OracleGate audits every epoch publish from both writer modes —
+// recording a kOracleViolation anomaly without ever blocking the publish.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -11,8 +14,10 @@
 #include "fabric/manager.hpp"
 #include "fault/controller.hpp"
 #include "fault/schedule.hpp"
+#include "obs/flight_recorder.hpp"
 #include "topology/generate.hpp"
 #include "util/rng.hpp"
+#include "verify/gate.hpp"
 
 namespace downup::fabric {
 namespace {
@@ -171,6 +176,88 @@ TEST(FabricManagerTest, ControllerSinkPostsEffectiveTransitions) {
           .table->fingerprint();
   Reader reader = fm.makeReader();
   EXPECT_EQ(fm.acquire(reader).table().fingerprint(), referenceFp);
+}
+
+/// kOracleViolation anomalies currently in the flight-recorder ring.
+std::size_t oracleAnomalies(const obs::FlightRecorder& flight) {
+  std::vector<obs::FabricEvent> events;
+  flight.dump(events);
+  return static_cast<std::size_t>(std::count_if(
+      events.begin(), events.end(), [](const obs::FabricEvent& e) {
+        return e.kind == obs::FabricEventKind::kAnomaly &&
+               e.a == static_cast<std::uint64_t>(
+                          obs::AnomalyCode::kOracleViolation);
+      }));
+}
+
+TEST(FabricManagerTest, CleanOracleAuditsEveryDrivenPublishSilently) {
+  Fixture fx;
+  verify::OracleGate gate;
+  FabricManager::Options options;
+  options.oracle = &gate;
+  FabricManager fm(fx.topo, *fx.baseline.table, options);
+
+  std::vector<std::uint8_t> linksUp = allAlive(fx.topo.linkCount());
+  const std::vector<std::uint8_t> nodesUp = allAlive(fx.topo.nodeCount());
+  linksUp[2] = 0;
+  const PublishResult result =
+      fm.publishFromMasks(linksUp, nodesUp, /*incremental=*/false);
+  EXPECT_TRUE(result.published);
+
+  // The reconfiguration merge and the epoch publish were both audited...
+  EXPECT_GE(gate.auditsAt("reconfig_full"), 1u);
+  EXPECT_GE(gate.auditsAt("epoch_publish"), 1u);
+  // ...and a healthy rule leaves no trace anywhere.
+  EXPECT_EQ(gate.violations(), 0u);
+  EXPECT_EQ(fm.oracleViolations(), 0u);
+  EXPECT_TRUE(fm.allPublishedOk());
+  EXPECT_EQ(oracleAnomalies(fm.flightRecorder()), 0u);
+}
+
+TEST(FabricManagerTest, PlantedViolationRecordsAnomalyButNeverBlocks) {
+  Fixture fx;
+  verify::OracleGate::Options gateOptions;
+  gateOptions.plantViolation = true;
+  verify::OracleGate gate(gateOptions);
+  FabricManager::Options options;
+  options.oracle = &gate;
+  FabricManager fm(fx.topo, *fx.baseline.table, options);
+
+  std::vector<std::uint8_t> linksUp = allAlive(fx.topo.linkCount());
+  const std::vector<std::uint8_t> nodesUp = allAlive(fx.topo.nodeCount());
+  linksUp[1] = 0;
+  const PublishResult result =
+      fm.publishFromMasks(linksUp, nodesUp, /*incremental=*/false);
+
+  // Enforcement is observational: the epoch still went live (driven-mode
+  // determinism), but the violation is counted and flight-recorded.
+  EXPECT_TRUE(result.published);
+  EXPECT_EQ(fm.currentEpoch(), 1u);
+  EXPECT_GE(gate.violations(), 1u);
+  EXPECT_EQ(fm.oracleViolations(), 1u);
+  EXPECT_GE(oracleAnomalies(fm.flightRecorder()), 1u);
+  // The oracle verdict must not be conflated with routing verification.
+  EXPECT_TRUE(fm.allPublishedOk());
+}
+
+TEST(FabricManagerTest, ServiceModeRebuildsAuditThroughTheSameGate) {
+  Fixture fx;
+  verify::OracleGate::Options gateOptions;
+  gateOptions.plantViolation = true;
+  verify::OracleGate gate(gateOptions);
+  FabricManager::Options options;
+  options.oracle = &gate;
+  FabricManager fm(fx.topo, *fx.baseline.table, options);
+
+  fm.onLinkStateChanged(100, 3, false);
+  fm.startService();
+  ASSERT_TRUE(waitUntil([&] { return fm.rebuilds() >= 1; }));
+  fm.stopService();
+
+  EXPECT_GE(gate.auditsAt("epoch_publish"), 1u);
+  EXPECT_EQ(fm.oracleViolations(), 1u);
+  EXPECT_GE(oracleAnomalies(fm.flightRecorder()), 1u);
+  EXPECT_EQ(fm.currentEpoch(), 1u);  // publish still happened
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+// traffic_trace/1 ingestion: a valid trace loads into per-source flow
+// lists and a replay pattern that cycles them in order, and every file in
+// the malformed corpus fails with a filename:line diagnostic instead of
+// loading a partial demand matrix.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/trace_replay.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace downup::sim {
+namespace {
+
+std::string corpusPath(const std::string& name) {
+  return std::string(DOWNUP_SIM_CORPUS_DIR) + "/" + name;
+}
+
+/// Loads a corpus file expecting failure; checks the diagnostic carries the
+/// file name, the 1-based line number and the message fragment.
+void expectCorpusFailure(const std::string& name, std::size_t line,
+                         std::string_view needle) {
+  try {
+    loadTrafficTraceFile(corpusPath(name));
+    FAIL() << name << " was accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(name + ":" + std::to_string(line)), std::string::npos)
+        << name << ": " << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << name << ": " << what;
+  }
+}
+
+TEST(TraceReplayTest, LoadsValidTraceInRecordOrder) {
+  const TrafficTrace trace = loadTrafficTraceFile(corpusPath("good_small.jsonl"));
+  EXPECT_EQ(trace.nodeCount, 8u);
+  EXPECT_EQ(trace.records, 5u);
+  // Per-source destination lists keep file order.
+  EXPECT_EQ(trace.flows[0], (std::vector<NodeId>{5, 3, 1}));
+  EXPECT_EQ(trace.flows[2], (std::vector<NodeId>{7}));
+  EXPECT_EQ(trace.flows[6], (std::vector<NodeId>{2}));
+  EXPECT_TRUE(trace.flows[1].empty());
+}
+
+TEST(TraceReplayTest, PatternCyclesRecordedFlowsAndWraps) {
+  const TrafficTrace trace = loadTrafficTraceFile(corpusPath("good_small.jsonl"));
+  const TraceReplayTraffic pattern = trace.makePattern();
+  EXPECT_FALSE(pattern.modulatesRate());  // replay pins demand, not timing
+
+  util::Rng rng(3);
+  // Source 0 recorded 5, 3, 1 — replay yields them in order, then wraps.
+  EXPECT_EQ(pattern.destination(0, rng), 5u);
+  EXPECT_EQ(pattern.destination(0, rng), 3u);
+  EXPECT_EQ(pattern.destination(0, rng), 1u);
+  EXPECT_EQ(pattern.destination(0, rng), 5u);
+  // A single-flow source repeats its one destination.
+  EXPECT_EQ(pattern.destination(2, rng), 7u);
+  EXPECT_EQ(pattern.destination(2, rng), 7u);
+}
+
+TEST(TraceReplayTest, SourcesWithoutRecordsFallBackToUniform) {
+  const TrafficTrace trace = loadTrafficTraceFile(corpusPath("good_small.jsonl"));
+  const TraceReplayTraffic pattern = trace.makePattern();
+  util::Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const NodeId dst = pattern.destination(1, rng);  // node 1 has no flows
+    EXPECT_NE(dst, 1u);
+    EXPECT_LT(dst, 8u);
+  }
+}
+
+TEST(TraceReplayTest, EmptyStreamIsRejected) {
+  std::istringstream in("");
+  EXPECT_THROW(loadTrafficTrace(in, "empty"), std::runtime_error);
+}
+
+TEST(TraceReplayTest, MalformedCorpusFailsAtTheOffendingLine) {
+  expectCorpusFailure("bad_schema.jsonl", 1, "unsupported schema");
+  expectCorpusFailure("missing_dst.jsonl", 2, "dst");
+  expectCorpusFailure("src_equals_dst.jsonl", 2, "src == dst");
+  expectCorpusFailure("out_of_range.jsonl", 2, "out of range");
+  expectCorpusFailure("unknown_key.jsonl", 2, "unknown key");
+  expectCorpusFailure("no_records.jsonl", 1, "no records");
+  expectCorpusFailure("not_object.jsonl", 2, "");
+  expectCorpusFailure("trailing_garbage.jsonl", 2, "");
+}
+
+TEST(TraceReplayTest, MissingFileNamesThePath) {
+  try {
+    loadTrafficTraceFile(corpusPath("does_not_exist.jsonl"));
+    FAIL() << "open succeeded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("does_not_exist.jsonl"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace downup::sim

@@ -1,0 +1,173 @@
+// oracle_case/1 round-trip and strictness: a dumped witness reloads into an
+// equivalent oracle input that reproduces the verdict, and malformed or
+// truncated streams fail with a source:line diagnostic instead of loading
+// partially.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "routing/direction.hpp"
+#include "routing/turns.hpp"
+#include "topology/topology.hpp"
+#include "verify/oracle.hpp"
+#include "verify/replay.hpp"
+
+namespace downup::verify {
+namespace {
+
+topo::Topology ringTopology(topo::NodeId n = 5) {
+  topo::Topology ring(n);
+  for (topo::NodeId v = 0; v < n; ++v) {
+    ring.addLink(v, static_cast<topo::NodeId>((v + 1) % n));
+  }
+  return ring;
+}
+
+routing::TurnPermissions unrestrictedPerms(const topo::Topology& topo) {
+  routing::DirectionMap dirs(topo.channelCount(), routing::Dir::kRdTree);
+  return routing::TurnPermissions(topo, std::move(dirs),
+                                  routing::TurnSet::allAllowed());
+}
+
+/// Expects loadReplayCase to throw, with the source:line prefix present.
+void expectLoadFailure(const std::string& text, std::string_view needle) {
+  std::istringstream in(text);
+  try {
+    loadReplayCase(in, "test.jsonl");
+    FAIL() << "load accepted a malformed case";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test.jsonl:"), std::string::npos) << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+  }
+}
+
+TEST(ReplayCaseTest, RoundTripReproducesVerdictAndContext) {
+  const topo::Topology ring = ringTopology();
+  const routing::TurnPermissions perms = unrestrictedPerms(ring);
+
+  std::vector<std::uint8_t> alive(ring.channelCount(), 1);
+  alive[6] = 0;
+  const std::vector<OccupancyEdge> holds = {{0, 2}, {2, 4}};
+  const std::vector<OccupancyEdge> requests = {{4, 0}};
+
+  OracleInput input;
+  input.perms = &perms;
+  input.channelAlive = alive;
+  input.holdEdges = holds;
+  input.requestEdges = requests;
+  const OracleReport report = runOracle(input);
+  ASSERT_FALSE(report.ruleDeadlockFree);  // unrestricted ring
+  ASSERT_FALSE(report.stateDrains);       // planted occupancy cycle
+
+  CaseContext context;
+  context.point = "mid_reconfig_quarantine";
+  context.cycle = 1234;
+  context.epoch = 9;
+  context.waitForWitness = {1, 3};
+
+  std::ostringstream out;
+  writeReplayCase(out, input, report, context);
+
+  std::istringstream in(out.str());
+  const ReplayCase rc = loadReplayCase(in, "roundtrip.jsonl");
+  EXPECT_EQ(rc.context.point, "mid_reconfig_quarantine");
+  EXPECT_EQ(rc.context.cycle, 1234u);
+  EXPECT_EQ(rc.context.epoch, 9u);
+  EXPECT_EQ(rc.context.waitForWitness, (std::vector<ChannelId>{1, 3}));
+  EXPECT_FALSE(rc.expectedRuleDeadlockFree);
+  EXPECT_FALSE(rc.expectedStateDrains);
+  EXPECT_EQ(rc.recordedRuleCycle, report.ruleCycle);
+  EXPECT_EQ(rc.recordedStateCycle, report.stateCycle);
+  ASSERT_EQ(rc.channelAlive.size(), ring.channelCount());
+  EXPECT_EQ(rc.channelAlive[6], 0);
+
+  // The reconstructed input reproduces the recorded verdict.
+  const OracleReport replayed = runOracle(rc.input());
+  EXPECT_EQ(replayed.ruleDeadlockFree, rc.expectedRuleDeadlockFree);
+  EXPECT_EQ(replayed.stateDrains, rc.expectedStateDrains);
+  EXPECT_EQ(replayed.ruleCycle, report.ruleCycle);
+  EXPECT_EQ(replayed.stateCycle, report.stateCycle);
+}
+
+TEST(ReplayCaseTest, RejectsEmptyStream) {
+  expectLoadFailure("", "empty file");
+}
+
+TEST(ReplayCaseTest, RejectsWrongSchema) {
+  expectLoadFailure(
+      R"({"schema":"oracle_case/9","point":"x","cycle":0,"epoch":0,)"
+      R"("nodes":2,"links":1,"ruleDeadlockFree":true,"stateDrains":true,)"
+      R"("tableConsistent":true})"
+      "\n",
+      "unsupported schema");
+}
+
+TEST(ReplayCaseTest, RejectsTruncatedLinkList) {
+  const topo::Topology ring = ringTopology();
+  const routing::TurnPermissions perms = unrestrictedPerms(ring);
+  OracleInput input;
+  input.perms = &perms;
+  const OracleReport report = runOracle(input);
+  std::ostringstream out;
+  writeReplayCase(out, input, report, {.point = "t"});
+
+  // Drop everything after the meta line and the first two link records.
+  std::istringstream full(out.str());
+  std::string truncated, line;
+  for (int i = 0; i < 3 && std::getline(full, line); ++i) {
+    truncated += line + "\n";
+  }
+  expectLoadFailure(truncated, "truncated case");
+}
+
+TEST(ReplayCaseTest, RejectsMissingDirRecords) {
+  const topo::Topology ring = ringTopology();
+  const routing::TurnPermissions perms = unrestrictedPerms(ring);
+  OracleInput input;
+  input.perms = &perms;
+  const OracleReport report = runOracle(input);
+  std::ostringstream out;
+  writeReplayCase(out, input, report, {.point = "t"});
+
+  // Keep every record except the dir lines: the loader must notice the
+  // direction map is incomplete rather than defaulting silently.
+  std::istringstream full(out.str());
+  std::string stripped, line;
+  while (std::getline(full, line)) {
+    if (line.find("\"k\":\"dir\"") == std::string::npos) {
+      stripped += line + "\n";
+    }
+  }
+  expectLoadFailure(stripped, "no dir record");
+}
+
+TEST(ReplayCaseTest, RejectsOutOfRangeChannel) {
+  expectLoadFailure(
+      R"({"schema":"oracle_case/1","point":"x","cycle":0,"epoch":0,)"
+      R"("nodes":2,"links":1,"ruleDeadlockFree":true,"stateDrains":true,)"
+      R"("tableConsistent":true})"
+      "\n"
+      R"({"k":"link","id":0,"a":0,"b":1})"
+      "\n"
+      R"({"k":"dir","c":7,"d":0})"
+      "\n",
+      "out of range");
+}
+
+TEST(ReplayCaseTest, RejectsUnknownRecordKind) {
+  expectLoadFailure(
+      R"({"schema":"oracle_case/1","point":"x","cycle":0,"epoch":0,)"
+      R"("nodes":2,"links":1,"ruleDeadlockFree":true,"stateDrains":true,)"
+      R"("tableConsistent":true})"
+      "\n"
+      R"({"k":"gremlin","id":0})"
+      "\n",
+      "unknown record kind");
+}
+
+}  // namespace
+}  // namespace downup::verify
