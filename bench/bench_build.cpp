@@ -28,11 +28,22 @@
 // DOWNUP_BENCH_BUILD_JSON overrides the path, "" disables) so CI can gate
 // on construction-time regressions.
 //
+// With --counters, each size additionally runs one untimed SERIAL counted
+// pass — tree/classify/repair/release/table_build wrapped in spans with a
+// perf_event group and allocation attribution attached — and prints a
+// per-stage table of cycles, instructions, IPC, cache-miss rate and heap
+// charge, naming the stage with the most cache misses.  The counted pass is
+// reported separately (stdout table + "counterStages" JSON section) so the
+// timed rows above stay comparable across revisions; when perf_event_open
+// is denied the table is replaced by "counters unavailable: <reason>",
+// never silent zeros.
+//
 //   ./bench_build --max-switches 1024 --threads 4 --repeats 3
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -47,7 +58,12 @@
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "topology/generate.hpp"
+// Route the global allocation functions through util::noteAllocation so the
+// counted pass can charge heap traffic to stages (single-TU pattern; see
+// the header).
+#include "util/alloc_hooks.hpp"
 #include "util/cli.hpp"
+#include "util/perf_counters.hpp"
 #include "util/span_recorder.hpp"
 #include "util/thread_pool.hpp"
 
@@ -96,9 +112,141 @@ struct SizeResult {
   std::uint32_t rebuiltDestinations = 0;
 };
 
+/// One top-level stage row of the counted pass (taken from the obs_spans/2
+/// span the stage recorded).
+struct CounterStage {
+  const char* stage = nullptr;
+  double durMs = 0;
+  util::PerfCounts counts;
+  std::uint64_t allocCount = 0;
+  std::uint64_t allocBytes = 0;
+};
+
+struct CounterResult {
+  topo::NodeId switches = 0;
+  std::vector<CounterStage> stages;
+};
+
+/// The serial counted pass: every pipeline stage re-run once under a span
+/// with counters + allocation attribution attached.  Untimed and fully
+/// separate from the benchmark loops — stage wall-clock here includes the
+/// counter reads at span boundaries, which is why these numbers never feed
+/// the timed rows.
+CounterResult countedPass(topo::NodeId switches, const topo::Topology& topo,
+                          const routing::TurnPermissions& released,
+                          util::SpanRecorder& counted) {
+  {
+    util::ScopedSpan span(&counted, "tree");
+    util::Rng rng(3);
+    const tree::CoordinatedTree t = tree::CoordinatedTree::build(
+        topo, tree::TreePolicy::kM1SmallestFirst, rng);
+    keep(t.root());
+  }
+  util::Rng treeRng(3);
+  const tree::CoordinatedTree ct = tree::CoordinatedTree::build(
+      topo, tree::TreePolicy::kM1SmallestFirst, treeRng);
+  {
+    util::ScopedSpan span(&counted, "classify");
+    keep(routing::classifyDownUp(topo, ct).size());
+  }
+  const routing::DirectionMap dirs = routing::classifyDownUp(topo, ct);
+  {
+    util::ScopedSpan span(&counted, "repair");
+    routing::TurnPermissions perms(topo, dirs, core::downUpTurnSet());
+    keep(core::repairTurnCycles(perms).blockedTurns);
+  }
+  {
+    util::ScopedSpan span(&counted, "release");
+    routing::TurnPermissions perms = released;  // copy cost inside the span
+    keep(core::releaseRedundantProhibitions(perms).releasedTurns);
+  }
+  // RoutingTable::build records its own "table_build" span (with nested
+  // bfs/candidate_fill) on the same recorder.
+  keep(routing::RoutingTable::build(released, nullptr, {}, &counted)
+           .fingerprint());
+
+  CounterResult res;
+  res.switches = switches;
+  const auto all = counted.snapshot();
+  // Stage rows are the top-level spans; counters there are already
+  // inclusive of children, but allocation attribution is exclusive
+  // (innermost span), so roll every descendant's charge up into its root
+  // — the table answers "what does this STAGE allocate", subtree included.
+  std::vector<std::size_t> rootOf(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    rootOf[i] = all[i].parent == util::SpanRecorder::kNoParent
+                    ? i
+                    : rootOf[all[i].parent];
+    if (all[i].depth == 0) {
+      CounterStage stage;
+      stage.stage = all[i].name;
+      stage.durMs = static_cast<double>(all[i].durationNs()) / 1e6;
+      stage.counts = all[i].counters;
+      res.stages.push_back(stage);
+    }
+  }
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (CounterStage& stage : res.stages) {
+      if (stage.stage == all[rootOf[i]].name) {
+        stage.allocCount += all[i].allocCount;
+        stage.allocBytes += all[i].allocBytes;
+        break;
+      }
+    }
+  }
+  counted.clear();
+  return res;
+}
+
+void printCounterTable(const CounterResult& res) {
+  std::printf("\nper-stage counters at %u switches (serial counted pass):\n",
+              static_cast<unsigned>(res.switches));
+  std::printf("%12s %9s %12s %12s %6s %8s %8s %10s\n", "stage", "ms",
+              "cycles", "instr", "ipc", "missRate", "allocs", "allocKiB");
+  const CounterStage* topMiss = nullptr;
+  for (const CounterStage& s : res.stages) {
+    char cycles[24] = "-", instr[24] = "-", ipc[16] = "-", miss[16] = "-";
+    if (s.counts.has(util::PerfEvent::kCycles)) {
+      std::snprintf(cycles, sizeof cycles, "%llu",
+                    static_cast<unsigned long long>(
+                        s.counts.get(util::PerfEvent::kCycles)));
+    }
+    if (s.counts.has(util::PerfEvent::kInstructions)) {
+      std::snprintf(instr, sizeof instr, "%llu",
+                    static_cast<unsigned long long>(
+                        s.counts.get(util::PerfEvent::kInstructions)));
+    }
+    if (s.counts.ipc() >= 0) {
+      std::snprintf(ipc, sizeof ipc, "%.2f", s.counts.ipc());
+    }
+    if (s.counts.cacheMissRate() >= 0) {
+      std::snprintf(miss, sizeof miss, "%.3f", s.counts.cacheMissRate());
+    }
+    std::printf("%12s %9.2f %12s %12s %6s %8s %8llu %10.1f\n", s.stage,
+                s.durMs, cycles, instr, ipc, miss,
+                static_cast<unsigned long long>(s.allocCount),
+                static_cast<double>(s.allocBytes) / 1024.0);
+    if (s.counts.has(util::PerfEvent::kCacheMisses) &&
+        (topMiss == nullptr ||
+         s.counts.get(util::PerfEvent::kCacheMisses) >
+             topMiss->counts.get(util::PerfEvent::kCacheMisses))) {
+      topMiss = &s;
+    }
+  }
+  if (topMiss != nullptr) {
+    std::printf("top cache-miss stage: %s (%llu misses)\n", topMiss->stage,
+                static_cast<unsigned long long>(
+                    topMiss->counts.get(util::PerfEvent::kCacheMisses)));
+  } else {
+    std::printf("top cache-miss stage: unavailable (cache-miss counter did "
+                "not open)\n");
+  }
+}
+
 SizeResult benchOneSize(topo::NodeId switches, util::ThreadPool& pool,
                         int repeats, int dfsMaxSwitches,
-                        util::SpanRecorder* spans) {
+                        util::SpanRecorder* spans, util::SpanRecorder* counted,
+                        std::vector<CounterResult>* counterResults) {
   SizeResult res;
   res.switches = switches;
 
@@ -253,11 +401,31 @@ SizeResult benchOneSize(topo::NodeId switches, util::ThreadPool& pool,
     keep(traced.rebuildIncremental(*healthy.table, linksUp, nodesUp)
              .rebuiltDestinations);
   }
+
+  // The counted pass last, also outside every timed loop: the per-stage
+  // counter table is attribution data, not a timing row.
+  if (counted != nullptr) {
+    CounterResult cr = countedPass(switches, topo, released, *counted);
+    printCounterTable(cr);
+    counterResults->push_back(std::move(cr));
+  }
   return res;
 }
 
+/// Counter availability as the JSON status string (mirrors obs_spans/2
+/// meta): "available", "partial", "unavailable" or "detached".
+const char* counterStatus(const util::PerfCounterGroup* group) {
+  if (group == nullptr) return "detached";
+  if (!group->available()) return "unavailable";
+  return group->eventMask() == ((1u << util::kPerfEventCount) - 1u)
+             ? "available"
+             : "partial";
+}
+
 void writeJson(const char* path, const std::vector<SizeResult>& results,
-               int threads, int repeats) {
+               int threads, int repeats,
+               const std::vector<CounterResult>& counterResults,
+               const util::PerfCounterGroup* group) {
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "bench_build: cannot write %s\n", path);
@@ -302,7 +470,43 @@ void writeJson(const char* path, const std::vector<SizeResult>& results,
                  r.incrementalDirtyFraction, r.rebuiltDestinations,
                  i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  // Counted-pass attribution, kept apart from the timed rows above so the
+  // timings stay comparable across revisions.  Events that did not open
+  // are simply absent from each stage object.
+  std::fprintf(out, "  \"counters\": \"%s\",\n", counterStatus(group));
+  if (group != nullptr && !group->degradedReason().empty()) {
+    std::fprintf(out, "  \"countersReason\": \"%s\",\n",
+                 group->degradedReason().c_str());
+  }
+  std::fprintf(out, "  \"counterStages\": [");
+  bool firstStage = true;
+  for (const CounterResult& cr : counterResults) {
+    for (const CounterStage& s : cr.stages) {
+      std::fprintf(out, "%s\n    {\"switches\": %u, \"stage\": \"%s\", "
+                        "\"durMs\": %.3f",
+                   firstStage ? "" : ",", static_cast<unsigned>(cr.switches),
+                   s.stage, s.durMs);
+      firstStage = false;
+      for (std::size_t e = 0; e < util::kPerfEventCount; ++e) {
+        const auto event = static_cast<util::PerfEvent>(e);
+        if (!s.counts.has(event)) continue;
+        std::fprintf(out, ", \"%s\": %llu", util::toString(event),
+                     static_cast<unsigned long long>(s.counts.get(event)));
+      }
+      if (s.counts.ipc() >= 0) {
+        std::fprintf(out, ", \"ipc\": %.4f", s.counts.ipc());
+      }
+      if (s.counts.cacheMissRate() >= 0) {
+        std::fprintf(out, ", \"cacheMissRate\": %.4f",
+                     s.counts.cacheMissRate());
+      }
+      std::fprintf(out, ", \"allocCount\": %llu, \"allocBytes\": %llu}",
+                   static_cast<unsigned long long>(s.allocCount),
+                   static_cast<unsigned long long>(s.allocBytes));
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
   std::fclose(out);
   std::printf("bench_build: wrote %s\n", path);
 }
@@ -334,6 +538,11 @@ int main(int argc, char** argv) {
       "spans-out", "",
       "control-plane span path prefix (.{jsonl,trace.json} appended); "
       "records one untimed instrumented build + reconfiguration per size");
+  auto countersFlag = cli.flag(
+      "counters",
+      "per-stage perf-counter + allocation table from one untimed serial "
+      "counted pass per size (prints availability when perf_event_open is "
+      "denied)");
   cli.parse(argc, argv);
 
   std::string jsonPath = *jsonOpt;
@@ -345,14 +554,40 @@ int main(int argc, char** argv) {
   util::ThreadPool pool(static_cast<std::size_t>(*threads));
   util::SpanRecorder spans;
   util::SpanRecorder* spansPtr = spansOpt->empty() ? nullptr : &spans;
+
+  // The counted pass gets its own recorder: counters + allocation
+  // attribution must not leak into the --spans-out trace, whose timings
+  // document the uncounted pipeline.
+  util::PerfCounterGroup counterGroup(
+      util::PerfCounterGroup::Options{.disabled = !*countersFlag});
+  util::SpanRecorder countedSpans;
+  util::SpanRecorder* countedPtr = nullptr;
+  if (*countersFlag) {
+    if (counterGroup.available()) {
+      countedSpans.attachCounters(&counterGroup);
+      if (!counterGroup.degradedReason().empty()) {
+        std::printf("counters partial (%s): wall-clock and software events "
+                    "only\n",
+                    counterGroup.degradedReason().c_str());
+      }
+    } else {
+      std::printf("counters unavailable: %s (reporting wall-clock and "
+                  "allocation only)\n",
+                  counterGroup.unavailableReason().c_str());
+    }
+    countedSpans.setAllocTracking(true);
+    countedPtr = &countedSpans;
+  }
+  std::vector<CounterResult> counterResults;
   std::vector<SizeResult> results;
   std::printf("%8s %8s %9s %9s %9s %9s %9s %9s %9s %9s\n", "switches",
               "tree", "repair", "relDFS", "relBatch", "tblSer", "tblPar",
               "fullSer", "rcfgFull", "rcfgIncr");
   for (const int size : {64, 128, 256, 512, 1024, 2048, 4096}) {
     if (size < *minSwitches || size > *maxSwitches) continue;
-    const SizeResult r = benchOneSize(static_cast<topo::NodeId>(size), pool,
-                                      *repeats, *dfsMax, spansPtr);
+    const SizeResult r =
+        benchOneSize(static_cast<topo::NodeId>(size), pool, *repeats, *dfsMax,
+                     spansPtr, countedPtr, &counterResults);
     std::printf(
         "%8u %8.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
         static_cast<unsigned>(r.switches), r.treeMs, r.repairMs,
@@ -366,8 +601,10 @@ int main(int argc, char** argv) {
               "--dfs-max-switches; %d thread%s)\n",
               *repeats, *threads, *threads == 1 ? "" : "s");
 
-  if (!jsonPath.empty()) writeJson(jsonPath.c_str(), results, *threads,
-                                   *repeats);
+  if (!jsonPath.empty()) {
+    writeJson(jsonPath.c_str(), results, *threads, *repeats, counterResults,
+              *countersFlag ? &counterGroup : nullptr);
+  }
   if (spansPtr != nullptr) {
     {
       std::ofstream out(*spansOpt + ".jsonl");

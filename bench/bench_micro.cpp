@@ -27,6 +27,7 @@
 #include "sim/network.hpp"
 #include "topology/generate.hpp"
 #include "util/cli.hpp"
+#include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -203,6 +204,74 @@ double scenarioCyclesPerSec(const routing::Routing& routing,
   return kScenarioTimedSteps / std::chrono::duration<double>(t1 - t0).count();
 }
 
+// Counted phase attribution runs far fewer steps than the throughput
+// scenarios: the counted path reads the perf group five times per cycle,
+// which is measurement infrastructure, not simulator speed — the section
+// answers "which phase is low-IPC / cache-bound", not "how fast".
+constexpr int kCountedWarmSteps = 2000;
+constexpr int kCountedTimedSteps = 20000;
+
+/// Per-phase wall-clock + counter attribution for one scenario, written as
+/// one JSON object on `out`.  Uses the engine's counted phase path when the
+/// group is available and degrades to wall-clock-only attribution (the
+/// plain profiled path) otherwise.
+void writePhaseCounterScenario(std::FILE* out, const char* name, double load,
+                               const routing::Routing& routing,
+                               const topo::Topology& topo,
+                               const tree::CoordinatedTree& ct,
+                               const sim::TrafficPattern& traffic,
+                               util::PerfCounterGroup& group, bool last) {
+  obs::Observer observer({.profilePhases = true}, topo, &ct);
+  observer.profiler()->attachCounters(&group);
+  sim::SimConfig config;
+  config.packetLengthFlits = 128;
+  config.warmupCycles = 0;
+  config.measureCycles = 1u << 30;  // stepped manually
+  config.observer = &observer;
+  sim::WormholeNetwork net(routing.table(), traffic, load, config);
+  for (int i = 0; i < kCountedWarmSteps; ++i) net.step();
+  observer.profiler()->reset();
+  for (int i = 0; i < kCountedTimedSteps; ++i) net.step();
+
+  const obs::PhaseProfiler& profiler = *observer.profiler();
+  std::fprintf(out, "      {\"name\": \"%s\", \"offeredLoad\": %g, "
+                    "\"cycles\": %llu, \"phases\": [",
+               name, load,
+               static_cast<unsigned long long>(profiler.cycles()));
+  for (std::uint8_t p = 0; p < obs::PhaseProfiler::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::PhaseProfiler::Phase>(p);
+    const util::PerfCounts counts = profiler.phaseCounts(phase);
+    std::fprintf(out, "%s\n        {\"phase\": \"%s\", \"totalNs\": %llu",
+                 p == 0 ? "" : ",", obs::PhaseProfiler::toString(phase),
+                 static_cast<unsigned long long>(profiler.phaseNanos(phase)));
+    for (std::size_t e = 0; e < util::kPerfEventCount; ++e) {
+      const auto event = static_cast<util::PerfEvent>(e);
+      if (!counts.has(event)) continue;
+      std::fprintf(out, ", \"%s\": %llu", util::toString(event),
+                   static_cast<unsigned long long>(counts.get(event)));
+    }
+    if (counts.ipc() >= 0) {
+      std::fprintf(out, ", \"ipc\": %.4f", counts.ipc());
+    }
+    if (counts.cacheMissRate() >= 0) {
+      std::fprintf(out, ", \"cacheMissRate\": %.4f", counts.cacheMissRate());
+    }
+    std::fprintf(out, "}");
+    char ipcText[16] = "-";
+    if (counts.ipc() >= 0) {
+      std::snprintf(ipcText, sizeof ipcText, "%.2f", counts.ipc());
+    }
+    std::printf("bench_micro phase %-16s %-14s %8.1f ns/cycle  ipc %s\n",
+                name, obs::PhaseProfiler::toString(phase),
+                static_cast<double>(profiler.phaseNanos(phase)) /
+                    static_cast<double>(profiler.cycles() == 0
+                                            ? 1
+                                            : profiler.cycles()),
+                ipcText);
+  }
+  std::fprintf(out, "\n      ]}%s\n", last ? "" : ",");
+}
+
 void writeScenarioJson(const char* path) {
   const topo::Topology topo = makeTopology(128, 4);
   util::Rng rng(3);
@@ -254,7 +323,43 @@ void writeScenarioJson(const char* path) {
                  "\"offeredLoad\": %g, \"cyclesPerSec\": %.0f}\n",
                  load, cps);
   }
-  std::fprintf(out, "  ]\n}\n");
+  std::fprintf(out, "  ],\n");
+  // Per-phase counter attribution near idle vs near saturation: which
+  // engine phase is low-IPC / cache-bound as load rises (ROADMAP item 4's
+  // SoA-layout question).  Availability is always spelled out so a
+  // PMU-less container reports wall-clock attribution, not silent zeros.
+  {
+    util::PerfCounterGroup group;
+    const char* status = !group.available() ? "unavailable"
+                         : group.eventMask() ==
+                                 ((1u << util::kPerfEventCount) - 1u)
+                             ? "available"
+                             : "partial";
+    std::fprintf(out, "  \"phaseCounters\": {\n    \"counters\": \"%s\",\n",
+                 status);
+    if (!group.degradedReason().empty()) {
+      std::fprintf(out, "    \"countersReason\": \"%s\",\n",
+                   group.degradedReason().c_str());
+    }
+    if (!group.available()) {
+      std::printf("bench_micro: counters unavailable: %s (phase attribution "
+                  "is wall-clock only)\n",
+                  group.unavailableReason().c_str());
+    } else if (!group.degradedReason().empty()) {
+      std::printf("bench_micro: counters partial (%s)\n",
+                  group.degradedReason().c_str());
+    }
+    std::fprintf(out, "    \"methodology\": {\"warmSteps\": %d, "
+                      "\"timedSteps\": %d},\n    \"scenarios\": [\n",
+                 kCountedWarmSteps, kCountedTimedSteps);
+    writePhaseCounterScenario(out, "near_idle", kScenarios[0].offeredLoad,
+                              routing, topo, ct, traffic, group, false);
+    writePhaseCounterScenario(out, "near_saturation",
+                              kScenarios[std::size(kScenarios) - 1].offeredLoad,
+                              routing, topo, ct, traffic, group, true);
+    std::fprintf(out, "    ]\n  }\n");
+  }
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("bench_micro: wrote %s\n", path);
 }

@@ -28,8 +28,14 @@ Observer::Observer(const ObsOptions& options, const topo::Topology& topo,
   if (options.traceSampleEvery > 0) {
     tracer_ = std::make_unique<PacketTracer>(options.traceSampleEvery);
   }
+  // Control-plane spans before the profiler: when both are enabled the
+  // profiler folds its phase aggregates into the same recorder, so one
+  // obs_spans/2 dump carries the rebuild trace and the phase totals.
+  if (options.controlPlaneSpans) {
+    controlPlaneSpans_ = std::make_unique<SpanRecorder>();
+  }
   if (options.profilePhases) {
-    profiler_ = std::make_unique<PhaseProfiler>();
+    profiler_ = std::make_unique<PhaseProfiler>(controlPlaneSpans_.get());
   }
   if (options.timeseriesWindowCycles > 0) {
     TimeSeriesOptions tsOptions;
@@ -44,9 +50,6 @@ Observer::Observer(const ObsOptions& options, const topo::Topology& topo,
     waitfor_ = std::make_unique<WaitForSampler>(
         options.waitForSamplePeriod, nodeCount_, channelCount_,
         channelCount_ * vcCount, vcCount);
-  }
-  if (options.controlPlaneSpans) {
-    controlPlaneSpans_ = std::make_unique<SpanRecorder>();
   }
 }
 

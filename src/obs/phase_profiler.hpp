@@ -1,13 +1,32 @@
-// Wall-clock attribution of the engine's per-cycle phases, so a perf
-// regression can be pinned to allocation vs arbitration vs flow control
-// instead of showing up only as a lower aggregate cycles/sec.  The engine
-// times each phase with steady_clock only when a profiler is attached; the
-// detached path keeps the plain phase calls (see WormholeNetwork::step).
+// Wall-clock (and optionally counter-level) attribution of the engine's
+// per-cycle phases, so a perf regression can be pinned to allocation vs
+// arbitration vs flow control instead of showing up only as a lower
+// aggregate cycles/sec.  The engine times each phase with steady_clock only
+// when a profiler is attached; the detached path keeps the plain phase
+// calls (see WormholeNetwork::step).
+//
+// The profiler is a facade over util::SpanRecorder's aggregate slots — the
+// same substrate the control-plane rebuild spans use — so engine phases and
+// fabric stages share one timing store and one export path (obs_spans/2
+// "aggregate" records).  Per-cycle spans would be unaffordable (millions of
+// mutex-protected records); aggregates are lock-free accumulation into four
+// fixed slots.  By default the profiler owns a private recorder; hand it a
+// shared one (Observer does this when control-plane spans are also enabled)
+// and the phase totals export alongside the rebuild trace.
+//
+// With a PerfCounterGroup attached (attachCounters), the engine's counted
+// path additionally folds per-phase counter deltas into the same slots, so
+// report() can print per-phase IPC and cache-miss rates — or say why it
+// can't (unavailable counters report their reason, never silent zeros).
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+
+#include "util/perf_counters.hpp"
+#include "util/span_recorder.hpp"
 
 namespace downup::obs {
 
@@ -23,27 +42,53 @@ class PhaseProfiler {
 
   static const char* toString(Phase phase) noexcept;
 
+  /// Accumulates into `recorder`'s aggregate slots when given; owns a
+  /// private recorder otherwise.
+  explicit PhaseProfiler(util::SpanRecorder* recorder = nullptr);
+
   void add(Phase phase, std::uint64_t nanos) noexcept {
-    nanos_[phase] += nanos;
+    recorder_->accumulate(ids_[phase], nanos);
+  }
+  /// Folds a counter delta into a phase's slot (engine counted path).
+  void addCounts(Phase phase, const util::PerfCounts& delta) noexcept {
+    recorder_->accumulateCounts(ids_[phase], delta);
   }
   void endCycle() noexcept { ++cycles_; }
 
+  /// Attaches a counter group: the engine switches to its counted phase
+  /// path (reads the group at phase boundaries) when this is non-null and
+  /// available.  The group must belong to the simulating thread.
+  void attachCounters(util::PerfCounterGroup* counters) noexcept {
+    counters_ = counters;
+  }
+  util::PerfCounterGroup* counters() const noexcept { return counters_; }
+
   std::uint64_t cycles() const noexcept { return cycles_; }
   std::uint64_t phaseNanos(Phase phase) const noexcept {
-    return nanos_[phase];
+    return recorder_->aggregateNs(ids_[phase]);
   }
+  /// Summed counter deltas attributed to one phase (mask 0 when the
+  /// counted path never ran).
+  util::PerfCounts phaseCounts(Phase phase) const;
   std::uint64_t totalNanos() const noexcept;
 
-  void reset() noexcept {
-    nanos_.fill(0);
-    cycles_ = 0;
-  }
+  void reset() noexcept;
+
+  /// The recorder the phase slots live in (shared or owned) — exporters
+  /// dump the aggregates from here.
+  util::SpanRecorder* recorder() noexcept { return recorder_; }
+  const util::SpanRecorder* recorder() const noexcept { return recorder_; }
 
   /// One line per phase: total ms, share of the phase sum, ns/cycle.
+  /// When per-phase counter data exists, each line gains IPC and
+  /// cache-miss-rate columns (absent events print "-", never zero).
   void report(std::ostream& out) const;
 
  private:
-  std::array<std::uint64_t, kPhaseCount> nanos_{};
+  std::unique_ptr<util::SpanRecorder> owned_;
+  util::SpanRecorder* recorder_;
+  std::array<std::uint32_t, kPhaseCount> ids_{};
+  util::PerfCounterGroup* counters_ = nullptr;
   std::uint64_t cycles_ = 0;
 };
 

@@ -10,6 +10,11 @@ namespace downup::obs {
 
 namespace {
 
+using util::PerfCounterGroup;
+using util::PerfCounts;
+using util::PerfEvent;
+using util::kPerfEventCount;
+
 /// Microseconds with fractional precision — spans are wall-clock ns; the
 /// trace_event format expects microsecond doubles.
 double toUs(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
@@ -25,13 +30,74 @@ void writeArgsJson(const SpanRecorder::Span& span, std::ostream& out) {
   out << "}";
 }
 
+/// Counter payload: only events that were actually counted, plus the
+/// derived ratios when their inputs are present.  Absent events simply
+/// don't appear — a consumer never sees a silent zero.
+void writeCountersJson(const PerfCounts& counts, std::ostream& out) {
+  out << "{";
+  bool first = true;
+  for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+    const auto event = static_cast<PerfEvent>(e);
+    if (!counts.has(event)) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << util::toString(event) << "\":" << counts.get(event);
+  }
+  char buffer[40];
+  if (counts.ipc() >= 0) {
+    std::snprintf(buffer, sizeof buffer, ",\"ipc\":%.4f", counts.ipc());
+    out << buffer;
+  }
+  if (counts.cacheMissRate() >= 0) {
+    std::snprintf(buffer, sizeof buffer, ",\"cacheMissRate\":%.4f",
+                  counts.cacheMissRate());
+    out << buffer;
+  }
+  out << "}";
+}
+
+/// Counter availability for the meta record: a status string and, for
+/// anything short of full availability, the reason — the schema's "never
+/// silent zeros" contract.
+void writeCounterMetaJson(const SpanRecorder& spans, std::ostream& out) {
+  const PerfCounterGroup* group = spans.counters();
+  if (group == nullptr) {
+    out << "\"counters\":\"detached\"";
+    return;
+  }
+  if (!group->available()) {
+    out << "\"counters\":\"unavailable\",\"countersReason\":\""
+        << group->unavailableReason() << "\"";
+    return;
+  }
+  const bool full =
+      group->eventMask() == ((1u << kPerfEventCount) - 1u);
+  out << "\"counters\":\"" << (full ? "available" : "partial") << "\"";
+  if (!full) {
+    out << ",\"countersReason\":\"" << group->degradedReason() << "\"";
+  }
+  out << ",\"counterEvents\":[";
+  bool first = true;
+  for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+    if (!group->has(static_cast<PerfEvent>(e))) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << util::toString(static_cast<PerfEvent>(e)) << "\"";
+  }
+  out << "]";
+}
+
 }  // namespace
 
 void writeSpansJsonl(const SpanRecorder& spans, std::ostream& out) {
   const std::vector<SpanRecorder::Span> all = spans.snapshot();
-  out << "{\"record\":\"meta\",\"schema\":\"obs_spans/1\",\"gitRev\":\""
+  const std::vector<SpanRecorder::Aggregate> aggregates = spans.aggregates();
+  out << "{\"record\":\"meta\",\"schema\":\"obs_spans/2\",\"gitRev\":\""
       << gitRevision() << "\",\"timestampUtc\":\"" << utcTimestamp()
-      << "\",\"spans\":" << all.size() << "}\n";
+      << "\",\"spans\":" << all.size()
+      << ",\"aggregates\":" << aggregates.size() << ",";
+  writeCounterMetaJson(spans, out);
+  out << "}\n";
   char buffer[96];
   for (std::size_t i = 0; i < all.size(); ++i) {
     const SpanRecorder::Span& span = all[i];
@@ -51,6 +117,23 @@ void writeSpansJsonl(const SpanRecorder& spans, std::ostream& out) {
       out << ",\"args\":";
       writeArgsJson(span, out);
     }
+    if (!span.counters.empty()) {
+      out << ",\"counters\":";
+      writeCountersJson(span.counters, out);
+    }
+    if (span.allocTracked) {
+      out << ",\"alloc\":{\"count\":" << span.allocCount
+          << ",\"bytes\":" << span.allocBytes << "}";
+    }
+    out << "}\n";
+  }
+  for (const SpanRecorder::Aggregate& agg : aggregates) {
+    out << "{\"record\":\"aggregate\",\"name\":\"" << agg.name
+        << "\",\"count\":" << agg.count << ",\"totalNs\":" << agg.totalNs;
+    if (!agg.counters.empty()) {
+      out << ",\"counters\":";
+      writeCountersJson(agg.counters, out);
+    }
     out << "}\n";
   }
 }
@@ -69,8 +152,34 @@ void writeSpansChromeTrace(const SpanRecorder& spans, std::ostream& out) {
                   toUs(span.startNs), toUs(span.durationNs()), span.tid);
     out << "\n{\"name\":\"" << span.name << "\",\"ph\":\"X\"," << buffer
         << ",\"args\":";
-    writeArgsJson(span, out);
-    out << "}";
+    // Perfetto shows args on click — fold the derived counter ratios and
+    // alloc charge into the arg object so they surface there too.
+    out << "{";
+    bool firstArg = true;
+    for (std::uint8_t a = 0; a < span.argCount; ++a) {
+      if (!firstArg) out << ",";
+      firstArg = false;
+      char value[32];
+      std::snprintf(value, sizeof value, "%.6g", span.args[a].value);
+      out << "\"" << span.args[a].key << "\":" << value;
+    }
+    if (span.counters.ipc() >= 0) {
+      std::snprintf(buffer, sizeof buffer, "\"ipc\":%.4f",
+                    span.counters.ipc());
+      out << (firstArg ? "" : ",") << buffer;
+      firstArg = false;
+    }
+    if (span.counters.cacheMissRate() >= 0) {
+      std::snprintf(buffer, sizeof buffer, "\"cacheMissRate\":%.4f",
+                    span.counters.cacheMissRate());
+      out << (firstArg ? "" : ",") << buffer;
+      firstArg = false;
+    }
+    if (span.allocTracked) {
+      out << (firstArg ? "" : ",") << "\"allocCount\":" << span.allocCount
+          << ",\"allocBytes\":" << span.allocBytes;
+    }
+    out << "}}";
   }
   // Name the process so Perfetto labels the track meaningfully.
   if (!first) out << ",";

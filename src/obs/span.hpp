@@ -21,9 +21,22 @@
 //   └─ publish                  epoch swap + reclaim sweep
 //
 // Parallel stages carry `threads` / `parallel` args so a trace shows which
-// path ran.  Schemas: spans JSONL is obs_spans/1 (results/README.md); the
+// path ran.  Schemas: spans JSONL is obs_spans/2 (results/README.md); the
 // Chrome trace is standard trace_event JSON, loadable in Perfetto with one
 // track per recording thread.
+//
+// obs_spans/2 extends /1 with micro-architectural data (util/perf_counters):
+//   * the meta record reports counter availability — "detached" (no group
+//     attached), "available", "partial" (software clock only; reason says
+//     why the PMU events failed) or "unavailable" (reason carries the
+//     errno) — so a consumer can always tell absent from zero;
+//   * spans begun on the counting thread carry a "counters" object with
+//     only the events that actually opened, plus derived ipc/missRate
+//     when their inputs are present;
+//   * alloc-tracked spans carry an "alloc" {count, bytes} object
+//     (innermost-span attribution, see util/span_recorder.hpp);
+//   * per-name accumulated stages (the engine phase profiler) export as
+//     "aggregate" records after the spans.
 #pragma once
 
 #include <iosfwd>
@@ -35,9 +48,11 @@ namespace downup::obs {
 using util::ScopedSpan;
 using util::SpanRecorder;
 
-/// Spans as JSONL (schema obs_spans/1): a `meta` header, then one `span`
-/// record per span in begin order with id/parent/tid/depth, microsecond
-/// start/duration and the numeric args.
+/// Spans as JSONL (schema obs_spans/2): a `meta` header with counter
+/// availability, then one `span` record per span in begin order with
+/// id/parent/tid/depth, microsecond start/duration, the numeric args and
+/// any counter/alloc payloads, then one `aggregate` record per registered
+/// aggregate slot.
 void writeSpansJsonl(const SpanRecorder& spans, std::ostream& out);
 
 /// Spans as Chrome trace_event JSON (Perfetto-loadable): one "X" complete

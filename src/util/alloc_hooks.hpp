@@ -1,0 +1,101 @@
+// Global allocation hooks feeding util::noteAllocation, so spans opted into
+// allocation attribution (SpanRecorder::setAllocTracking) see every heap
+// allocation the process makes on their thread.
+//
+// Include this header in exactly ONE translation unit of a BINARY (never a
+// library): it replaces the global allocation functions for the whole
+// program, the same single-TU pattern the zero-allocation test binaries
+// already use (tests/obs/zero_overhead_test.cpp et al.).  Binaries that
+// don't include it simply report zero allocations with allocTracked set —
+// visible as "hooks absent", never as silent success.
+//
+// The hooks add one thread-local read per allocation when no tracking span
+// is open (noteAllocation's fast path), and never allocate or lock
+// themselves, so they are safe under reentrancy and measurably free for
+// binaries that never enable tracking.
+#pragma once
+
+#include <cstdlib>
+#include <new>
+
+#include "util/span_recorder.hpp"
+
+namespace downup::util::detail {
+
+inline void* hookedAlloc(std::size_t size) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) noteAllocation(size);
+  return p;
+}
+
+inline void* hookedAllocAligned(std::size_t size,
+                                std::align_val_t align) noexcept {
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align),
+                     size != 0 ? size : 1) != 0) {
+    return nullptr;
+  }
+  noteAllocation(size);
+  return p;
+}
+
+}  // namespace downup::util::detail
+
+void* operator new(std::size_t size) {
+  void* p = downup::util::detail::hookedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = downup::util::detail::hookedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return downup::util::detail::hookedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return downup::util::detail::hookedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = downup::util::detail::hookedAllocAligned(size, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = downup::util::detail::hookedAllocAligned(size, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return downup::util::detail::hookedAllocAligned(size, align);
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return downup::util::detail::hookedAllocAligned(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,188 @@
+#include "util/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace downup::util {
+
+const char* toString(PerfEvent event) noexcept {
+  switch (event) {
+    case PerfEvent::kTaskClock: return "task_clock_ns";
+    case PerfEvent::kCycles: return "cycles";
+    case PerfEvent::kInstructions: return "instructions";
+    case PerfEvent::kCacheReferences: return "cache_references";
+    case PerfEvent::kCacheMisses: return "cache_misses";
+    case PerfEvent::kBranchMisses: return "branch_misses";
+  }
+  return "unknown";
+}
+
+double PerfCounts::ipc() const noexcept {
+  if (!has(PerfEvent::kCycles) || !has(PerfEvent::kInstructions)) return -1.0;
+  const std::uint64_t cycles = get(PerfEvent::kCycles);
+  if (cycles == 0) return -1.0;
+  return static_cast<double>(get(PerfEvent::kInstructions)) /
+         static_cast<double>(cycles);
+}
+
+double PerfCounts::cacheMissRate() const noexcept {
+  if (!has(PerfEvent::kCacheReferences) || !has(PerfEvent::kCacheMisses)) {
+    return -1.0;
+  }
+  const std::uint64_t refs = get(PerfEvent::kCacheReferences);
+  if (refs == 0) return -1.0;
+  return static_cast<double>(get(PerfEvent::kCacheMisses)) /
+         static_cast<double>(refs);
+}
+
+double PerfCounts::branchMissesPerKiloInstruction() const noexcept {
+  if (!has(PerfEvent::kBranchMisses) || !has(PerfEvent::kInstructions)) {
+    return -1.0;
+  }
+  const std::uint64_t instructions = get(PerfEvent::kInstructions);
+  if (instructions == 0) return -1.0;
+  return 1000.0 * static_cast<double>(get(PerfEvent::kBranchMisses)) /
+         static_cast<double>(instructions);
+}
+
+PerfCounts PerfCounts::deltaSince(const PerfCounts& earlier) const noexcept {
+  PerfCounts delta;
+  delta.mask = static_cast<std::uint8_t>(mask & earlier.mask);
+  for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+    if (!((delta.mask >> e) & 1u)) continue;
+    delta.value[e] = value[e] >= earlier.value[e]
+                         ? value[e] - earlier.value[e]
+                         : 0;
+  }
+  return delta;
+}
+
+void PerfCounts::accumulate(const PerfCounts& other) noexcept {
+  mask = static_cast<std::uint8_t>(mask | other.mask);
+  for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+    if ((other.mask >> e) & 1u) value[e] += other.value[e];
+  }
+}
+
+PerfCounterGroup::PerfCounterGroup() : PerfCounterGroup(Options{}) {}
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::array<EventSpec, kPerfEventCount> kEventSpecs = {{
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+}};
+
+int openEvent(const EventSpec& spec, int groupFd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = spec.type;
+  attr.config = spec.config;
+  // User-space only: opens at perf_event_paranoid <= 2 without privileges.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+  const long fd = syscall(__NR_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          groupFd, /*flags=*/0);
+  return static_cast<int>(fd);
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup(const Options& options) {
+  fds_.fill(-1);
+  if (options.disabled) {
+    reason_ = "disabled by caller";
+    return;
+  }
+  for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+    const int fd = openEvent(kEventSpecs[e], groupFd_);
+    if (fd < 0) {
+      const char* error = std::strerror(errno);
+      if (reason_.empty()) {
+        reason_ = std::string(toString(static_cast<PerfEvent>(e))) + ": " +
+                  error;
+      }
+      if (degraded_.empty() && kEventSpecs[e].type == PERF_TYPE_HARDWARE) {
+        degraded_ = std::string(toString(static_cast<PerfEvent>(e))) + ": " +
+                    error;
+      }
+      continue;
+    }
+    if (groupFd_ < 0) groupFd_ = fd;
+    fds_[e] = fd;
+    std::uint64_t id = 0;
+    if (ioctl(fd, PERF_EVENT_IOC_ID, &id) == 0) {
+      ids_[e] = id;
+      mask_ = static_cast<std::uint8_t>(mask_ | (1u << e));
+    } else {
+      close(fd);
+      fds_[e] = -1;
+      if (fd == groupFd_) groupFd_ = -1;
+    }
+  }
+  if (mask_ != 0) reason_.clear();
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+PerfCounts PerfCounterGroup::read() const noexcept {
+  PerfCounts counts;
+  if (groupFd_ < 0) return counts;
+  // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout: nr, then {value, id} pairs.
+  std::array<std::uint64_t, 1 + 2 * kPerfEventCount> buffer{};
+  const ssize_t got = ::read(groupFd_, buffer.data(), sizeof buffer);
+  if (got < static_cast<ssize_t>(sizeof(std::uint64_t))) return counts;
+  const std::uint64_t nr = buffer[0];
+  for (std::uint64_t i = 0; i < nr && i < kPerfEventCount; ++i) {
+    const std::uint64_t value = buffer[1 + 2 * i];
+    const std::uint64_t id = buffer[2 + 2 * i];
+    for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+      if (fds_[e] >= 0 && ids_[e] == id) {
+        counts.value[e] = value;
+        counts.mask = static_cast<std::uint8_t>(counts.mask | (1u << e));
+        break;
+      }
+    }
+  }
+  return counts;
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup(const Options& options) {
+  fds_.fill(-1);
+  reason_ = options.disabled ? "disabled by caller"
+                             : "perf_event_open: unsupported platform";
+}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+PerfCounts PerfCounterGroup::read() const noexcept { return {}; }
+
+#endif
+
+}  // namespace downup::util

@@ -1,0 +1,124 @@
+// Micro-architectural performance counters via perf_event_open: task-clock,
+// cycles, instructions, cache-references/misses and branch-misses for the
+// calling thread, read as one consistent group snapshot.
+//
+// Availability is a spectrum, not a boolean — this header models it
+// explicitly so consumers can never print silent zeros:
+//   * full PMU access: every event opens, `eventMask()` has all bits;
+//   * virtualized / PMU-less hosts (common CI containers): the hardware
+//     events fail with ENOENT but the software task-clock still opens —
+//     `available()` is true with a partial mask;
+//   * seccomp-filtered or perf_event_paranoid-locked environments: nothing
+//     opens — `available()` is false and `unavailableReason()` carries the
+//     first errno string for the report.
+// Consumers must check `PerfCounts::has()` per event (or the mask) before
+// deriving IPC / miss rates; a missing event is *absent*, never zero.
+//
+// The counters are attached to the CONSTRUCTING thread (pid=0, cpu=-1) and
+// count from construction; read() from any thread still observes that
+// thread's counts, but attribution layers (util::SpanRecorder) only stamp
+// spans begun on the counting thread.  User-space only (exclude_kernel),
+// so the group opens at perf_event_paranoid <= 2.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace downup::util {
+
+/// Counter kinds, in the fixed order used by PerfCounts::value and the
+/// event mask bits.
+enum class PerfEvent : std::uint8_t {
+  kTaskClock = 0,   // software: on-CPU nanoseconds (opens almost anywhere)
+  kCycles,          // PERF_COUNT_HW_CPU_CYCLES
+  kInstructions,    // PERF_COUNT_HW_INSTRUCTIONS
+  kCacheReferences, // PERF_COUNT_HW_CACHE_REFERENCES
+  kCacheMisses,     // PERF_COUNT_HW_CACHE_MISSES
+  kBranchMisses,    // PERF_COUNT_HW_BRANCH_MISSES
+};
+
+inline constexpr std::size_t kPerfEventCount = 6;
+
+const char* toString(PerfEvent event) noexcept;
+
+/// One snapshot (or delta between snapshots) of the group.  Only events
+/// whose bit is set in `mask` carry a value; everything else is absent.
+struct PerfCounts {
+  std::array<std::uint64_t, kPerfEventCount> value{};
+  std::uint8_t mask = 0;
+
+  bool has(PerfEvent event) const noexcept {
+    return (mask >> static_cast<std::uint8_t>(event)) & 1u;
+  }
+  std::uint64_t get(PerfEvent event) const noexcept {
+    return value[static_cast<std::uint8_t>(event)];
+  }
+  bool empty() const noexcept { return mask == 0; }
+
+  /// Instructions per cycle; < 0 when either event is absent.
+  double ipc() const noexcept;
+  /// cache-misses / cache-references in [0, 1]; < 0 when absent.
+  double cacheMissRate() const noexcept;
+  /// branch-misses per kilo-instruction; < 0 when absent.
+  double branchMissesPerKiloInstruction() const noexcept;
+
+  /// Delta of two snapshots of the SAME group (mask intersects; counts are
+  /// monotone, so saturating subtraction only guards clock skew on the
+  /// task-clock).
+  PerfCounts deltaSince(const PerfCounts& earlier) const noexcept;
+
+  /// Accumulates another delta (mask unions; used by aggregated stages).
+  void accumulate(const PerfCounts& other) noexcept;
+};
+
+/// A perf_event group on the calling thread.  Construction opens whatever
+/// subset of the six events the environment permits; destruction closes
+/// the file descriptors.  read() is one syscall for the whole group, so
+/// every snapshot is internally consistent.
+class PerfCounterGroup {
+ public:
+  struct Options {
+    /// Skip the syscalls entirely and report unavailable ("disabled by
+    /// caller") — pins the fallback path in tests and honours explicit
+    /// opt-outs without an #ifdef at every call site.
+    bool disabled = false;
+  };
+
+  PerfCounterGroup();
+  explicit PerfCounterGroup(const Options& options);
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one event opened; check eventMask() for which.
+  bool available() const noexcept { return mask_ != 0; }
+  std::uint8_t eventMask() const noexcept { return mask_; }
+  bool has(PerfEvent event) const noexcept {
+    return (mask_ >> static_cast<std::uint8_t>(event)) & 1u;
+  }
+
+  /// Why the FIRST event failed to open (errno string); empty when
+  /// available().  Partial groups keep the first hardware-event failure in
+  /// degradedReason() so reports can say *why* IPC is missing.
+  const std::string& unavailableReason() const noexcept { return reason_; }
+  const std::string& degradedReason() const noexcept {
+    return mask_ == 0 ? reason_ : degraded_;
+  }
+
+  /// Cumulative counts since construction (monotone).  Returns an empty
+  /// PerfCounts (mask 0) when unavailable or when the group read fails.
+  PerfCounts read() const noexcept;
+
+ private:
+  int groupFd_ = -1;                         // leader (first opened event)
+  std::array<int, kPerfEventCount> fds_;     // -1 for unopened events
+  std::array<std::uint64_t, kPerfEventCount> ids_{};  // kernel event ids
+  std::uint8_t mask_ = 0;
+  std::string reason_;    // first failure overall
+  std::string degraded_;  // first hardware-event failure (partial groups)
+};
+
+}  // namespace downup::util

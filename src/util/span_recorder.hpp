@@ -1,5 +1,6 @@
 // Wall-clock span tracing for the control plane (routing construction and
-// the fabric rebuild pipeline).
+// the fabric rebuild pipeline), with optional micro-architectural counter
+// deltas and allocation attribution per span.
 //
 // The recorder lives in util/ — the bottom layer — so that routing/, core/,
 // fault/ and fabric/ can all emit spans without a dependency on obs/ (which
@@ -20,6 +21,27 @@
 //     not a concern and the simple structure keeps dump() trivially
 //     consistent.
 //
+// Three opt-in extensions share the substrate:
+//   * attachCounters(PerfCounterGroup*): spans begun on the counter group's
+//     owning thread carry counter deltas (cycles, instructions, cache and
+//     branch misses — whatever subset the environment opened; see
+//     util/perf_counters.hpp for the availability model).  Deltas include
+//     child spans, so nesting is monotone: child <= parent per event.
+//   * setAllocTracking(true): allocation count + bytes are charged to the
+//     thread's INNERMOST open span (exclusive attribution — parents do not
+//     include children).  Requires the binary to route the global
+//     allocation functions through util::noteAllocation (the
+//     util/alloc_hooks.hpp pattern the zero-allocation test binaries
+//     already use); without the hooks the spans just report zero with
+//     allocTracked set, never silently.  The charge path reads and writes
+//     thread-locals only — no locks, no allocation — so it is reentrancy-
+//     safe under the global-new override and costs one thread-local read
+//     when no tracked span is open.
+//   * registerAggregate()/accumulate(): per-name accumulated {ns, count,
+//     counter deltas} slots for per-cycle hot paths (the engine's phase
+//     profiler) where one span per occurrence would be unaffordable.
+//     accumulate() is lock-free (relaxed atomics into stable slots).
+//
 // Timestamps are steady_clock nanoseconds relative to the recorder's
 // construction, so one recorder shared across threads yields one coherent
 // timeline.
@@ -28,8 +50,13 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <deque>
+#include <atomic>
 #include <mutex>
+#include <thread>
 #include <vector>
+
+#include "util/perf_counters.hpp"
 
 namespace downup::util {
 
@@ -54,10 +81,27 @@ class SpanRecorder {
     std::uint64_t endNs = 0;     // 0 while still open
     std::array<Arg, kMaxArgs> args{};
     std::uint8_t argCount = 0;
+    /// Counter deltas over the span (children included); mask == 0 when the
+    /// recorder had no counters, the group was unavailable, or the span ran
+    /// on a non-counting thread — absent, never zero.
+    PerfCounts counters{};
+    /// Allocations charged to this span exclusively (innermost-span
+    /// attribution); meaningful only when allocTracked.
+    std::uint64_t allocCount = 0;
+    std::uint64_t allocBytes = 0;
+    bool allocTracked = false;
 
     std::uint64_t durationNs() const noexcept {
       return endNs >= startNs ? endNs - startNs : 0;
     }
+  };
+
+  /// Snapshot of one aggregated stage (see registerAggregate).
+  struct Aggregate {
+    const char* name = nullptr;
+    std::uint64_t count = 0;    // occurrences accumulated
+    std::uint64_t totalNs = 0;  // summed wall-clock nanoseconds
+    PerfCounts counters{};      // summed counter deltas (mask = union seen)
   };
 
   SpanRecorder() : epoch_(std::chrono::steady_clock::now()) {}
@@ -78,13 +122,48 @@ class SpanRecorder {
   /// further args are dropped).
   void addArg(std::uint32_t index, const char* key, double value);
 
+  /// Attaches a counter group: spans begun on the CALLING thread (which
+  /// must be the group's constructing thread for the numbers to mean
+  /// anything) carry counter deltas from here on.  nullptr detaches.
+  /// Attach before recording — not thread-safe against concurrent begins.
+  void attachCounters(PerfCounterGroup* counters);
+  const PerfCounterGroup* counters() const noexcept { return counters_; }
+
+  /// Opts spans into allocation attribution via util::noteAllocation.
+  /// Toggle before recording; spans begun while enabled mark allocTracked.
+  void setAllocTracking(bool enabled) noexcept { allocTracking_ = enabled; }
+  bool allocTracking() const noexcept { return allocTracking_; }
+
+  /// Registers an aggregated stage slot (locks; call during setup, not on
+  /// the hot path).  Re-registering the same name returns the same id.
+  std::uint32_t registerAggregate(const char* name);
+
+  /// Adds one occurrence of `ns` to an aggregate slot.  Lock-free; safe
+  /// from any thread (relaxed atomics — totals are read after the run).
+  void accumulate(std::uint32_t id, std::uint64_t ns) noexcept;
+
+  /// Folds a counter delta into an aggregate slot (same discipline).
+  void accumulateCounts(std::uint32_t id, const PerfCounts& delta) noexcept;
+
+  /// Zeroes one aggregate slot's totals (registration survives).
+  void resetAggregate(std::uint32_t id) noexcept;
+
+  /// Snapshot of every aggregate slot in registration order.
+  std::vector<Aggregate> aggregates() const;
+
+  /// Total nanoseconds accumulated into one slot so far.
+  std::uint64_t aggregateNs(std::uint32_t id) const noexcept;
+  /// Occurrences accumulated into one slot so far.
+  std::uint64_t aggregateCount(std::uint32_t id) const noexcept;
+
   /// Snapshot of every recorded span (closed or still open), in begin
   /// order.  Safe to call from any thread.
   std::vector<Span> snapshot() const;
 
   std::size_t size() const;
 
-  /// Drops every recorded span (reuse across runs).  Call between runs,
+  /// Drops every recorded span and zeroes aggregate totals (registrations
+  /// survive, so cached aggregate ids stay valid).  Call between runs,
   /// not while spans are open — frames still on a thread's stack would
   /// dangle into the next recording.
   void clear();
@@ -98,13 +177,35 @@ class SpanRecorder {
   }
 
  private:
+  struct AggregateSlot {
+    const char* name = nullptr;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> totalNs{0};
+    std::array<std::atomic<std::uint64_t>, kPerfEventCount> counters{};
+    std::atomic<std::uint8_t> counterMask{0};
+  };
+
   std::uint32_t threadIndexLocked();
 
   std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mutex_;
   std::vector<Span> spans_;
   std::uint32_t threadCount_ = 0;  // dense tids handed out so far
+  // Deque: slot addresses stay stable across registration, so accumulate()
+  // needs no lock.
+  std::deque<AggregateSlot> aggregates_;
+  PerfCounterGroup* counters_ = nullptr;
+  std::thread::id counterThread_{};
+  bool allocTracking_ = false;
 };
+
+/// Allocation hook entry point: binaries that override the global
+/// allocation functions (util/alloc_hooks.hpp, or a test's own counting
+/// override) call this with every allocation's size.  Charges the
+/// calling thread's innermost open alloc-tracking span; one thread-local
+/// read and nothing else when no such span is open.  Never allocates,
+/// never locks — safe to call from inside operator new.
+void noteAllocation(std::size_t bytes) noexcept;
 
 /// RAII span: no-op when the recorder is null, so call sites read
 ///   ScopedSpan span(spans, "bfs");

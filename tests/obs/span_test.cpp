@@ -18,6 +18,7 @@
 #include "obs/observer.hpp"
 #include "sim/engine.hpp"
 #include "topology/generate.hpp"
+#include "util/perf_counters.hpp"
 
 namespace downup {
 namespace {
@@ -138,13 +139,90 @@ TEST(SpanExportTest, JsonlCarriesSchemaAndOneRecordPerSpan) {
   std::ostringstream out;
   obs::writeSpansJsonl(rec, out);
   const std::string text = out.str();
-  EXPECT_NE(text.find("\"schema\":\"obs_spans/1\""), std::string::npos);
+  EXPECT_NE(text.find("\"schema\":\"obs_spans/2\""), std::string::npos);
   EXPECT_NE(text.find("\"gitRev\""), std::string::npos);
   EXPECT_NE(text.find("\"name\":\"rebuild\""), std::string::npos);
   EXPECT_NE(text.find("\"name\":\"table_build\""), std::string::npos);
   EXPECT_NE(text.find("\"destinations\":24"), std::string::npos);
-  // One meta line + one line per span.
+  // No counter group was ever attached: the meta must say so explicitly
+  // (the "never silent zeros" contract) and no span may carry counters.
+  EXPECT_NE(text.find("\"counters\":\"detached\""), std::string::npos);
+  EXPECT_EQ(text.find("\"ipc\""), std::string::npos);
+  EXPECT_EQ(text.find("\"alloc\""), std::string::npos);
+  // One meta line + one line per span (no aggregates registered).
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(SpanExportTest, AggregateSlotsExportAsAggregateRecords) {
+  SpanRecorder rec;
+  const std::uint32_t flow = rec.registerAggregate("phase/flow_control");
+  const std::uint32_t arb = rec.registerAggregate("phase/arbitration");
+  rec.accumulate(flow, 120);
+  rec.accumulate(flow, 80);
+  rec.accumulate(arb, 500);
+  { ScopedSpan span(&rec, "rebuild"); }
+
+  std::ostringstream out;
+  obs::writeSpansJsonl(rec, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"aggregates\":2"), std::string::npos);
+  EXPECT_NE(text.find("{\"record\":\"aggregate\",\"name\":"
+                      "\"phase/flow_control\",\"count\":2,\"totalNs\":200}"),
+            std::string::npos);
+  EXPECT_NE(text.find("{\"record\":\"aggregate\",\"name\":"
+                      "\"phase/arbitration\",\"count\":1,\"totalNs\":500}"),
+            std::string::npos);
+  // Meta + one span + two aggregate records.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+
+  // clear() zeroes totals but keeps registrations (ids stay valid).
+  rec.clear();
+  rec.accumulate(arb, 7);
+  const auto aggs = rec.aggregates();
+  ASSERT_EQ(aggs.size(), 2u);
+  EXPECT_EQ(aggs[0].count, 0u);
+  EXPECT_EQ(aggs[0].totalNs, 0u);
+  EXPECT_EQ(aggs[1].count, 1u);
+  EXPECT_EQ(aggs[1].totalNs, 7u);
+}
+
+TEST(SpanExportTest, CounterMetaReportsAvailabilityNeverSilently) {
+  // Pin the fallback path deterministically with a force-disabled group:
+  // the meta must carry the status and the reason.
+  util::PerfCounterGroup disabled(
+      util::PerfCounterGroup::Options{.disabled = true});
+  SpanRecorder rec;
+  rec.attachCounters(&disabled);
+  { ScopedSpan span(&rec, "rebuild"); }
+  std::ostringstream out;
+  obs::writeSpansJsonl(rec, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"counters\":\"unavailable\""), std::string::npos);
+  EXPECT_NE(text.find("\"countersReason\":\"disabled by caller\""),
+            std::string::npos);
+  EXPECT_EQ(text.find("\"ipc\""), std::string::npos);
+
+  // A live group: whatever subset the environment opened must be declared
+  // in the meta, and spans on the attaching thread carry exactly that
+  // subset.
+  util::PerfCounterGroup live;
+  if (live.available()) {
+    SpanRecorder counted;
+    counted.attachCounters(&live);
+    { ScopedSpan span(&counted, "rebuild"); }
+    std::ostringstream out2;
+    obs::writeSpansJsonl(counted, out2);
+    const std::string text2 = out2.str();
+    const bool full =
+        live.eventMask() == ((1u << util::kPerfEventCount) - 1u);
+    EXPECT_NE(text2.find(full ? "\"counters\":\"available\""
+                              : "\"counters\":\"partial\""),
+              std::string::npos);
+    EXPECT_NE(text2.find("\"counterEvents\":["), std::string::npos);
+    const auto spans = counted.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].counters.mask, live.eventMask());
+  }
 }
 
 TEST(SpanExportTest, ChromeTraceEmitsCompleteEventsPerfettoCanLoad) {

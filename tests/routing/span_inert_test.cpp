@@ -69,6 +69,51 @@ TEST(SpanInertTest, InstrumentedBuildMatchesPlainBuildSerialAndParallel) {
   EXPECT_EQ(builds, 2u);
 }
 
+TEST(SpanInertTest, CountersAndAllocTrackingLeaveTheBuildBitForBit) {
+  const Fixture f;
+  const routing::Routing plain = core::buildDownUp(f.topo, f.ct);
+
+  // Fully armed recorder: a live counter group (whatever subset of events
+  // this environment opens) plus allocation tracking.  Neither may change
+  // what gets built — counters only read fds, attribution only reads
+  // thread-locals.
+  util::PerfCounterGroup group;
+  util::SpanRecorder spans;
+  spans.attachCounters(&group);
+  spans.setAllocTracking(true);
+  const routing::Routing counted =
+      core::buildDownUp(f.topo, f.ct, {.spans = &spans});
+  EXPECT_TRUE(counted.table().identicalTo(plain.table()));
+  EXPECT_EQ(counted.table().fingerprint(), plain.table().fingerprint());
+
+  ASSERT_GT(spans.size(), 0u);
+  for (const auto& s : spans.snapshot()) {
+    // Tracking is flagged on every span; this binary does not install the
+    // global-new hooks, so charges stay zero — visible as "hooks absent",
+    // never as silent success.
+    EXPECT_TRUE(s.allocTracked);
+    EXPECT_EQ(s.allocBytes, 0u);
+    // Counter payloads mirror exactly what the environment granted.
+    if (group.available()) {
+      EXPECT_EQ(s.counters.mask, group.eventMask());
+    } else {
+      EXPECT_TRUE(s.counters.empty());
+    }
+  }
+
+  // Forced-disabled group: same build, spans carry no counter payload.
+  util::PerfCounterGroup off(
+      util::PerfCounterGroup::Options{.disabled = true});
+  util::SpanRecorder offSpans;
+  offSpans.attachCounters(&off);
+  const routing::Routing untouched =
+      core::buildDownUp(f.topo, f.ct, {.spans = &offSpans});
+  EXPECT_EQ(untouched.table().fingerprint(), plain.table().fingerprint());
+  for (const auto& s : offSpans.snapshot()) {
+    EXPECT_TRUE(s.counters.empty());
+  }
+}
+
 TEST(SpanInertTest, InstrumentedRebuildDeadMatchesPlainRebuild) {
   const Fixture f;
   const routing::Routing plain = core::buildDownUp(f.topo, f.ct);

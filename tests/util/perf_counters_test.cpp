@@ -1,0 +1,159 @@
+// PerfCounterGroup: the unavailable-fallback contract (absent counters are
+// reported with a reason, never as silent zeros), pure PerfCounts mask
+// arithmetic, and — when the environment grants perf_event_open — read
+// monotonicity plus delta monotonicity under span nesting.
+#include "util/perf_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "util/span_recorder.hpp"
+
+namespace downup::util {
+namespace {
+
+constexpr std::uint8_t kFullMask = (1u << kPerfEventCount) - 1u;
+
+void setCount(PerfCounts& counts, PerfEvent event, std::uint64_t v) {
+  counts.value[static_cast<std::uint8_t>(event)] = v;
+  counts.mask |= static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(event));
+}
+
+TEST(PerfCountsTest, DerivedRatesAreAbsentNotZeroWhenEventsAreMissing) {
+  PerfCounts counts;
+  EXPECT_TRUE(counts.empty());
+  EXPECT_LT(counts.ipc(), 0.0);
+  EXPECT_LT(counts.cacheMissRate(), 0.0);
+  EXPECT_LT(counts.branchMissesPerKiloInstruction(), 0.0);
+
+  setCount(counts, PerfEvent::kCycles, 1000);
+  // Instructions still missing: IPC must stay absent.
+  EXPECT_LT(counts.ipc(), 0.0);
+  setCount(counts, PerfEvent::kInstructions, 2500);
+  EXPECT_DOUBLE_EQ(counts.ipc(), 2.5);
+
+  setCount(counts, PerfEvent::kCacheReferences, 200);
+  setCount(counts, PerfEvent::kCacheMisses, 50);
+  EXPECT_DOUBLE_EQ(counts.cacheMissRate(), 0.25);
+}
+
+TEST(PerfCountsTest, DeltaIntersectsMasksAndAccumulateUnionsThem) {
+  PerfCounts before;
+  setCount(before, PerfEvent::kTaskClock, 100);
+  setCount(before, PerfEvent::kCycles, 1000);
+
+  PerfCounts after;
+  setCount(after, PerfEvent::kTaskClock, 150);
+  setCount(after, PerfEvent::kInstructions, 9000);
+
+  const PerfCounts delta = after.deltaSince(before);
+  // Only events present on BOTH sides survive the delta.
+  EXPECT_TRUE(delta.has(PerfEvent::kTaskClock));
+  EXPECT_FALSE(delta.has(PerfEvent::kCycles));
+  EXPECT_FALSE(delta.has(PerfEvent::kInstructions));
+  EXPECT_EQ(delta.get(PerfEvent::kTaskClock), 50u);
+
+  // A counter that went backwards (clock skew) saturates at 0 instead of
+  // wrapping to a huge unsigned value.
+  PerfCounts regressed;
+  setCount(regressed, PerfEvent::kTaskClock, 80);
+  const PerfCounts clamped = regressed.deltaSince(before);
+  EXPECT_EQ(clamped.get(PerfEvent::kTaskClock), 0u);
+
+  PerfCounts sum;
+  sum.accumulate(delta);
+  sum.accumulate(after);
+  EXPECT_TRUE(sum.has(PerfEvent::kTaskClock));
+  EXPECT_TRUE(sum.has(PerfEvent::kInstructions));
+  EXPECT_EQ(sum.get(PerfEvent::kTaskClock), 200u);
+  EXPECT_EQ(sum.get(PerfEvent::kInstructions), 9000u);
+}
+
+TEST(PerfCounterGroupTest, ForcedDisabledGroupReportsAReasonAndReadsEmpty) {
+  PerfCounterGroup group(PerfCounterGroup::Options{.disabled = true});
+  EXPECT_FALSE(group.available());
+  EXPECT_EQ(group.eventMask(), 0u);
+  EXPECT_EQ(group.unavailableReason(), "disabled by caller");
+  EXPECT_TRUE(group.read().empty());
+}
+
+TEST(PerfCounterGroupTest, LiveGroupIsEitherReasonedOrMonotone) {
+  PerfCounterGroup group;
+  if (!group.available()) {
+    // The fallback path must explain itself (no PMU, seccomp, paranoid).
+    EXPECT_FALSE(group.unavailableReason().empty());
+    EXPECT_TRUE(group.read().empty());
+    return;
+  }
+  if (group.eventMask() != kFullMask) {
+    // Partial groups likewise carry a reason for the missing events.
+    EXPECT_FALSE(group.degradedReason().empty());
+  }
+  const PerfCounts first = group.read();
+  EXPECT_EQ(first.mask, group.eventMask());
+  // Burn some cycles so the counters visibly advance.
+  volatile std::uint64_t sink = 0;
+  for (int i = 0; i < 200000; ++i) sink += static_cast<std::uint64_t>(i);
+  const PerfCounts second = group.read();
+  for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+    const auto event = static_cast<PerfEvent>(e);
+    if (!group.has(event)) continue;
+    EXPECT_GE(second.get(event), first.get(event)) << toString(event);
+  }
+}
+
+TEST(PerfCounterGroupTest, NestedSpanDeltasNeverExceedTheirParent) {
+  PerfCounterGroup group;
+  if (!group.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable: "
+                 << group.unavailableReason();
+  }
+  SpanRecorder rec;
+  rec.attachCounters(&group);
+  {
+    ScopedSpan parent(&rec, "rebuild");
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 50000; ++i) sink += static_cast<std::uint64_t>(i);
+    {
+      ScopedSpan child(&rec, "table_build");
+      for (int i = 0; i < 50000; ++i) sink += static_cast<std::uint64_t>(i);
+    }
+    for (int i = 0; i < 50000; ++i) sink += static_cast<std::uint64_t>(i);
+  }
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const auto& parent = spans[0];
+  const auto& child = spans[1];
+  ASSERT_EQ(parent.depth, 0u);
+  ASSERT_EQ(child.depth, 1u);
+  EXPECT_EQ(parent.counters.mask, group.eventMask());
+  EXPECT_EQ(child.counters.mask, group.eventMask());
+  for (std::size_t e = 0; e < kPerfEventCount; ++e) {
+    const auto event = static_cast<PerfEvent>(e);
+    if (!group.has(event)) continue;
+    EXPECT_LE(child.counters.get(event), parent.counters.get(event))
+        << toString(event);
+  }
+}
+
+TEST(PerfCounterGroupTest, SpansOffTheAttachingThreadCarryNoCounters) {
+  PerfCounterGroup group;
+  SpanRecorder rec;
+  rec.attachCounters(&group);
+  std::thread other([&rec] {
+    ScopedSpan span(&rec, "rebuild");
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 10000; ++i) sink += static_cast<std::uint64_t>(i);
+  });
+  other.join();
+  const auto spans = rec.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  // Counters are a per-thread measurement; a foreign thread's span must not
+  // report the attaching thread's deltas.
+  EXPECT_TRUE(spans[0].counters.empty());
+}
+
+}  // namespace
+}  // namespace downup::util

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Self-test for tools/bench_trend, run by ctest (BenchTrendTest).
+
+Fabricates baseline and current BENCH files in temp directories and checks
+the gate arithmetic end to end: pass within threshold, fail past it, fail
+on missing gated metrics, report-only when no --current is given, and the
+bench_trend/1 JSON report shape.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_trend")
+
+
+def build_json(full_serial_128):
+    return {
+        "bench": "bench_build", "gitRev": "test", "timestampUtc": "t",
+        "sizes": [
+            {"switches": 128, "fullSerialMs": full_serial_128,
+             "tableSerialMs": 3.0, "reconfigIncrMs": 1.0},
+            {"switches": 256, "fullSerialMs": 14.0},
+        ],
+    }
+
+
+def serve_json(lookups_per_sec):
+    return {
+        "bench": "bench_serve", "gitRev": "test", "timestampUtc": "t",
+        "lookupsPerSec": lookups_per_sec, "lookupP50Ns": 3000,
+    }
+
+
+def micro_json(cps):
+    return {
+        "bench": "bench_micro.scenarios", "gitRev": "test",
+        "timestampUtc": "t",
+        "scenarios": [{"name": "near_idle", "cyclesPerSec": cps}],
+    }
+
+
+def write(directory, name, data):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(data, f)
+    return path
+
+
+def run(args):
+    proc = subprocess.run([sys.executable, TOOL] + args,
+                         capture_output=True, text=True)
+    return proc
+
+
+def expect(condition, message, proc=None):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        if proc is not None:
+            print(proc.stdout, file=sys.stderr)
+            print(proc.stderr, file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        results = os.path.join(tmp, "results")
+        os.mkdir(results)
+        write(results, "BENCH_build.json", build_json(4.0))
+        write(results, "BENCH_serve.json", serve_json(1_000_000))
+        write(results, "BENCH_micro.json", micro_json(500_000))
+
+        # Report-only: no --current, exit 0, trajectory printed.
+        proc = run(["--results", results])
+        expect(proc.returncode == 0, "report-only run should exit 0", proc)
+        expect("bench_build" in proc.stdout and "bench_serve" in proc.stdout
+               and "bench_micro" in proc.stdout,
+               "trajectory should merge all three baselines", proc)
+        expect("none armed" in proc.stdout,
+               "report-only run should say no gates armed", proc)
+
+        # Both gates within threshold: exit 0, PASS verdicts.
+        cur_ok_build = write(tmp, "cur_build.json", build_json(4.5))
+        cur_ok_serve = write(tmp, "cur_serve.json", serve_json(900_000))
+        report_json = os.path.join(tmp, "trend.json")
+        proc = run(["--results", results,
+                    "--current", f"bench_build={cur_ok_build}",
+                    "--current", f"bench_serve={cur_ok_serve}",
+                    "--json", report_json])
+        expect(proc.returncode == 0, "within-threshold run should pass", proc)
+        expect("gate result: PASS" in proc.stdout, "PASS verdict", proc)
+        with open(report_json) as f:
+            report = json.load(f)
+        expect(report["schema"] == "bench_trend/1", "report schema")
+        expect(report["ok"] is True, "report ok flag")
+        expect(len(report["gates"]) == 2, "both gates armed")
+        expect(len(report["baselines"]) == 3, "all baselines in report")
+
+        # Construction regression past 1.25x: exit 1.
+        cur_slow = write(tmp, "cur_slow.json", build_json(5.5))
+        proc = run(["--results", results,
+                    "--current", f"bench_build={cur_slow}"])
+        expect(proc.returncode == 1, ">25% build regression should fail",
+               proc)
+        expect("FAIL" in proc.stdout, "FAIL verdict printed", proc)
+
+        # Serve throughput below 0.75x: exit 1.
+        cur_slow_serve = write(tmp, "cur_slow_serve.json", serve_json(700_000))
+        proc = run(["--results", results,
+                    "--current", f"bench_serve={cur_slow_serve}"])
+        expect(proc.returncode == 1, ">25% serve drop should fail", proc)
+
+        # Gated metric missing from the current file: exit 1, not a pass.
+        broken = write(tmp, "cur_broken.json", {
+            "bench": "bench_serve", "gitRev": "test", "timestampUtc": "t",
+            "lookupP50Ns": 3000,
+        })
+        proc = run(["--results", results,
+                    "--current", f"bench_serve={broken}"])
+        expect(proc.returncode == 1, "missing gated metric should fail", proc)
+        expect("metric missing" in proc.stdout, "missing-metric note", proc)
+
+        # Mislabelled --current: exit 2 (malformed input).
+        proc = run(["--results", results,
+                    "--current", f"bench_build={cur_ok_serve}"])
+        expect(proc.returncode == 2, "bench-name mismatch should exit 2",
+               proc)
+
+    print("bench_trend_test: all cases passed")
+
+
+if __name__ == "__main__":
+    main()
